@@ -1,0 +1,122 @@
+// Command flnode runs one node of the TCP cross-device prototype — either
+// the coordinating server (the laptop in the paper's Fig. 3) or a client
+// device (a Raspberry Pi). All nodes generate the same federated dataset
+// from a shared seed, so each client owns its own shard without any data
+// exchange, exactly like physically-distributed devices.
+//
+// Usage:
+//
+//	flnode -role server -addr :9000 -clients 8 -rounds 30
+//	flnode -role client -addr host:9000 -id 0
+//	...
+//	flnode -role client -addr host:9000 -id 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"unbiasedfl/internal/experiment"
+	"unbiasedfl/internal/fl"
+	"unbiasedfl/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "flnode:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		role    = flag.String("role", "server", "node role: server or client")
+		addr    = flag.String("addr", "127.0.0.1:9000", "listen (server) or dial (client) address")
+		id      = flag.Int("id", 0, "client id (client role)")
+		setup   = flag.Int("setup", 2, "experimental setup shaping the shared dataset")
+		clients = flag.Int("clients", 8, "number of clients in the fleet")
+		rounds  = flag.Int("rounds", 30, "training rounds")
+		steps   = flag.Int("steps", 5, "local SGD steps per round")
+		seed    = flag.Uint64("seed", 1, "shared data seed (must match across nodes)")
+		timeout = flag.Duration("timeout", 2*time.Minute, "socket timeout")
+	)
+	flag.Parse()
+
+	opts := experiment.DefaultOptions()
+	opts.NumClients = *clients
+	opts.Rounds = *rounds
+	opts.LocalSteps = *steps
+	opts.Seed = *seed
+	env, err := experiment.BuildSetup(experiment.SetupID(*setup), opts)
+	if err != nil {
+		return err
+	}
+
+	switch *role {
+	case "server":
+		eq, err := env.Params.SolveKKT()
+		if err != nil {
+			return err
+		}
+		q := make([]float64, len(eq.Q))
+		for i, qi := range eq.Q {
+			if qi < env.Params.QMin {
+				qi = env.Params.QMin
+			}
+			q[i] = qi
+		}
+		srv, err := transport.NewServer(transport.ServerConfig{
+			Addr:       *addr,
+			NumClients: *clients,
+			Q:          q,
+			Weights:    env.Fed.Weights,
+			Rounds:     *rounds,
+			LocalSteps: *steps,
+			BatchSize:  opts.BatchSize,
+			Schedule:   fl.ExpDecay{Eta0: 0.1, Decay: 0.996},
+			Timeout:    *timeout,
+		}, env.Model)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = srv.Close() }()
+		fmt.Printf("server listening on %s, waiting for %d clients\n", srv.Addr(), *clients)
+		res, err := srv.Run()
+		if err != nil {
+			return err
+		}
+		loss, err := env.Model.Loss(res.FinalModel, env.Fed.Train)
+		if err != nil {
+			return err
+		}
+		acc, err := env.Model.Accuracy(res.FinalModel, env.Fed.Test)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("training finished: global loss %.4f, test accuracy %.4f\n", loss, acc)
+		for n, cnt := range res.ParticipationCounts {
+			fmt.Printf("client %d: q=%.3f participated %d/%d rounds\n", n, q[n], cnt, *rounds)
+		}
+		return nil
+	case "client":
+		if *id < 0 || *id >= *clients {
+			return fmt.Errorf("client id %d out of range [0,%d)", *id, *clients)
+		}
+		node, err := transport.NewClient(transport.ClientConfig{
+			Addr: *addr, ID: *id, Seed: *seed + uint64(*id)*1009 + 17, Timeout: *timeout,
+		}, env.Model, env.Fed.Clients[*id])
+		if err != nil {
+			return err
+		}
+		joined, err := node.Run()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("client %d finished, participated in %d rounds\n", *id, joined)
+		return nil
+	default:
+		return fmt.Errorf("unknown role %q", *role)
+	}
+}

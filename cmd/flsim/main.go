@@ -1,0 +1,79 @@
+// Command flsim runs one federated training simulation for a setup under a
+// chosen pricing scheme and prints the timed loss/accuracy trajectory — one
+// curve of the paper's Fig. 4.
+//
+// Usage:
+//
+//	flsim -setup 2 -scheme proposed [-rounds 120] [-clients 12] [-runs 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"unbiasedfl/internal/experiment"
+	"unbiasedfl/internal/game"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "flsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		setup   = flag.Int("setup", 1, "experimental setup (1, 2, or 3)")
+		scheme  = flag.String("scheme", "proposed", "pricing scheme: proposed, uniform, weighted")
+		clients = flag.Int("clients", 12, "number of clients")
+		rounds  = flag.Int("rounds", 120, "training rounds R")
+		steps   = flag.Int("steps", 10, "local SGD steps E")
+		runs    = flag.Int("runs", 3, "independent runs to average")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		csv     = flag.Bool("csv", false, "emit CSV instead of a table")
+	)
+	flag.Parse()
+
+	var s game.Scheme
+	switch *scheme {
+	case "proposed", "optimal":
+		s = game.SchemeOptimal
+	case "uniform":
+		s = game.SchemeUniform
+	case "weighted":
+		s = game.SchemeWeighted
+	default:
+		return fmt.Errorf("unknown scheme %q", *scheme)
+	}
+
+	opts := experiment.DefaultOptions()
+	opts.NumClients = *clients
+	opts.Rounds = *rounds
+	opts.LocalSteps = *steps
+	opts.Runs = *runs
+	opts.Seed = *seed
+	env, err := experiment.BuildSetup(experiment.SetupID(*setup), opts)
+	if err != nil {
+		return err
+	}
+	run, err := experiment.RunScheme(env, s)
+	if err != nil {
+		return err
+	}
+
+	if *csv {
+		return experiment.WriteSeriesCSV(os.Stdout, run)
+	}
+	fmt.Printf("%v under %v pricing (spent %.2f of B=%.2f)\n\n",
+		env.ID, s, run.Outcome.Spent, env.Params.B)
+	fmt.Println("  time (s) |   loss | accuracy")
+	fmt.Println("-----------+--------+---------")
+	for _, pt := range run.Points {
+		fmt.Printf("%10.1f | %.4f | %.4f\n", pt.Elapsed.Seconds(), pt.Loss, pt.Accuracy)
+	}
+	fmt.Printf("\nfinal: loss %.4f, accuracy %.4f; total client utility %.2f; negative payments %d\n",
+		run.FinalLoss, run.FinalAccuracy, run.TotalClientUtility, run.NegativePayments)
+	return nil
+}

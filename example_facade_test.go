@@ -1,0 +1,38 @@
+package unbiasedfl_test
+
+import (
+	"fmt"
+
+	"unbiasedfl"
+)
+
+// Example demonstrates the one-call path from a paper setup to its
+// Stackelberg equilibrium.
+func Example() {
+	opts := unbiasedfl.Options{
+		NumClients:   4,
+		TotalSamples: 400,
+		Rounds:       20,
+		LocalSteps:   4,
+		BatchSize:    16,
+		EvalEvery:    5,
+		Calibration:  2,
+		Seed:         1,
+		Runs:         1,
+	}
+	env, err := unbiasedfl.NewSetup(unbiasedfl.Setup1, opts)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	eq, err := env.Params.SolveKKT()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("clients priced: %d\n", len(eq.P))
+	fmt.Printf("spend within budget: %v\n", eq.Spent <= env.Params.B+1e-9)
+	// Output:
+	// clients priced: 4
+	// spend within budget: true
+}

@@ -1,0 +1,82 @@
+// Pricing comparison: reproduce the paper's headline experiment (Fig. 4 and
+// Tables II–IV) on one setup — the proposed customized pricing versus
+// uniform and data-size-weighted pricing under the same budget.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"unbiasedfl"
+	"unbiasedfl/internal/experiment"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "pricing_comparison:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	setup := flag.Int("setup", 2, "experimental setup (1, 2, or 3)")
+	flag.Parse()
+
+	opts := unbiasedfl.DefaultOptions()
+	opts.NumClients = 10
+	opts.Rounds = 80
+	opts.Runs = 2
+	env, err := unbiasedfl.NewSetup(unbiasedfl.SetupID(*setup), opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("comparing pricing schemes on %v (budget %.1f)\n\n", env.ID, env.Params.B)
+
+	cmp, err := unbiasedfl.CompareSchemes(env)
+	if err != nil {
+		return err
+	}
+
+	// Scheme-level economics.
+	fmt.Println("scheme   | bound g(q)   | spent   | client utility | P<0")
+	fmt.Println("---------+--------------+---------+----------------+----")
+	for _, s := range cmp.Schemes {
+		fmt.Printf("%-8v | %12.5g | %7.2f | %14.2f | %3d\n",
+			s.Scheme, s.Outcome.ServerObj, s.Outcome.Spent,
+			s.TotalClientUtility, s.NegativePayments)
+	}
+
+	// Time-to-target rows (Tables II and III).
+	lossTarget := cmp.AdaptiveLossTarget()
+	accTarget := cmp.AdaptiveAccuracyTarget()
+	fmt.Printf("\ntime to loss <= %.4f and accuracy >= %.4f:\n", lossTarget, accTarget)
+	tl := cmp.TimesToLoss(lossTarget)
+	ta := cmp.TimesToAccuracy(accTarget)
+	for i := range tl {
+		lossStr, accStr := "never", "never"
+		if tl[i].OK {
+			lossStr = fmt.Sprintf("%.1fs", tl[i].Elapsed.Seconds())
+		}
+		if ta[i].OK {
+			accStr = fmt.Sprintf("%.1fs", ta[i].Elapsed.Seconds())
+		}
+		fmt.Printf("  %-8v loss: %-8s accuracy: %s\n", tl[i].Scheme, lossStr, accStr)
+	}
+
+	// Savings headline, as the paper reports ("69% less time than uniform").
+	if tl[0].OK && tl[2].OK && tl[2].Elapsed > 0 {
+		saving := 1 - tl[0].Elapsed.Seconds()/tl[2].Elapsed.Seconds()
+		fmt.Printf("\nproposed pricing reaches the loss target %.0f%% faster than uniform\n", saving*100)
+	}
+
+	overU, overW, err := cmp.UtilityGains()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("client utility gains (Table IV): over uniform %.2f, over weighted %.2f\n", overU, overW)
+
+	// Full markdown report (what cmd/flbench prints for every setup).
+	fmt.Println("\n--- full report ---")
+	return experiment.WriteComparisonReport(os.Stdout, cmp)
+}

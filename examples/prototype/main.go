@@ -1,0 +1,107 @@
+// Prototype: run the paper's cross-device hardware prototype in miniature —
+// a coordinator and a fleet of client nodes communicating over real TCP
+// sockets on localhost, with client-side Bernoulli(q_n) participation and
+// server-side unbiased aggregation (Lemma 1). On real hardware, run
+// cmd/flnode on each device instead.
+package main
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"unbiasedfl"
+	"unbiasedfl/internal/fl"
+	"unbiasedfl/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "prototype:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const (
+		numClients = 8
+		rounds     = 30
+		localSteps = 5
+	)
+	opts := unbiasedfl.DefaultOptions()
+	opts.NumClients = numClients
+	opts.Rounds = rounds
+	opts.LocalSteps = localSteps
+	env, err := unbiasedfl.NewSetup(unbiasedfl.Setup2, opts)
+	if err != nil {
+		return err
+	}
+
+	// Price the market with the proposed mechanism; the equilibrium q*
+	// becomes each device's autonomous participation probability.
+	eq, err := env.Params.SolveKKT()
+	if err != nil {
+		return err
+	}
+	q := make([]float64, numClients)
+	for i, qi := range eq.Q {
+		if qi < env.Params.QMin {
+			qi = env.Params.QMin
+		}
+		q[i] = qi
+	}
+
+	srv, err := transport.NewServer(transport.ServerConfig{
+		Addr:       "127.0.0.1:0",
+		NumClients: numClients,
+		Q:          q,
+		Weights:    env.Fed.Weights,
+		Rounds:     rounds,
+		LocalSteps: localSteps,
+		BatchSize:  16,
+		Schedule:   fl.ExpDecay{Eta0: 0.1, Decay: 0.996},
+		Timeout:    time.Minute,
+	}, env.Model)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = srv.Close() }()
+	fmt.Printf("coordinator listening on %s; launching %d device nodes\n", srv.Addr(), numClients)
+
+	var wg sync.WaitGroup
+	for id := 0; id < numClients; id++ {
+		node, err := transport.NewClient(transport.ClientConfig{
+			Addr: srv.Addr(), ID: id, Seed: uint64(1000 + id), Timeout: time.Minute,
+		}, env.Model, env.Fed.Clients[id])
+		if err != nil {
+			return err
+		}
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			joined, err := node.Run()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "client %d: %v\n", id, err)
+				return
+			}
+			fmt.Printf("device %d done: joined %d/%d rounds (q=%.3f)\n", id, joined, rounds, q[id])
+		}(id)
+	}
+
+	result, err := srv.Run()
+	wg.Wait()
+	if err != nil {
+		return err
+	}
+	loss, err := env.Model.Loss(result.FinalModel, env.Fed.Train)
+	if err != nil {
+		return err
+	}
+	acc, err := env.Model.Accuracy(result.FinalModel, env.Fed.Test)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nTCP training complete: global loss %.4f, test accuracy %.4f\n", loss, acc)
+	return nil
+}

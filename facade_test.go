@@ -1,0 +1,81 @@
+package unbiasedfl_test
+
+import (
+	"testing"
+
+	"unbiasedfl"
+)
+
+// tinyFacadeOptions keeps the façade smoke tests fast.
+func tinyFacadeOptions() unbiasedfl.Options {
+	return unbiasedfl.Options{
+		NumClients:   5,
+		TotalSamples: 600,
+		Rounds:       25,
+		LocalSteps:   5,
+		BatchSize:    16,
+		EvalEvery:    5,
+		Calibration:  2,
+		Seed:         2,
+		Runs:         1,
+	}
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	env, err := unbiasedfl.NewSetup(unbiasedfl.Setup1, tinyFacadeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := env.Params.SolveKKT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eq.Q) != 5 || len(eq.P) != 5 {
+		t.Fatalf("equilibrium sizes %d/%d", len(eq.Q), len(eq.P))
+	}
+	run, err := unbiasedfl.RunScheme(env, unbiasedfl.SchemeOptimal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Points) == 0 {
+		t.Fatal("no trajectory points")
+	}
+	if run.FinalLoss <= 0 {
+		t.Fatalf("final loss %v", run.FinalLoss)
+	}
+}
+
+func TestFacadeCompareAndSweep(t *testing.T) {
+	env, err := unbiasedfl.NewSetup(unbiasedfl.Setup2, tinyFacadeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := unbiasedfl.CompareSchemes(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Schemes) != 3 {
+		t.Fatalf("schemes %d", len(cmp.Schemes))
+	}
+	points, err := unbiasedfl.EquilibriumSweep(env, unbiasedfl.SweepB, []float64{10, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("sweep points %d", len(points))
+	}
+	if points[1].MeanQ < points[0].MeanQ {
+		t.Fatal("mean q should rise with budget")
+	}
+}
+
+func TestFacadeDefaults(t *testing.T) {
+	d := unbiasedfl.DefaultOptions()
+	p := unbiasedfl.PaperOptions()
+	if d.NumClients <= 1 || p.NumClients != 40 || p.Rounds != 1000 {
+		t.Fatalf("unexpected defaults: %+v %+v", d, p)
+	}
+	if unbiasedfl.Setup1.String() == "" || unbiasedfl.SchemeOptimal.String() != "proposed" {
+		t.Fatal("stringers broken")
+	}
+}

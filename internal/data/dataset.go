@@ -1,0 +1,148 @@
+// Package data provides the dataset substrate for the reproduction: the
+// Synthetic(α, β) generator used in the paper's Setup 1, and class-conditional
+// Gaussian stand-ins for the MNIST (Setup 2) and EMNIST lowercase (Setup 3)
+// datasets, all partitioned across clients in the unbalanced (power-law) and
+// non-i.i.d. (restricted label set per client) fashion the paper describes.
+//
+// The real image datasets cannot be downloaded in this offline environment;
+// DESIGN.md §4 documents why class-conditional Gaussians preserve the
+// behaviours the mechanism depends on (per-client sizes a_n and gradient-norm
+// heterogeneity G_n under a convex multinomial logistic regression model).
+package data
+
+import (
+	"errors"
+	"fmt"
+
+	"unbiasedfl/internal/stats"
+)
+
+// Dataset is a labelled design matrix: X[i] is the i-th feature vector and
+// Y[i] its class in [0, Classes).
+type Dataset struct {
+	X       [][]float64
+	Y       []int
+	Dim     int
+	Classes int
+}
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return len(d.Y) }
+
+// Validate checks internal consistency (shapes and label ranges).
+func (d *Dataset) Validate() error {
+	if len(d.X) != len(d.Y) {
+		return errors.New("data: X/Y length mismatch")
+	}
+	for i, x := range d.X {
+		if len(x) != d.Dim {
+			return fmt.Errorf("data: sample %d has dim %d, want %d", i, len(x), d.Dim)
+		}
+		if d.Y[i] < 0 || d.Y[i] >= d.Classes {
+			return fmt.Errorf("data: sample %d has label %d outside [0,%d)", i, d.Y[i], d.Classes)
+		}
+	}
+	return nil
+}
+
+// Subset returns a view of d restricted to the given indices. The feature
+// vectors are shared, not copied.
+func (d *Dataset) Subset(idx []int) (*Dataset, error) {
+	out := &Dataset{
+		X:       make([][]float64, len(idx)),
+		Y:       make([]int, len(idx)),
+		Dim:     d.Dim,
+		Classes: d.Classes,
+	}
+	for i, j := range idx {
+		if j < 0 || j >= d.Len() {
+			return nil, fmt.Errorf("data: subset index %d out of range", j)
+		}
+		out.X[i] = d.X[j]
+		out.Y[i] = d.Y[j]
+	}
+	return out, nil
+}
+
+// Concat merges several datasets with identical shape metadata.
+func Concat(parts []*Dataset) (*Dataset, error) {
+	if len(parts) == 0 {
+		return nil, errors.New("data: concat of zero datasets")
+	}
+	out := &Dataset{Dim: parts[0].Dim, Classes: parts[0].Classes}
+	for _, p := range parts {
+		if p.Dim != out.Dim || p.Classes != out.Classes {
+			return nil, errors.New("data: concat shape mismatch")
+		}
+		out.X = append(out.X, p.X...)
+		out.Y = append(out.Y, p.Y...)
+	}
+	return out, nil
+}
+
+// Federated bundles the per-client shards, the pooled train set, a held-out
+// test set, and the normalized client weights a_n = d_n / Σ d_m from the
+// paper's problem definition (Section III-A).
+type Federated struct {
+	Clients []*Dataset
+	Train   *Dataset
+	Test    *Dataset
+	Weights []float64
+}
+
+// NumClients returns the number of client shards.
+func (f *Federated) NumClients() int { return len(f.Clients) }
+
+// ComputeWeights derives the a_n weights from the shard sizes.
+func ComputeWeights(clients []*Dataset) ([]float64, error) {
+	if len(clients) == 0 {
+		return nil, errors.New("data: no clients")
+	}
+	total := 0
+	for _, c := range clients {
+		total += c.Len()
+	}
+	if total == 0 {
+		return nil, errors.New("data: all client shards empty")
+	}
+	w := make([]float64, len(clients))
+	for i, c := range clients {
+		w[i] = float64(c.Len()) / float64(total)
+	}
+	return w, nil
+}
+
+// assemble builds a Federated from finished shards plus a test set.
+func assemble(clients []*Dataset, test *Dataset) (*Federated, error) {
+	weights, err := ComputeWeights(clients)
+	if err != nil {
+		return nil, err
+	}
+	train, err := Concat(clients)
+	if err != nil {
+		return nil, err
+	}
+	if err := train.Validate(); err != nil {
+		return nil, fmt.Errorf("train set: %w", err)
+	}
+	if err := test.Validate(); err != nil {
+		return nil, fmt.Errorf("test set: %w", err)
+	}
+	return &Federated{Clients: clients, Train: train, Test: test, Weights: weights}, nil
+}
+
+// classesForClient picks how many and which classes a client holds, for the
+// non-i.i.d. label-restriction schemes ("each device has 1–6 classes").
+func classesForClient(r *stats.RNG, totalClasses, minClasses, maxClasses int) []int {
+	k := minClasses
+	if maxClasses > minClasses {
+		k += r.Intn(maxClasses - minClasses + 1)
+	}
+	if k > totalClasses {
+		k = totalClasses
+	}
+	perm := r.Perm(totalClasses)
+	out := make([]int, k)
+	copy(out, perm[:k])
+	return out
+}

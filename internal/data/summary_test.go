@@ -1,0 +1,74 @@
+package data
+
+import (
+	"strings"
+	"testing"
+
+	"unbiasedfl/internal/stats"
+)
+
+func TestSummarize(t *testing.T) {
+	cfg := MNISTLikeConfig()
+	cfg.NumClients = 6
+	cfg.TotalSamples = 900
+	cfg.TestSamples = 100
+	fed, err := GenerateImageLike(stats.NewRNG(13), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Summarize(fed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	totalSamples := 0
+	var totalWeight float64
+	for _, r := range rows {
+		if r.Samples <= 0 || r.Weight <= 0 {
+			t.Fatalf("degenerate row %+v", r)
+		}
+		if r.Classes < 1 || r.Classes > cfg.MaxClasses {
+			t.Fatalf("class count %d outside 1..%d", r.Classes, cfg.MaxClasses)
+		}
+		if r.Skew < 0 || r.Skew > 1 {
+			t.Fatalf("skew %v outside [0,1]", r.Skew)
+		}
+		totalSamples += r.Samples
+		totalWeight += r.Weight
+	}
+	if totalSamples != cfg.TotalSamples {
+		t.Fatalf("samples %d want %d", totalSamples, cfg.TotalSamples)
+	}
+	if totalWeight < 0.999 || totalWeight > 1.001 {
+		t.Fatalf("weights sum %v", totalWeight)
+	}
+	if _, err := Summarize(nil); err == nil {
+		t.Fatal("expected nil federation error")
+	}
+}
+
+func TestWriteSummary(t *testing.T) {
+	cfg := MNISTLikeConfig()
+	cfg.NumClients = 4
+	cfg.TotalSamples = 400
+	cfg.TestSamples = 50
+	fed, err := GenerateImageLike(stats.NewRNG(17), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteSummary(&sb, fed); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"federation: 4 clients", "weight a_n", "skew"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q", want)
+		}
+	}
+	if err := WriteSummary(&sb, nil); err == nil {
+		t.Fatal("expected nil federation error")
+	}
+}

@@ -1,0 +1,65 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRunAdaptive(t *testing.T) {
+	opts := tinyOptions()
+	opts.Rounds = 40
+	opts.Runs = 1
+	env, err := BuildSetup(Setup2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunAdaptive(env, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epochs != 4 {
+		t.Fatalf("epochs %d", res.Epochs)
+	}
+	for name, v := range map[string]float64{
+		"static loss":    res.StaticLoss,
+		"adaptive loss":  res.AdaptiveLoss,
+		"static bound":   res.StaticBound,
+		"adaptive bound": res.AdaptiveBound,
+	} {
+		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("%s = %v", name, v)
+		}
+	}
+	// The adaptive arm re-prices within budget every epoch, so its final
+	// informed equilibrium must respect the budget.
+	if res.AdaptiveSpend > env.Params.B*(1+1e-6) {
+		t.Fatalf("adaptive spend %v exceeds budget %v", res.AdaptiveSpend, env.Params.B)
+	}
+	// The static arm's realized spend drifts away from the budget as G_n
+	// estimates drift — the miscalibration adaptive repricing removes.
+	drift := math.Abs(res.StaticSpend-env.Params.B) / env.Params.B
+	if drift < 1e-6 {
+		t.Fatalf("static spend %v suspiciously still exactly on budget %v",
+			res.StaticSpend, env.Params.B)
+	}
+}
+
+func TestRunAdaptiveErrors(t *testing.T) {
+	if _, err := RunAdaptive(nil, 2, 1); err == nil {
+		t.Fatal("expected nil env error")
+	}
+	env, err := BuildSetup(Setup1, tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunAdaptive(env, 1, 1); err == nil {
+		t.Fatal("expected epochs error")
+	}
+	small := *env
+	smallOpts := env.Opts
+	smallOpts.Rounds = 2
+	small.Opts = smallOpts
+	if _, err := RunAdaptive(&small, 5, 1); err == nil {
+		t.Fatal("expected too-many-epochs error")
+	}
+}

@@ -1,0 +1,71 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"unbiasedfl/internal/game"
+)
+
+// WriteEquilibriumReport renders the full per-client equilibrium table the
+// paper's mechanism produces: participation levels, customized prices,
+// payment direction, and the threshold v_t, as markdown.
+func WriteEquilibriumReport(w io.Writer, p *game.Params, eq *game.Equilibrium) error {
+	if p == nil || eq == nil {
+		return errors.New("experiment: nil params or equilibrium")
+	}
+	if _, err := fmt.Fprintf(w,
+		"## Stackelberg equilibrium (N=%d, B=%.2f)\n\n"+
+			"- budget multiplier λ* = %.6g (tight: %v)\n"+
+			"- payment threshold v_t = %.4g\n"+
+			"- total spend: %.4f\n"+
+			"- server bound term g(q*): %.6g\n"+
+			"- clients paying the server: %d\n\n",
+		p.N(), p.B, eq.Lambda, eq.BudgetTight, eq.Vt(),
+		eq.Spent, eq.ServerObj, eq.NegativePayments()); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w,
+		"| client | a_n | G_n | c_n | v_n | q*_n | P*_n | payment | direction |"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w,
+		"|---:|---:|---:|---:|---:|---:|---:|---:|---|"); err != nil {
+		return err
+	}
+	for n := 0; n < p.N(); n++ {
+		direction := "server pays client"
+		if eq.P[n] < 0 {
+			direction = "client pays server"
+		}
+		if _, err := fmt.Fprintf(w,
+			"| %d | %.5f | %.3f | %.2f | %.1f | %.5f | %.3f | %.3f | %s |\n",
+			n, p.A[n], p.G[n], p.C[n], p.V[n],
+			eq.Q[n], eq.P[n], eq.P[n]*eq.Q[n], direction); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// SaveEquilibrium persists an equilibrium table into the artifact set.
+func (a *Artifacts) SaveEquilibrium(name string, setup SetupID, p *game.Params, eq *game.Equilibrium) error {
+	path := name + "_equilibrium.md"
+	f, err := createArtifactFile(a, path)
+	if err != nil {
+		return err
+	}
+	if err := WriteEquilibriumReport(f, p, eq); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	a.manifest.Entries = append(a.manifest.Entries, manifestItem{
+		Kind: "equilibrium", Setup: setup.String(), Path: path,
+	})
+	return nil
+}

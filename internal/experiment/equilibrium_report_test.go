@@ -1,0 +1,50 @@
+package experiment
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteEquilibriumReport(t *testing.T) {
+	env, err := BuildSetup(Setup1, tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := env.Params.SolveKKT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteEquilibriumReport(&sb, env.Params, eq); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Stackelberg equilibrium", "v_t", "direction", "q*_n"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q", want)
+		}
+	}
+	if err := WriteEquilibriumReport(&sb, nil, eq); err == nil {
+		t.Fatal("expected nil params error")
+	}
+
+	a, err := NewArtifacts(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SaveEquilibrium("setup1", Setup1, env.Params, eq); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(a.Dir(), "setup1_equilibrium.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "Stackelberg") {
+		t.Fatal("persisted equilibrium report malformed")
+	}
+}

@@ -1,0 +1,60 @@
+package experiment
+
+import (
+	"testing"
+
+	"unbiasedfl/internal/stats"
+)
+
+func TestKendallTauHelper(t *testing.T) {
+	tau, err := stats.KendallTau([]float64{1, 2, 3}, []float64{10, 20, 30})
+	if err != nil || tau != 1 {
+		t.Fatalf("perfect agreement tau %v err %v", tau, err)
+	}
+	tau, err = stats.KendallTau([]float64{1, 2, 3}, []float64{30, 20, 10})
+	if err != nil || tau != -1 {
+		t.Fatalf("perfect disagreement tau %v err %v", tau, err)
+	}
+	if _, err := stats.KendallTau([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("expected error for single pair")
+	}
+	if _, err := stats.KendallTau([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("expected error for mismatched lengths")
+	}
+}
+
+// TestBoundFidelity verifies the paper's surrogate design decision: the
+// Theorem-1 bound must rank participation profiles consistently with actual
+// training losses (positive rank correlation).
+func TestBoundFidelity(t *testing.T) {
+	opts := tinyOptions()
+	opts.Rounds = 25
+	opts.Runs = 1
+	env, err := BuildSetup(Setup2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := BoundFidelity(env, 6, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Bounds) != 6 || len(res.Losses) != 6 {
+		t.Fatalf("profile count %d/%d", len(res.Bounds), len(res.Losses))
+	}
+	if res.KendallTau <= 0 {
+		t.Fatalf("bound does not rank training outcomes: tau = %v", res.KendallTau)
+	}
+}
+
+func TestBoundFidelityErrors(t *testing.T) {
+	if _, err := BoundFidelity(nil, 4, 1); err == nil {
+		t.Fatal("expected nil env error")
+	}
+	env, err := BuildSetup(Setup1, tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BoundFidelity(env, 1, 1); err == nil {
+		t.Fatal("expected profile-count error")
+	}
+}

@@ -1,0 +1,70 @@
+package experiment
+
+import (
+	"testing"
+)
+
+// TestConvergenceRateDecreasing validates Theorem 1's qualitative shape:
+// under full participation and the theorem's step size, the optimality gap
+// shrinks as the horizon grows.
+func TestConvergenceRateDecreasing(t *testing.T) {
+	opts := tinyOptions()
+	opts.Rounds = 40
+	opts.Runs = 1
+	env, err := BuildSetup(Setup2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := ConvergenceRate(env, []int{10, 40, 160}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points %d", len(points))
+	}
+	if points[2].Gap >= points[0].Gap {
+		t.Fatalf("gap did not shrink: %v -> %v", points[0].Gap, points[2].Gap)
+	}
+	// The fitted rate exponent should be negative (gap decays with R).
+	p, err := FitRateExponent(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p >= 0 {
+		t.Fatalf("fitted rate exponent %v not negative", p)
+	}
+}
+
+func TestConvergenceRateErrors(t *testing.T) {
+	if _, err := ConvergenceRate(nil, []int{1}, 1); err == nil {
+		t.Fatal("expected nil env error")
+	}
+	env, err := BuildSetup(Setup1, tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ConvergenceRate(env, nil, 1); err == nil {
+		t.Fatal("expected empty horizons error")
+	}
+	if _, err := ConvergenceRate(env, []int{0, 5}, 1); err == nil {
+		t.Fatal("expected non-positive horizon error")
+	}
+}
+
+func TestFitRateExponent(t *testing.T) {
+	// Exact 1/R decay fits p = -1.
+	points := []GapPoint{{10, 1.0}, {100, 0.1}, {1000, 0.01}}
+	p, err := FitRateExponent(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < -1.0001 || p > -0.9999 {
+		t.Fatalf("exponent %v, want -1", p)
+	}
+	if _, err := FitRateExponent([]GapPoint{{10, 0}}); err == nil {
+		t.Fatal("expected insufficient-points error")
+	}
+	if _, err := FitRateExponent([]GapPoint{{10, 1}, {10, 1}}); err == nil {
+		t.Fatal("expected degenerate-horizons error")
+	}
+}

@@ -1,0 +1,284 @@
+// Package experiment reproduces the paper's evaluation (Section VI): the
+// three Table-I setups over Synthetic, MNIST-like, and EMNIST-like data, the
+// pricing-scheme comparison of Fig. 4 and Tables II–IV, the negative-payment
+// counts of Table V, and the parameter-impact studies of Figs. 5–7.
+//
+// Every experiment flows through an Environment: generated federated data, a
+// calibrated convergence-bound model (the G_n and α estimates of Section
+// IV-A), the game parameters of Table I, and a hardware timing model that
+// substitutes the paper's Raspberry-Pi prototype (DESIGN.md §4).
+package experiment
+
+import (
+	"errors"
+	"fmt"
+
+	"unbiasedfl/internal/data"
+	"unbiasedfl/internal/fl"
+	"unbiasedfl/internal/game"
+	"unbiasedfl/internal/model"
+	"unbiasedfl/internal/sim"
+	"unbiasedfl/internal/stats"
+)
+
+// SetupID selects one of the paper's three experimental setups.
+type SetupID int
+
+// The paper's setups (Table I).
+const (
+	// Setup1 is the Synthetic(1,1) dataset: B=200, mean c=50, mean v=4000.
+	Setup1 SetupID = iota + 1
+	// Setup2 is the MNIST-like dataset: B=40, mean c=20, mean v=30000.
+	Setup2
+	// Setup3 is the EMNIST-like dataset: B=500, mean c=80, mean v=10000.
+	Setup3
+)
+
+// String implements fmt.Stringer.
+func (s SetupID) String() string {
+	switch s {
+	case Setup1:
+		return "Setup 1 (Synthetic)"
+	case Setup2:
+		return "Setup 2 (MNIST-like)"
+	case Setup3:
+		return "Setup 3 (EMNIST-like)"
+	default:
+		return fmt.Sprintf("Setup %d", int(s))
+	}
+}
+
+// TableI returns the paper's Table-I economic parameters for a setup.
+func TableI(id SetupID) (budget, meanC, meanV float64, err error) {
+	switch id {
+	case Setup1:
+		return 200, 50, 4000, nil
+	case Setup2:
+		return 40, 20, 30000, nil
+	case Setup3:
+		return 500, 80, 10000, nil
+	default:
+		return 0, 0, 0, fmt.Errorf("experiment: unknown setup %d", int(id))
+	}
+}
+
+// Options scales an experiment. The zero value is invalid; use
+// DefaultOptions (laptop-scale) or PaperOptions (the paper's full scale).
+type Options struct {
+	NumClients   int
+	TotalSamples int // 0 = per-setup default scaled by NumClients/40
+	Rounds       int // training horizon R
+	LocalSteps   int // E
+	BatchSize    int
+	EvalEvery    int
+	Calibration  int // calibration rounds for G_n estimation
+	Seed         uint64
+	Runs         int // independent repetitions to average
+}
+
+// DefaultOptions is the laptop-scale configuration used by tests, examples,
+// and the benchmark harness.
+func DefaultOptions() Options {
+	return Options{
+		NumClients:  12,
+		Rounds:      120,
+		LocalSteps:  10,
+		BatchSize:   24,
+		EvalEvery:   5,
+		Calibration: 3,
+		Seed:        1,
+		Runs:        3,
+	}
+}
+
+// PaperOptions restores the paper's full scale (40 devices, R=1000, E=100,
+// 20 runs); expect multi-hour wall times on a laptop.
+func PaperOptions() Options {
+	return Options{
+		NumClients:  40,
+		Rounds:      1000,
+		LocalSteps:  100,
+		BatchSize:   24,
+		EvalEvery:   20,
+		Calibration: 5,
+		Seed:        1,
+		Runs:        20,
+	}
+}
+
+func (o Options) validate() error {
+	switch {
+	case o.NumClients <= 1:
+		return errors.New("experiment: need at least two clients")
+	case o.Rounds <= 0 || o.LocalSteps <= 0 || o.BatchSize <= 0:
+		return errors.New("experiment: invalid training scale")
+	case o.EvalEvery <= 0:
+		return errors.New("experiment: invalid eval interval")
+	case o.Calibration <= 0:
+		return errors.New("experiment: need calibration rounds")
+	case o.Runs <= 0:
+		return errors.New("experiment: need at least one run")
+	}
+	return nil
+}
+
+// Environment is a fully-prepared experimental world for one setup.
+type Environment struct {
+	ID     SetupID
+	Opts   Options
+	Fed    *data.Federated
+	Model  *model.LogisticRegression
+	Cal    *fl.Calibration
+	Params *game.Params
+	Timing *sim.TimingModel
+	// MeanC and MeanV are the Table-I means actually used (exposed so the
+	// parameter sweeps of Figs. 5–7 can rescale them).
+	MeanC, MeanV float64
+}
+
+// regularization used across all setups (the convex multinomial logistic
+// regression of Section VI-A2).
+const mu = 0.01
+
+// BuildSetup generates data, calibrates the bound constants, and assembles
+// the game for the given setup.
+func BuildSetup(id SetupID, opts Options) (*Environment, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	budget, meanC, meanV, err := TableI(id)
+	if err != nil {
+		return nil, err
+	}
+	// Table I's budgets are calibrated for the paper's 40-device fleet.
+	// Scale B with the fleet so per-client budget scarcity — the force that
+	// separates the pricing schemes — is preserved at reduced scale.
+	budget *= float64(opts.NumClients) / 40
+	root := stats.NewRNG(opts.Seed ^ (uint64(id) << 32))
+
+	fed, err := generateData(id, opts, root.Split())
+	if err != nil {
+		return nil, fmt.Errorf("%v data: %w", id, err)
+	}
+	m, err := model.NewLogisticRegression(fed.Train.Dim, fed.Train.Classes, mu)
+	if err != nil {
+		return nil, err
+	}
+
+	runCfg := fl.Config{
+		Rounds:     opts.Rounds,
+		LocalSteps: opts.LocalSteps,
+		BatchSize:  opts.BatchSize,
+		Schedule:   fl.ExpDecay{Eta0: 0.1, Decay: 0.996},
+		EvalEvery:  opts.EvalEvery,
+		Seed:       root.Uint64(),
+	}
+	cal, err := fl.Calibrate(m, fed, runCfg, opts.Calibration)
+	if err != nil {
+		return nil, fmt.Errorf("%v calibration: %w", id, err)
+	}
+
+	params, err := buildGame(fed, cal, root.Split(), budget, meanC, meanV, float64(opts.Rounds))
+	if err != nil {
+		return nil, fmt.Errorf("%v game: %w", id, err)
+	}
+
+	timing, err := sim.HeterogeneousTimings(root.Split(), sim.DefaultTimingConfig(opts.NumClients))
+	if err != nil {
+		return nil, err
+	}
+	return &Environment{
+		ID: id, Opts: opts, Fed: fed, Model: m, Cal: cal,
+		Params: params, Timing: timing, MeanC: meanC, MeanV: meanV,
+	}, nil
+}
+
+func generateData(id SetupID, opts Options, r *stats.RNG) (*data.Federated, error) {
+	scale := float64(opts.NumClients) / 40
+	switch id {
+	case Setup1:
+		cfg := data.DefaultSyntheticConfig()
+		cfg.NumClients = opts.NumClients
+		cfg.TotalSamples = opts.TotalSamples
+		if cfg.TotalSamples == 0 {
+			cfg.TotalSamples = int(22377 * scale)
+		}
+		return data.GenerateSynthetic(r, cfg)
+	case Setup2:
+		cfg := data.MNISTLikeConfig()
+		cfg.NumClients = opts.NumClients
+		cfg.TotalSamples = opts.TotalSamples
+		if cfg.TotalSamples == 0 {
+			cfg.TotalSamples = int(14463 * scale)
+		}
+		cfg.TestSamples = 100 * opts.NumClients / 2
+		return data.GenerateImageLike(r, cfg)
+	case Setup3:
+		cfg := data.EMNISTLikeConfig()
+		cfg.NumClients = opts.NumClients
+		cfg.TotalSamples = opts.TotalSamples
+		if cfg.TotalSamples == 0 {
+			cfg.TotalSamples = int(35155 * scale)
+		}
+		cfg.TestSamples = 100 * opts.NumClients / 2
+		return data.GenerateImageLike(r, cfg)
+	default:
+		return nil, fmt.Errorf("experiment: unknown setup %d", int(id))
+	}
+}
+
+// buildGame assembles game.Params from Table-I economics and the calibrated
+// data constants. The raw α = 8LE/μ² of Theorem 1 is a worst-case constant;
+// following the paper ("we estimate the task-related parameter α ...
+// following a similar approach as [22]") we rescale it so that the average
+// intrinsic marginal value (α/R)·v̄·mean(a²G²) equals the average marginal
+// cost c̄ at full participation. This keeps the Table-I budgets meaningful
+// and is documented as a substitution in DESIGN.md §4. The rescaled α is
+// fixed per setup; the sweeps of Figs. 5–7 and Table V hold it constant.
+func buildGame(
+	fed *data.Federated, cal *fl.Calibration, r *stats.RNG,
+	budget, meanC, meanV, rounds float64,
+) (*game.Params, error) {
+	n := fed.NumClients()
+	c, err := stats.Exponential(r, n, meanC)
+	if err != nil {
+		return nil, err
+	}
+	for i := range c {
+		c[i] += meanC * 0.05 // keep costs strictly positive
+	}
+	v, err := stats.Exponential(r, n, meanV)
+	if err != nil {
+		return nil, err
+	}
+
+	var meanD float64
+	for i := 0; i < n; i++ {
+		d := fed.Weights[i] * fed.Weights[i] * cal.G[i] * cal.G[i]
+		meanD += d / float64(n)
+	}
+	if meanD <= 0 {
+		return nil, errors.New("experiment: degenerate data-quality estimates")
+	}
+	refV := meanV
+	if refV <= 0 {
+		refV = 4000 // Table V's v=0 column keeps Setup 1's calibrated α
+	}
+	alpha := rounds * meanC / (refV * meanD)
+
+	p := &game.Params{
+		A:     append([]float64(nil), fed.Weights...),
+		G:     append([]float64(nil), cal.G...),
+		C:     c,
+		V:     v,
+		Alpha: alpha,
+		R:     rounds,
+		B:     budget,
+		QMax:  1,
+		QMin:  game.DefaultQMin,
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -1,0 +1,164 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+
+	"unbiasedfl/internal/game"
+	"unbiasedfl/internal/stats"
+)
+
+// SweepPoint is one sweep value's result: the equilibrium economics and the
+// induced model quality under the proposed (optimal) pricing.
+type SweepPoint struct {
+	Value            float64 // the swept parameter's value (v̄, c̄, or B)
+	FinalLoss        float64
+	FinalAccuracy    float64
+	ServerObj        float64
+	MeanQ            float64
+	NegativePayments int
+}
+
+// SweepKind selects the swept parameter.
+type SweepKind int
+
+// Swept parameters for Figs. 5–7.
+const (
+	// SweepV varies the mean intrinsic value v̄ (Fig. 5, Setup 1).
+	SweepV SweepKind = iota + 1
+	// SweepC varies the mean local cost c̄ (Fig. 6, Setup 2).
+	SweepC
+	// SweepB varies the server budget B (Fig. 7, Setup 3).
+	SweepB
+)
+
+// String implements fmt.Stringer.
+func (k SweepKind) String() string {
+	switch k {
+	case SweepV:
+		return "mean intrinsic value v"
+	case SweepC:
+		return "mean local cost c"
+	case SweepB:
+		return "budget B"
+	default:
+		return fmt.Sprintf("sweep(%d)", int(k))
+	}
+}
+
+// Sweep reruns the proposed mechanism across values of one parameter on a
+// prepared environment, retraining the model at each point. α stays at the
+// environment's calibrated value throughout, as in the paper.
+func Sweep(env *Environment, kind SweepKind, values []float64) ([]SweepPoint, error) {
+	if env == nil {
+		return nil, errors.New("experiment: nil environment")
+	}
+	if len(values) == 0 {
+		return nil, errors.New("experiment: empty sweep")
+	}
+	out := make([]SweepPoint, 0, len(values))
+	for _, val := range values {
+		params, err := perturbedParams(env, kind, val)
+		if err != nil {
+			return nil, err
+		}
+		outcome, err := params.SolveScheme(game.SchemeOptimal)
+		if err != nil {
+			return nil, fmt.Errorf("%v=%v: %w", kind, val, err)
+		}
+		// Train under the perturbed equilibrium, reusing the environment's
+		// data, model, and timing.
+		sub := *env
+		sub.Params = params
+		run, err := runPriced(&sub, game.SchemeOptimal, outcome)
+		if err != nil {
+			return nil, fmt.Errorf("%v=%v: %w", kind, val, err)
+		}
+		var meanQ float64
+		for _, q := range outcome.Q {
+			meanQ += q / float64(len(outcome.Q))
+		}
+		out = append(out, SweepPoint{
+			Value:            val,
+			FinalLoss:        run.FinalLoss,
+			FinalAccuracy:    run.FinalAccuracy,
+			ServerObj:        outcome.ServerObj,
+			MeanQ:            meanQ,
+			NegativePayments: run.NegativePayments,
+		})
+	}
+	return out, nil
+}
+
+// EquilibriumSweep is Sweep without the training step: it reports the
+// economics (server bound, mean q, negative payments) only, which is what
+// Table V needs and is orders of magnitude faster.
+func EquilibriumSweep(env *Environment, kind SweepKind, values []float64) ([]SweepPoint, error) {
+	if env == nil {
+		return nil, errors.New("experiment: nil environment")
+	}
+	if len(values) == 0 {
+		return nil, errors.New("experiment: empty sweep")
+	}
+	out := make([]SweepPoint, 0, len(values))
+	for _, val := range values {
+		params, err := perturbedParams(env, kind, val)
+		if err != nil {
+			return nil, err
+		}
+		eq, err := params.SolveKKT()
+		if err != nil {
+			return nil, fmt.Errorf("%v=%v: %w", kind, val, err)
+		}
+		var meanQ float64
+		for _, q := range eq.Q {
+			meanQ += q / float64(len(eq.Q))
+		}
+		out = append(out, SweepPoint{
+			Value:            val,
+			ServerObj:        eq.ServerObj,
+			MeanQ:            meanQ,
+			NegativePayments: eq.NegativePayments(),
+		})
+	}
+	return out, nil
+}
+
+// perturbedParams rebuilds the game with one Table-I parameter replaced.
+// The per-client heterogeneity (the exponential draws) is re-scaled rather
+// than re-drawn so sweeps isolate the parameter's effect.
+func perturbedParams(env *Environment, kind SweepKind, val float64) (*game.Params, error) {
+	p := env.Params.Clone()
+	switch kind {
+	case SweepV:
+		if val < 0 {
+			return nil, errors.New("experiment: negative mean intrinsic value")
+		}
+		if env.MeanV > 0 {
+			scale := val / env.MeanV
+			for i := range p.V {
+				p.V[i] *= scale
+			}
+		} else {
+			r := stats.NewRNG(env.Opts.Seed ^ 0x5EED)
+			v, err := stats.Exponential(r, p.N(), val)
+			if err != nil {
+				return nil, err
+			}
+			p.V = v
+		}
+	case SweepC:
+		if val <= 0 {
+			return nil, errors.New("experiment: non-positive mean cost")
+		}
+		scale := val / env.MeanC
+		for i := range p.C {
+			p.C[i] *= scale
+		}
+	case SweepB:
+		p.B = val
+	default:
+		return nil, fmt.Errorf("experiment: unknown sweep kind %d", int(kind))
+	}
+	return p, nil
+}

@@ -1,0 +1,75 @@
+package fl
+
+import (
+	"errors"
+	"fmt"
+
+	"unbiasedfl/internal/stats"
+)
+
+// AvailabilitySampler composes the paper's randomized participation with
+// exogenous device availability: "clients may be only intermittently
+// available due to their usage patterns" (Section I). Client n joins a
+// round only if it is both willing (Bernoulli q_n, its strategic choice)
+// and available (Bernoulli av_n, its usage pattern). The effective
+// participation level is q_n·av_n, and passing EffectiveQ to the unbiased
+// aggregator keeps Lemma 1's guarantee intact because the two coins are
+// independent.
+type AvailabilitySampler struct {
+	q   []float64
+	av  []float64
+	rng *stats.RNG
+}
+
+// NewAvailabilitySampler validates both probability vectors.
+func NewAvailabilitySampler(q, availability []float64, rng *stats.RNG) (*AvailabilitySampler, error) {
+	if len(q) == 0 {
+		return nil, errors.New("fl: empty participation vector")
+	}
+	if len(availability) != len(q) {
+		return nil, errors.New("fl: availability length mismatch")
+	}
+	if rng == nil {
+		return nil, errors.New("fl: nil rng")
+	}
+	for n := range q {
+		if q[n] < 0 || q[n] > 1 {
+			return nil, fmt.Errorf("fl: q[%d] = %v outside [0,1]", n, q[n])
+		}
+		if availability[n] < 0 || availability[n] > 1 {
+			return nil, fmt.Errorf("fl: availability[%d] = %v outside [0,1]", n, availability[n])
+		}
+	}
+	s := &AvailabilitySampler{
+		q:   append([]float64(nil), q...),
+		av:  append([]float64(nil), availability...),
+		rng: rng,
+	}
+	return s, nil
+}
+
+// Sample implements Sampler: the willing-AND-available intersection.
+func (s *AvailabilitySampler) Sample(int) []int {
+	var out []int
+	for n := range s.q {
+		if s.rng.Bernoulli(s.q[n]) && s.rng.Bernoulli(s.av[n]) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// NumClients implements Sampler.
+func (s *AvailabilitySampler) NumClients() int { return len(s.q) }
+
+// EffectiveQ returns the per-client effective participation levels
+// q_n·av_n, the values the unbiased aggregator must divide by.
+func (s *AvailabilitySampler) EffectiveQ() []float64 {
+	out := make([]float64, len(s.q))
+	for n := range out {
+		out[n] = s.q[n] * s.av[n]
+	}
+	return out
+}
+
+var _ Sampler = (*AvailabilitySampler)(nil)

@@ -1,0 +1,86 @@
+// Package fl implements the federated-learning engine of the reproduction:
+// FedAvg-style local SGD with E local steps per round, randomized
+// independent client participation (each client joins round r with its own
+// probability q_n), and the paper's unbiased aggregation rule (Lemma 1)
+// alongside biased baselines. It also estimates the per-client gradient-norm
+// bounds G_n that the convergence bound and the pricing mechanism consume.
+package fl
+
+import (
+	"errors"
+	"math"
+)
+
+// Schedule produces the learning rate for a given round.
+type Schedule interface {
+	LR(round int) float64
+}
+
+// ExpDecay is the experimental schedule from Section VI: η_r = Eta0·Decay^r.
+type ExpDecay struct {
+	Eta0  float64
+	Decay float64
+}
+
+// LR implements Schedule.
+func (s ExpDecay) LR(round int) float64 {
+	return s.Eta0 * math.Pow(s.Decay, float64(round))
+}
+
+// TheoremDecay is the analytical schedule from Theorem 1:
+// η_r = 2 / (max{8L, μE} + μr).
+type TheoremDecay struct {
+	L, Mu float64
+	E     int
+}
+
+// LR implements Schedule.
+func (s TheoremDecay) LR(round int) float64 {
+	return 2 / (math.Max(8*s.L, s.Mu*float64(s.E)) + s.Mu*float64(round))
+}
+
+var (
+	_ Schedule = ExpDecay{}
+	_ Schedule = TheoremDecay{}
+)
+
+// Config holds the training-loop hyperparameters shared by all setups.
+type Config struct {
+	Rounds     int      // R
+	LocalSteps int      // E local SGD iterations per round
+	BatchSize  int      // SGD mini-batch size (paper: 24)
+	Schedule   Schedule // learning-rate schedule
+	EvalEvery  int      // evaluate global loss/accuracy every this many rounds
+	Seed       uint64   // run seed; every client derives a private stream
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Rounds <= 0:
+		return errors.New("fl: rounds must be positive")
+	case c.LocalSteps <= 0:
+		return errors.New("fl: local steps must be positive")
+	case c.BatchSize <= 0:
+		return errors.New("fl: batch size must be positive")
+	case c.Schedule == nil:
+		return errors.New("fl: nil schedule")
+	case c.EvalEvery <= 0:
+		return errors.New("fl: eval interval must be positive")
+	}
+	return nil
+}
+
+// DefaultConfig mirrors the paper's hyperparameters at reduced scale (R and
+// E are dialled down for laptop runs; cmd/flbench exposes flags to restore
+// the paper's R = 1000, E = 100).
+func DefaultConfig() Config {
+	return Config{
+		Rounds:     150,
+		LocalSteps: 10,
+		BatchSize:  24,
+		Schedule:   ExpDecay{Eta0: 0.1, Decay: 0.996},
+		EvalEvery:  5,
+		Seed:       1,
+	}
+}

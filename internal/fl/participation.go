@@ -1,0 +1,138 @@
+package fl
+
+import (
+	"errors"
+	"fmt"
+
+	"unbiasedfl/internal/stats"
+)
+
+// Sampler decides which clients take part in a round.
+type Sampler interface {
+	// Sample returns the indices of participating clients for the round.
+	Sample(round int) []int
+	// NumClients reports the total client population.
+	NumClients() int
+}
+
+// BernoulliSampler implements the paper's randomized independent
+// participation: client n joins each round independently with probability
+// q_n. The sum Σ q_n can be anywhere in (0, N], unlike dependent sampling
+// schemes that force Σ q = 1.
+type BernoulliSampler struct {
+	q   []float64
+	rng *stats.RNG
+}
+
+// NewBernoulliSampler validates q and constructs the sampler.
+func NewBernoulliSampler(q []float64, rng *stats.RNG) (*BernoulliSampler, error) {
+	if len(q) == 0 {
+		return nil, errors.New("fl: empty participation vector")
+	}
+	if rng == nil {
+		return nil, errors.New("fl: nil rng")
+	}
+	for n, qn := range q {
+		if qn < 0 || qn > 1 {
+			return nil, fmt.Errorf("fl: q[%d] = %v outside [0,1]", n, qn)
+		}
+	}
+	cp := make([]float64, len(q))
+	copy(cp, q)
+	return &BernoulliSampler{q: cp, rng: rng}, nil
+}
+
+// Sample implements Sampler.
+func (s *BernoulliSampler) Sample(int) []int {
+	var out []int
+	for n, qn := range s.q {
+		if s.rng.Bernoulli(qn) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// NumClients implements Sampler.
+func (s *BernoulliSampler) NumClients() int { return len(s.q) }
+
+// Q returns a copy of the participation levels.
+func (s *BernoulliSampler) Q() []float64 {
+	cp := make([]float64, len(s.q))
+	copy(cp, s.q)
+	return cp
+}
+
+// EffectiveQ returns the marginal participation probabilities consumed by
+// the unbiased aggregation rule; for plain Bernoulli sampling these are the
+// levels themselves.
+func (s *BernoulliSampler) EffectiveQ() []float64 { return s.Q() }
+
+// FullSampler includes every client in every round (full participation).
+type FullSampler struct {
+	n int
+}
+
+// NewFullSampler returns a sampler over n clients.
+func NewFullSampler(n int) (*FullSampler, error) {
+	if n <= 0 {
+		return nil, errors.New("fl: need at least one client")
+	}
+	return &FullSampler{n: n}, nil
+}
+
+// Sample implements Sampler.
+func (s *FullSampler) Sample(int) []int {
+	out := make([]int, s.n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// NumClients implements Sampler.
+func (s *FullSampler) NumClients() int { return s.n }
+
+// FixedSubsetSampler models the incentive mechanisms the paper argues
+// against ([7]–[14]): a deterministic subset of "valuable" clients is
+// selected once and used for the whole training process.
+type FixedSubsetSampler struct {
+	subset []int
+	n      int
+}
+
+// NewFixedSubsetSampler selects the given client indices every round.
+func NewFixedSubsetSampler(subset []int, numClients int) (*FixedSubsetSampler, error) {
+	if len(subset) == 0 {
+		return nil, errors.New("fl: empty fixed subset")
+	}
+	seen := make(map[int]bool, len(subset))
+	for _, i := range subset {
+		if i < 0 || i >= numClients {
+			return nil, fmt.Errorf("fl: subset index %d out of range", i)
+		}
+		if seen[i] {
+			return nil, fmt.Errorf("fl: duplicate subset index %d", i)
+		}
+		seen[i] = true
+	}
+	cp := make([]int, len(subset))
+	copy(cp, subset)
+	return &FixedSubsetSampler{subset: cp, n: numClients}, nil
+}
+
+// Sample implements Sampler.
+func (s *FixedSubsetSampler) Sample(int) []int {
+	cp := make([]int, len(s.subset))
+	copy(cp, s.subset)
+	return cp
+}
+
+// NumClients implements Sampler.
+func (s *FixedSubsetSampler) NumClients() int { return s.n }
+
+var (
+	_ Sampler = (*BernoulliSampler)(nil)
+	_ Sampler = (*FullSampler)(nil)
+	_ Sampler = (*FixedSubsetSampler)(nil)
+)

@@ -1,0 +1,229 @@
+package fl
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"unbiasedfl/internal/data"
+	"unbiasedfl/internal/model"
+	"unbiasedfl/internal/stats"
+	"unbiasedfl/internal/tensor"
+)
+
+// RoundMetrics records the state of one training round. Loss and accuracy
+// are populated only when Evaluated is true (evaluation is throttled via
+// Config.EvalEvery because a full-train-set evaluation dominates runtime).
+type RoundMetrics struct {
+	Round        int
+	Participants int
+	// ParticipantIDs lists the clients that joined this round; the timing
+	// model consumes it to compute per-round wall-clock durations.
+	ParticipantIDs []int
+	Evaluated      bool
+	GlobalLoss     float64
+	TestAccuracy   float64
+}
+
+// RunResult bundles the full training trajectory with the final model and
+// the per-client mean squared stochastic gradient norms observed along the
+// way (the empirical basis for the G_n estimates of Section IV-A).
+type RunResult struct {
+	History    []RoundMetrics
+	FinalModel tensor.Vec
+	GradSqNorm []float64 // mean ||stochastic gradient||² per client
+	FinalLoss  float64
+	FinalAcc   float64
+}
+
+// Runner executes federated training for one configuration.
+type Runner struct {
+	Model      model.Model
+	Fed        *data.Federated
+	Config     Config
+	Sampler    Sampler
+	Aggregator Aggregator
+	// Parallel enables concurrent local updates across participants. Results
+	// are identical either way because every client owns a private RNG.
+	Parallel bool
+	// OnRound, when non-nil, is invoked after every round with that round's
+	// metrics — a progress hook for long paper-scale runs. It runs on the
+	// training goroutine; keep it fast.
+	OnRound func(RoundMetrics)
+}
+
+// clientState holds per-client mutable state across rounds.
+type clientState struct {
+	rng     *stats.RNG
+	sqNorms stats.Welford
+}
+
+// Run trains for Config.Rounds rounds and returns the trajectory.
+func (r *Runner) Run() (*RunResult, error) {
+	if err := r.validate(); err != nil {
+		return nil, err
+	}
+	nClients := r.Fed.NumClients()
+	root := stats.NewRNG(r.Config.Seed)
+	states := make([]*clientState, nClients)
+	for n := range states {
+		states[n] = &clientState{rng: root.Split()}
+	}
+
+	global := r.Model.ZeroParams()
+	history := make([]RoundMetrics, 0, r.Config.Rounds)
+	q := r.participationLevels()
+
+	for round := 0; round < r.Config.Rounds; round++ {
+		participants := r.Sampler.Sample(round)
+		lr := r.Config.Schedule.LR(round)
+
+		updates, err := r.localUpdates(global, participants, states, lr)
+		if err != nil {
+			return nil, fmt.Errorf("round %d: %w", round, err)
+		}
+		if err := r.Aggregator.Aggregate(global, updates, r.Fed.Weights, q); err != nil {
+			return nil, fmt.Errorf("round %d aggregate: %w", round, err)
+		}
+		if !global.IsFinite() {
+			return nil, fmt.Errorf("round %d: model diverged", round)
+		}
+
+		m := RoundMetrics{
+			Round:          round,
+			Participants:   len(participants),
+			ParticipantIDs: append([]int(nil), participants...),
+		}
+		if (round+1)%r.Config.EvalEvery == 0 || round == r.Config.Rounds-1 {
+			loss, err := r.Model.Loss(global, r.Fed.Train)
+			if err != nil {
+				return nil, err
+			}
+			acc, err := r.Model.Accuracy(global, r.Fed.Test)
+			if err != nil {
+				return nil, err
+			}
+			m.Evaluated = true
+			m.GlobalLoss = loss
+			m.TestAccuracy = acc
+		}
+		history = append(history, m)
+		if r.OnRound != nil {
+			r.OnRound(m)
+		}
+	}
+
+	res := &RunResult{
+		History:    history,
+		FinalModel: global,
+		GradSqNorm: make([]float64, nClients),
+	}
+	for n, st := range states {
+		res.GradSqNorm[n] = st.sqNorms.Mean()
+	}
+	if len(history) > 0 {
+		last := history[len(history)-1]
+		res.FinalLoss = last.GlobalLoss
+		res.FinalAcc = last.TestAccuracy
+	}
+	return res, nil
+}
+
+func (r *Runner) validate() error {
+	switch {
+	case r.Model == nil:
+		return errors.New("fl: nil model")
+	case r.Fed == nil || r.Fed.NumClients() == 0:
+		return errors.New("fl: nil or empty federation")
+	case r.Sampler == nil:
+		return errors.New("fl: nil sampler")
+	case r.Aggregator == nil:
+		return errors.New("fl: nil aggregator")
+	case r.Sampler.NumClients() != r.Fed.NumClients():
+		return fmt.Errorf("fl: sampler covers %d clients, federation has %d",
+			r.Sampler.NumClients(), r.Fed.NumClients())
+	}
+	return r.Config.Validate()
+}
+
+// levelsSampler is implemented by samplers that expose per-client marginal
+// participation probabilities for the unbiased aggregation rule.
+type levelsSampler interface {
+	EffectiveQ() []float64
+}
+
+// participationLevels exposes q to the aggregator. Samplers without explicit
+// levels (full or fixed-subset participation) report q = 1 for every client,
+// under which the unbiased rule reduces to plain weighted averaging.
+func (r *Runner) participationLevels() []float64 {
+	if ls, ok := r.Sampler.(levelsSampler); ok {
+		return ls.EffectiveQ()
+	}
+	q := make([]float64, r.Fed.NumClients())
+	for i := range q {
+		q[i] = 1
+	}
+	return q
+}
+
+// localUpdates runs E steps of local SGD for each participant.
+func (r *Runner) localUpdates(
+	global tensor.Vec, participants []int, states []*clientState, lr float64,
+) ([]Update, error) {
+	updates := make([]Update, len(participants))
+	if !r.Parallel || len(participants) < 2 {
+		for i, n := range participants {
+			u, err := r.localUpdate(global, n, states[n], lr)
+			if err != nil {
+				return nil, err
+			}
+			updates[i] = u
+		}
+		return updates, nil
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(participants))
+	for i, n := range participants {
+		i, n := i, n
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			u, err := r.localUpdate(global, n, states[n], lr)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			updates[i] = u
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return updates, nil
+}
+
+// localUpdate clones the global model and performs E mini-batch SGD steps on
+// the client's shard, recording squared gradient norms for G_n estimation.
+func (r *Runner) localUpdate(global tensor.Vec, n int, st *clientState, lr float64) (Update, error) {
+	shard := r.Fed.Clients[n]
+	w := global.Clone()
+	grad := r.Model.ZeroParams()
+	for e := 0; e < r.Config.LocalSteps; e++ {
+		if err := r.Model.StochasticGradient(w, shard, r.Config.BatchSize, st.rng, grad); err != nil {
+			return Update{}, fmt.Errorf("client %d: %w", n, err)
+		}
+		st.sqNorms.Add(grad.SqNorm())
+		if err := w.AddScaled(-lr, grad); err != nil {
+			return Update{}, err
+		}
+	}
+	delta, err := tensor.Sub(w, global)
+	if err != nil {
+		return Update{}, err
+	}
+	return Update{Client: n, Delta: delta}, nil
+}

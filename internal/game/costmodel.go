@@ -1,0 +1,84 @@
+package game
+
+import "errors"
+
+// This file implements the paper's second future-work item: "we will
+// further refine our cost model by decoupling the local cost into
+// computation and communication consumption". A client's quadratic cost
+// coefficient c_n is derived from measurable device characteristics instead
+// of being an opaque scalar.
+
+// CostComponents prices a device's resources: seconds of computation and
+// seconds of radio time, in the same monetary unit as prices P_n.
+type CostComponents struct {
+	// ComputeSecPrice is the monetary cost of one second of computation.
+	ComputeSecPrice float64
+	// CommSecPrice is the monetary cost of one second of communication.
+	CommSecPrice float64
+	// Opportunity is a device-specific additive cost per unit participation
+	// (the "lost opportunity for joining other activities" of Section III).
+	Opportunity float64
+}
+
+// DeviceProfile is the measurable per-round resource usage of one device.
+type DeviceProfile struct {
+	// ComputeSecPerRound is E local steps' worth of compute time.
+	ComputeSecPerRound float64
+	// CommSecPerRound is the model up+down transfer time.
+	CommSecPerRound float64
+}
+
+// DecoupledCost maps a device profile to the quadratic cost coefficient
+// c_n used by the CPL game: the per-round monetary burn rate of the device,
+// so that cost = c_n q² preserves the paper's convexity in q.
+func DecoupledCost(comp CostComponents, prof DeviceProfile) (float64, error) {
+	switch {
+	case comp.ComputeSecPrice < 0 || comp.CommSecPrice < 0 || comp.Opportunity < 0:
+		return 0, errors.New("game: negative cost component")
+	case prof.ComputeSecPerRound < 0 || prof.CommSecPerRound < 0:
+		return 0, errors.New("game: negative device profile")
+	}
+	c := comp.ComputeSecPrice*prof.ComputeSecPerRound +
+		comp.CommSecPrice*prof.CommSecPerRound +
+		comp.Opportunity
+	if c <= 0 {
+		return 0, errors.New("game: decoupled cost must be positive; set a positive component")
+	}
+	return c, nil
+}
+
+// DecoupledCosts maps a whole fleet at once.
+func DecoupledCosts(comp CostComponents, profiles []DeviceProfile) ([]float64, error) {
+	if len(profiles) == 0 {
+		return nil, errors.New("game: empty fleet")
+	}
+	out := make([]float64, len(profiles))
+	for i, prof := range profiles {
+		c, err := DecoupledCost(comp, prof)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
+// WithDecoupledCosts returns a copy of p whose cost vector is derived from
+// device profiles, keeping everything else fixed. Experiments use it to
+// re-price a fleet after measuring real compute/comm times (e.g. from
+// internal/sim's timing model or the TCP prototype).
+func (p *Params) WithDecoupledCosts(comp CostComponents, profiles []DeviceProfile) (*Params, error) {
+	if len(profiles) != p.N() {
+		return nil, errors.New("game: profile count mismatch")
+	}
+	costs, err := DecoupledCosts(comp, profiles)
+	if err != nil {
+		return nil, err
+	}
+	cp := p.Clone()
+	cp.C = costs
+	if err := cp.Validate(); err != nil {
+		return nil, err
+	}
+	return cp, nil
+}

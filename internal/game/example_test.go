@@ -1,0 +1,83 @@
+package game_test
+
+import (
+	"fmt"
+
+	"unbiasedfl/internal/game"
+	"unbiasedfl/internal/stats"
+)
+
+// ExampleParams_SolveKKT solves a small CPL game and prints the equilibrium
+// structure: clients with identical data quality and cost but different
+// intrinsic values receive different prices, with the high-value client
+// participating less (Theorem 2).
+func ExampleParams_SolveKKT() {
+	p := &game.Params{
+		A:     []float64{0.5, 0.5},
+		G:     []float64{10, 10},
+		C:     []float64{50, 50},
+		V:     []float64{500, 2500},
+		Alpha: 0.5,
+		R:     1000,
+		B:     40,
+		QMax:  1,
+		QMin:  game.DefaultQMin,
+	}
+	eq, err := p.SolveKKT()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("budget tight: %v\n", eq.BudgetTight)
+	fmt.Printf("low-v client participates more: %v\n", eq.Q[0] > eq.Q[1])
+	fmt.Printf("low-v client is paid more: %v\n", eq.P[0] > eq.P[1])
+	// Output:
+	// budget tight: true
+	// low-v client participates more: true
+	// low-v client is paid more: true
+}
+
+// ExampleParams_BestResponse shows a client's Stage-II reaction: the best
+// response rises with the posted price.
+func ExampleParams_BestResponse() {
+	p := &game.Params{
+		A:     []float64{1.0},
+		G:     []float64{5},
+		C:     []float64{20},
+		V:     []float64{100},
+		Alpha: 1,
+		R:     1000,
+		B:     100,
+		QMax:  1,
+		QMin:  game.DefaultQMin,
+	}
+	qLow, _ := p.BestResponse(0, 1)
+	qHigh, _ := p.BestResponse(0, 30)
+	fmt.Printf("higher price, higher participation: %v\n", qHigh > qLow)
+	// Output:
+	// higher price, higher participation: true
+}
+
+// ExampleParams_SolveBayesian prices a market knowing only the prior over
+// private parameters, and confirms the expected spend respects the budget.
+func ExampleParams_SolveBayesian() {
+	p := &game.Params{
+		A:     []float64{0.4, 0.6},
+		G:     []float64{8, 12},
+		C:     []float64{30, 60},
+		V:     []float64{800, 3000}, // true private values, unknown to the server
+		Alpha: 0.5,
+		R:     1000,
+		B:     30,
+		QMax:  1,
+		QMin:  game.DefaultQMin,
+	}
+	out, err := p.SolveBayesian(game.Prior{MeanC: 45, MeanV: 1900}, 500, stats.NewRNG(1))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("expected spend within budget: %v\n", out.ExpectedSpend <= p.B+1e-9)
+	// Output:
+	// expected spend within budget: true
+}

@@ -1,0 +1,203 @@
+package game
+
+import (
+	"errors"
+	"math"
+)
+
+// MSearchOptions controls the paper's two-step solution of Problem P1″
+// (Section V-B): an inner convex solve for each fixed value of the control
+// variable M = Σ c_n q_n², and an outer line search over M with a fixed
+// step size (the paper's ε₀).
+type MSearchOptions struct {
+	GridSteps int // outer line-search resolution over [M_lo, M_hi]
+	Refine    int // local refinement passes around the best grid point
+}
+
+// DefaultMSearchOptions reaches the KKT solution within a fraction of a
+// percent on all repository workloads.
+func DefaultMSearchOptions() MSearchOptions {
+	return MSearchOptions{GridSteps: 64, Refine: 3}
+}
+
+// SolveMSearch reproduces the paper's solution method for Problem P1″: for
+// each candidate M it solves the inner convex problem
+//
+//	min_q Σ (1−q_n) a_n²G_n²/q_n
+//	s.t.  2M − (α/R) Σ v_n a_n²G_n²/q_n ≤ B,   Σ c_n q_n² = M,   q ∈ box
+//
+// exactly via its KKT system (nested bisection over the two multipliers),
+// then line-searches M and prices the winner via eq. 17. The paper invokes
+// CVX for the inner solve; the closed-form KKT structure makes a dedicated
+// solver both exact and dependency-free. SolveMSearch exists primarily as an
+// independent cross-check of SolveKKT.
+func (p *Params) SolveMSearch(opts MSearchOptions) (*Equilibrium, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.GridSteps < 2 || opts.Refine < 0 {
+		return nil, errors.New("game: invalid M-search options")
+	}
+
+	mLo, mHi := 0.0, 0.0
+	for n := 0; n < p.N(); n++ {
+		mLo += p.C[n] * p.QMin * p.QMin
+		mHi += p.C[n] * p.QMax * p.QMax
+	}
+
+	evaluate := func(m float64) ([]float64, float64, bool) {
+		q, ok := p.innerSolve(m)
+		if !ok {
+			return nil, math.Inf(1), false
+		}
+		spent, err := p.spendAt(q)
+		if err != nil || spent > p.B*(1+1e-9)+1e-9 {
+			return nil, math.Inf(1), false
+		}
+		obj, err := p.ServerObjective(q)
+		if err != nil {
+			return nil, math.Inf(1), false
+		}
+		return q, obj, true
+	}
+
+	lo, hi := mLo, mHi
+	var bestQ []float64
+	bestObj := math.Inf(1)
+	for pass := 0; pass <= opts.Refine; pass++ {
+		var bestM float64
+		found := false
+		for step := 0; step <= opts.GridSteps; step++ {
+			m := lo + (hi-lo)*float64(step)/float64(opts.GridSteps)
+			q, obj, ok := evaluate(m)
+			if ok && obj < bestObj {
+				bestObj = obj
+				bestQ = q
+				bestM = m
+				found = true
+			}
+		}
+		if !found {
+			break
+		}
+		// Zoom into the neighbourhood of the winner for the next pass.
+		width := (hi - lo) / float64(opts.GridSteps)
+		lo = math.Max(mLo, bestM-2*width)
+		hi = math.Min(mHi, bestM+2*width)
+	}
+	if bestQ == nil {
+		return nil, errors.New("game: M-search found no feasible point")
+	}
+	spent, err := p.spendAt(bestQ)
+	if err != nil {
+		return nil, err
+	}
+	tight := math.Abs(spent-p.B) < 0.05*math.Max(1, math.Abs(p.B))
+	return p.finishEquilibrium(bestQ, 0, tight)
+}
+
+// innerSolve solves the fixed-M inner problem exactly through its KKT
+// system. Stationarity gives q_i³ = D_i (1 − θ (α/R) v_i) / (2 ψ c_i) with
+// θ ≥ 0 the budget multiplier and ψ ≥ 0 the multiplier of the equality
+// Σ c q² = M. For fixed θ, Σ c q(θ,ψ)² is strictly decreasing in ψ, so ψ is
+// found by bisection; the budget slack is then monotone decreasing in θ, so
+// θ is found by an outer bisection. Returns ok=false when no feasible point
+// exists for this M.
+func (p *Params) innerSolve(m float64) ([]float64, bool) {
+	n := p.N()
+
+	qAt := func(theta, psi float64) []float64 {
+		q := make([]float64, n)
+		for i := 0; i < n; i++ {
+			numer := p.DataQuality(i) * (1 - theta*p.Alpha/p.R*p.V[i])
+			if numer <= 0 || psi <= 0 {
+				if numer <= 0 {
+					q[i] = p.QMin
+				} else {
+					q[i] = p.QMax
+				}
+				continue
+			}
+			q[i] = clamp(cbrt(numer/(2*psi*p.C[i])), p.QMin, p.QMax)
+		}
+		return q
+	}
+	costAt := func(q []float64) float64 {
+		var s float64
+		for i, qi := range q {
+			s += p.C[i] * qi * qi
+		}
+		return s
+	}
+	// solvePsi finds psi achieving Σ c q² = M for the given theta.
+	solvePsi := func(theta float64) []float64 {
+		if costAt(qAt(theta, 0)) <= m {
+			// Even the ceiling cannot reach M (possible after clamping
+			// high-v clients to QMin); return the closest achievable point.
+			return qAt(theta, 0)
+		}
+		loPsi, hiPsi := 0.0, 1.0
+		for costAt(qAt(theta, hiPsi)) > m {
+			hiPsi *= 4
+			if hiPsi > 1e18 {
+				break
+			}
+		}
+		for it := 0; it < 120; it++ {
+			mid := 0.5 * (loPsi + hiPsi)
+			if mid == loPsi || mid == hiPsi {
+				break
+			}
+			if costAt(qAt(theta, mid)) > m {
+				loPsi = mid
+			} else {
+				hiPsi = mid
+			}
+		}
+		return qAt(theta, 0.5*(loPsi+hiPsi))
+	}
+	budgetSlack := func(q []float64) float64 {
+		var intr float64
+		for i, qi := range q {
+			intr += p.V[i] * p.DataQuality(i) / qi
+		}
+		return p.B - (2*m - p.Alpha/p.R*intr)
+	}
+
+	q0 := solvePsi(0)
+	if budgetSlack(q0) >= 0 {
+		return q0, true
+	}
+	// Need θ > 0. Raising θ suppresses high-v clients, raising Σ v D / q and
+	// restoring feasibility — unless no v is positive, in which case this M
+	// is simply unaffordable.
+	anyV := false
+	for _, v := range p.V {
+		if v > 0 {
+			anyV = true
+			break
+		}
+	}
+	if !anyV {
+		return nil, false
+	}
+	loTh, hiTh := 0.0, 1.0
+	for budgetSlack(solvePsi(hiTh)) < 0 {
+		hiTh *= 4
+		if hiTh > 1e18 {
+			return nil, false
+		}
+	}
+	for it := 0; it < 120; it++ {
+		mid := 0.5 * (loTh + hiTh)
+		if mid == loTh || mid == hiTh {
+			break
+		}
+		if budgetSlack(solvePsi(mid)) < 0 {
+			loTh = mid
+		} else {
+			hiTh = mid
+		}
+	}
+	return solvePsi(hiTh), true
+}

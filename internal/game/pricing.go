@@ -1,0 +1,180 @@
+package game
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Scheme identifies a pricing strategy for the Stage-I server decision.
+type Scheme int
+
+// Pricing schemes compared in Section VI.
+const (
+	// SchemeOptimal is the paper's mechanism: the Stackelberg-equilibrium
+	// customized prices from SolveKKT.
+	SchemeOptimal Scheme = iota + 1
+	// SchemeUniform sets one common price for every client (benchmark P^u).
+	SchemeUniform
+	// SchemeWeighted sets prices proportional to client data size
+	// (benchmark P^w).
+	SchemeWeighted
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeOptimal:
+		return "proposed"
+	case SchemeUniform:
+		return "uniform"
+	case SchemeWeighted:
+		return "weighted"
+	default:
+		return fmt.Sprintf("scheme(%d)", int(s))
+	}
+}
+
+// Outcome is a priced market state: the prices posted by the server and the
+// clients' best-response participation levels, with spend diagnostics.
+type Outcome struct {
+	Scheme Scheme
+	P      []float64
+	Q      []float64
+	Spent  float64
+	// ServerObj is the Theorem-1 bound term attained by Q; lower is better.
+	ServerObj float64
+}
+
+// SolveScheme prices the market under the given scheme and returns the
+// resulting outcome. The benchmark schemes exhaust the same budget B the
+// optimal mechanism uses (the paper compares all schemes "under the same
+// budget").
+func (p *Params) SolveScheme(s Scheme) (*Outcome, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	switch s {
+	case SchemeOptimal:
+		eq, err := p.SolveKKT()
+		if err != nil {
+			return nil, err
+		}
+		obj, err := p.ServerObjective(eq.Q)
+		if err != nil {
+			return nil, err
+		}
+		return &Outcome{Scheme: s, P: eq.P, Q: eq.Q, Spent: eq.Spent, ServerObj: obj}, nil
+	case SchemeUniform:
+		return p.solveScaled(s, func(scale float64) []float64 {
+			prices := make([]float64, p.N())
+			for i := range prices {
+				prices[i] = scale
+			}
+			return prices
+		})
+	case SchemeWeighted:
+		return p.solveScaled(s, func(scale float64) []float64 {
+			prices := make([]float64, p.N())
+			for i := range prices {
+				prices[i] = scale * p.A[i] * float64(p.N())
+			}
+			return prices
+		})
+	default:
+		return nil, fmt.Errorf("game: unknown scheme %v", s)
+	}
+}
+
+// solveScaled finds the largest nonnegative price scale whose induced spend
+// stays within budget, by bisection. Spend is nondecreasing in the scale:
+// higher prices induce (weakly) higher best responses and higher payments.
+func (p *Params) solveScaled(s Scheme, priceAt func(scale float64) []float64) (*Outcome, error) {
+	spend := func(scale float64) (float64, []float64, []float64, error) {
+		prices := priceAt(scale)
+		q, err := p.BestResponseAll(prices)
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		total, err := TotalPayment(prices, q)
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		return total, prices, q, nil
+	}
+
+	// At scale 0 the spend is 0 <= B. Expand until over budget or saturated.
+	hi := 1.0
+	for i := 0; ; i++ {
+		total, _, q, err := spend(hi)
+		if err != nil {
+			return nil, err
+		}
+		if total > p.B {
+			break
+		}
+		saturated := true
+		for n, qn := range q {
+			if qn < p.QMax-1e-12 && p.A[n] > 0 {
+				saturated = false
+				break
+			}
+		}
+		if saturated {
+			// Everyone participates fully; no reason to raise prices more.
+			return p.outcomeAt(s, priceAt(hi), q)
+		}
+		hi *= 4
+		if i > 200 {
+			return nil, errors.New("game: failed to bracket pricing scale")
+		}
+	}
+	lo := 0.0
+	for i := 0; i < 200; i++ {
+		mid := 0.5 * (lo + hi)
+		if mid == lo || mid == hi {
+			break
+		}
+		total, _, _, err := spend(mid)
+		if err != nil {
+			return nil, err
+		}
+		if total > p.B {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	total, prices, q, err := spend(lo)
+	if err != nil {
+		return nil, err
+	}
+	if total > p.B+1e-6*math.Max(1, p.B) {
+		return nil, errors.New("game: scaled pricing exceeded budget")
+	}
+	return p.outcomeAt(s, prices, q)
+}
+
+func (p *Params) outcomeAt(s Scheme, prices, q []float64) (*Outcome, error) {
+	total, err := TotalPayment(prices, q)
+	if err != nil {
+		return nil, err
+	}
+	// A client priced out entirely (q_n = 0) makes the Theorem-1 bound
+	// diverge: the model can never become unbiased without its data.
+	obj := math.Inf(1)
+	positive := true
+	for _, qn := range q {
+		if qn <= 0 {
+			positive = false
+			break
+		}
+	}
+	if positive {
+		obj, err = p.ServerObjective(q)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Outcome{Scheme: s, P: prices, Q: q, Spent: total, ServerObj: obj}, nil
+}

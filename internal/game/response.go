@@ -1,0 +1,141 @@
+package game
+
+import (
+	"fmt"
+	"math"
+)
+
+// marginalUtility is the Stage-II first-order condition (eq. 13):
+// f(q) = P_n + v_n (α/R) a_n²G_n²/q² − 2 c_n q. It is strictly decreasing in
+// q on (0, ∞), so the client's utility is strictly concave in q and the best
+// response is the unique root clamped to [0, q_max].
+func (p *Params) marginalUtility(n int, price, q float64) float64 {
+	return price + p.intrinsicGain(n)/(q*q) - 2*p.C[n]*q
+}
+
+// BestResponse returns client n's optimal participation level under price
+// Pn: the unique maximizer of U_n(q) = P q − c q² + v·(const − bound(q)) on
+// [0, QMax].
+func (p *Params) BestResponse(n int, price float64) (float64, error) {
+	if n < 0 || n >= p.N() {
+		return 0, fmt.Errorf("game: client index %d out of range", n)
+	}
+	k := p.intrinsicGain(n)
+	if k == 0 {
+		// No intrinsic value: U = Pq − cq², maximized at P/(2c).
+		q := price / (2 * p.C[n])
+		return clamp(q, 0, p.QMax), nil
+	}
+	// f(0+) = +∞ and f is strictly decreasing, so a unique positive root
+	// exists. If f(QMax) >= 0 the client saturates at the ceiling.
+	if p.marginalUtility(n, price, p.QMax) >= 0 {
+		return p.QMax, nil
+	}
+	lo, hi := 0.0, p.QMax // f(lo+) > 0, f(hi) < 0
+	for i := 0; i < 200; i++ {
+		mid := 0.5 * (lo + hi)
+		if mid == lo || mid == hi {
+			break
+		}
+		if p.marginalUtility(n, price, mid) > 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return 0.5 * (lo + hi), nil
+}
+
+// BestResponseAll evaluates every client's best response to a price vector.
+func (p *Params) BestResponseAll(prices []float64) ([]float64, error) {
+	if len(prices) != p.N() {
+		return nil, fmt.Errorf("game: %d prices for %d clients", len(prices), p.N())
+	}
+	q := make([]float64, p.N())
+	for n := range q {
+		qn, err := p.BestResponse(n, prices[n])
+		if err != nil {
+			return nil, err
+		}
+		q[n] = qn
+	}
+	return q, nil
+}
+
+// PriceFor inverts the best response (eq. 17): the price that makes q the
+// client's optimal interior choice, P_n(q) = 2 c_n q − v_n (α/R) a_n²G_n²/q².
+func (p *Params) PriceFor(n int, q float64) (float64, error) {
+	if n < 0 || n >= p.N() {
+		return 0, fmt.Errorf("game: client index %d out of range", n)
+	}
+	if q <= 0 {
+		return 0, fmt.Errorf("game: price undefined at q = %v", q)
+	}
+	return 2*p.C[n]*q - p.intrinsicGain(n)/(q*q), nil
+}
+
+// Payment returns client n's payment P_n q_n at (price, q); negative values
+// mean the client pays the server (Theorem 3's bi-directional payment).
+func Payment(price, q float64) float64 { return price * q }
+
+// TotalPayment returns Σ P_n q_n.
+func TotalPayment(prices, q []float64) (float64, error) {
+	if len(prices) != len(q) {
+		return 0, fmt.Errorf("game: %d prices for %d levels", len(prices), len(q))
+	}
+	var s float64
+	for i := range prices {
+		s += prices[i] * q[i]
+	}
+	return s, nil
+}
+
+// ClientUtility evaluates U_n at a full profile (prices, q). improvement is
+// F(w*_n) − F* for client n (0 if unknown; it shifts utility by a
+// scheme-independent constant). The bound term couples every client's
+// utility to the whole q vector through the convergence bound.
+func (p *Params) ClientUtility(n int, price float64, q []float64, improvement float64) (float64, error) {
+	if n < 0 || n >= p.N() {
+		return 0, fmt.Errorf("game: client index %d out of range", n)
+	}
+	bound, err := p.Bound(q)
+	if err != nil {
+		return 0, err
+	}
+	qn := q[n]
+	return price*qn - p.C[n]*qn*qn + p.V[n]*(improvement-bound), nil
+}
+
+// TotalClientUtility sums ClientUtility over all clients with improvements
+// (nil means zero for everyone).
+func (p *Params) TotalClientUtility(prices, q, improvements []float64) (float64, error) {
+	if improvements != nil && len(improvements) != p.N() {
+		return 0, fmt.Errorf("game: %d improvements for %d clients", len(improvements), p.N())
+	}
+	var total float64
+	for n := 0; n < p.N(); n++ {
+		imp := 0.0
+		if improvements != nil {
+			imp = improvements[n]
+		}
+		u, err := p.ClientUtility(n, prices[n], q, imp)
+		if err != nil {
+			return 0, err
+		}
+		total += u
+	}
+	return total, nil
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// cbrt is a sign-preserving cube root helper.
+func cbrt(x float64) float64 { return math.Cbrt(x) }

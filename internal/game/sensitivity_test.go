@@ -1,0 +1,75 @@
+package game
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAnalyzeSensitivitySigns(t *testing.T) {
+	p := testParams(t, 61, 15, 50, 4000, 200)
+	s, err := p.AnalyzeSensitivity(SensitivityOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tolerance absorbs finite-difference noise near box boundaries.
+	if err := p.CheckPredictedSigns(s, 1e-4); err != nil {
+		t.Fatal(err)
+	}
+	// At least one client should respond to budget at a binding optimum.
+	var anyPositive bool
+	for _, d := range s.DQDBudget {
+		if d > 1e-9 {
+			anyPositive = true
+			break
+		}
+	}
+	if !anyPositive {
+		t.Fatal("no client responds to budget despite a binding constraint")
+	}
+	if s.DBoundDBudget >= 0 {
+		t.Fatalf("marginal value of budget %v should be negative", s.DBoundDBudget)
+	}
+}
+
+func TestAnalyzeSensitivityMarginalBudgetValue(t *testing.T) {
+	// The finite-difference marginal bound improvement must be consistent
+	// with the actual improvement of a discrete budget increase.
+	p := testParams(t, 62, 12, 50, 4000, 150)
+	s, err := p.AnalyzeSensitivity(SensitivityOptions{RelStep: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := p.SolveKKT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bumped := p.Clone()
+	const db = 1.0
+	bumped.B += db
+	eq2, err := bumped.SolveKKT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	discrete := eq2.ServerObj - base.ServerObj
+	predicted := s.DBoundDBudget * db
+	// Same sign and same order of magnitude.
+	if discrete > 0 {
+		t.Fatalf("discrete budget increase worsened the bound: %v", discrete)
+	}
+	if predicted > 0 {
+		t.Fatalf("predicted marginal value positive: %v", predicted)
+	}
+	if math.Abs(discrete) > 1e-12 && (math.Abs(predicted) < math.Abs(discrete)/10 ||
+		math.Abs(predicted) > math.Abs(discrete)*10) {
+		t.Fatalf("marginal value %v inconsistent with discrete change %v", predicted, discrete)
+	}
+}
+
+func TestAnalyzeSensitivityValidation(t *testing.T) {
+	p := testParams(t, 63, 4, 50, 4000, 200)
+	bad := p.Clone()
+	bad.A = nil
+	if _, err := bad.AnalyzeSensitivity(SensitivityOptions{}); err == nil {
+		t.Fatal("expected validation error")
+	}
+}

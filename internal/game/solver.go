@@ -1,0 +1,189 @@
+package game
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Equilibrium is a solved Stackelberg equilibrium of the CPL game.
+type Equilibrium struct {
+	Q      []float64 // participation levels q*
+	P      []float64 // prices P* (eq. 17); negative means the client pays
+	Lambda float64   // budget multiplier λ*; 0 when the budget is slack
+	Spent  float64   // Σ P*_n q*_n
+	// ServerObj is g(q*) = (α/R) Σ (1−q_n) a²G²/q, the bound term the server
+	// minimizes; lower is better.
+	ServerObj float64
+	// BudgetTight reports whether the budget constraint binds (Lemma 3: it
+	// does whenever the unconstrained optimum q = qmax is unaffordable).
+	BudgetTight bool
+}
+
+// Vt returns the payment-direction threshold v_t = 1/(3λ*) from Theorem 3.
+// Clients with v_n < v_t receive money (P_n > 0); clients with v_n > v_t pay
+// the server. It returns +Inf when the budget is slack (λ* = 0: everyone can
+// be paid to the ceiling).
+func (e *Equilibrium) Vt() float64 {
+	if e.Lambda <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / (3 * e.Lambda)
+}
+
+// NegativePayments counts clients with P_n < 0 (they pay the server), the
+// quantity reported in the paper's Table V.
+func (e *Equilibrium) NegativePayments() int {
+	count := 0
+	for _, p := range e.P {
+		if p < 0 {
+			count++
+		}
+	}
+	return count
+}
+
+// qOfLambda evaluates the KKT stationarity condition (eq. 22) for client n:
+// interior optima satisfy 1/λ = (4R/α)·c_n q³/(a_n²G_n²) + v_n, i.e.
+// q_n(λ) = cbrt( (α a_n²G_n² / (4R c_n)) · (1/λ − v_n) ), clamped to the box.
+func (p *Params) qOfLambda(n int, lambda float64) float64 {
+	if lambda <= 0 {
+		return p.QMax
+	}
+	slack := 1/lambda - p.V[n]
+	if slack <= 0 {
+		return p.QMin
+	}
+	q := cbrt(p.Alpha * p.DataQuality(n) / (4 * p.R * p.C[n]) * slack)
+	return clamp(q, p.QMin, p.QMax)
+}
+
+// spendAt computes the total payment Σ P_n(q_n) q_n when every client is
+// held at its eq.-17 price for the given q vector.
+func (p *Params) spendAt(q []float64) (float64, error) {
+	var s float64
+	for n, qn := range q {
+		price, err := p.PriceFor(n, qn)
+		if err != nil {
+			return 0, err
+		}
+		s += price * qn
+	}
+	return s, nil
+}
+
+// qVecOfLambda evaluates qOfLambda for all clients.
+func (p *Params) qVecOfLambda(lambda float64) []float64 {
+	q := make([]float64, p.N())
+	for n := range q {
+		q[n] = p.qOfLambda(n, lambda)
+	}
+	return q
+}
+
+// SolveKKT computes the Stackelberg equilibrium by bisecting the budget
+// multiplier λ in the KKT system of Problem P1′. Client payments
+// P_n(q) q = 2 c_n q² − (α/R) v_n a_n²G_n²/q are strictly increasing in q
+// and q_n(λ) is nonincreasing in λ, so total spend is monotone in λ and the
+// bisection is exact up to floating-point resolution.
+func (p *Params) SolveKKT() (*Equilibrium, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	// Budget slack case: paying everyone to the ceiling is affordable.
+	qMaxVec := p.qVecOfLambda(0)
+	spentMax, err := p.spendAt(qMaxVec)
+	if err != nil {
+		return nil, err
+	}
+	if spentMax <= p.B {
+		return p.finishEquilibrium(qMaxVec, 0, false)
+	}
+
+	// Bracket λ: spend(λ→0) = spentMax > B; grow λ until spend <= B.
+	lo := 0.0
+	hi := 1.0
+	for i := 0; ; i++ {
+		spent, err := p.spendAt(p.qVecOfLambda(hi))
+		if err != nil {
+			return nil, err
+		}
+		if spent <= p.B {
+			break
+		}
+		lo = hi
+		hi *= 4
+		if i > 200 {
+			return nil, errors.New("game: failed to bracket budget multiplier")
+		}
+	}
+	for i := 0; i < 200; i++ {
+		mid := 0.5 * (lo + hi)
+		if mid == lo || mid == hi {
+			break
+		}
+		spent, err := p.spendAt(p.qVecOfLambda(mid))
+		if err != nil {
+			return nil, err
+		}
+		if spent > p.B {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	lambda := 0.5 * (lo + hi)
+	return p.finishEquilibrium(p.qVecOfLambda(lambda), lambda, true)
+}
+
+// finishEquilibrium derives prices and diagnostics from a solved q vector.
+func (p *Params) finishEquilibrium(q []float64, lambda float64, tight bool) (*Equilibrium, error) {
+	prices := make([]float64, p.N())
+	for n, qn := range q {
+		price, err := p.PriceFor(n, qn)
+		if err != nil {
+			return nil, err
+		}
+		prices[n] = price
+	}
+	spent, err := TotalPayment(prices, q)
+	if err != nil {
+		return nil, err
+	}
+	obj, err := p.ServerObjective(q)
+	if err != nil {
+		return nil, err
+	}
+	return &Equilibrium{
+		Q:           q,
+		P:           prices,
+		Lambda:      lambda,
+		Spent:       spent,
+		ServerObj:   obj,
+		BudgetTight: tight,
+	}, nil
+}
+
+// CheckConsistency verifies that an equilibrium is self-consistent: every
+// client's best response to its price reproduces q (up to tol), and the
+// spend respects the budget (up to tol·max(1,|B|)).
+func (p *Params) CheckConsistency(e *Equilibrium, tol float64) error {
+	if e == nil {
+		return errors.New("game: nil equilibrium")
+	}
+	for n, qn := range e.Q {
+		br, err := p.BestResponse(n, e.P[n])
+		if err != nil {
+			return err
+		}
+		// Interior points must match exactly; boundary points match the
+		// clamped response.
+		if math.Abs(br-qn) > tol {
+			return fmt.Errorf("game: client %d best response %v != q %v", n, br, qn)
+		}
+	}
+	if e.Spent > p.B+tol*math.Max(1, math.Abs(p.B)) {
+		return fmt.Errorf("game: spend %v exceeds budget %v", e.Spent, p.B)
+	}
+	return nil
+}

@@ -1,0 +1,219 @@
+// Package model implements the paper's learning model: multinomial logistic
+// regression with L2 regularization. With regularization strength mu > 0 the
+// local objectives F_n are mu-strongly convex and L-smooth, matching
+// Assumption 1 of the paper, and the stochastic mini-batch gradients are
+// unbiased with bounded variance and bounded expected squared norm
+// (Assumptions 2 and 3).
+package model
+
+import (
+	"errors"
+	"fmt"
+
+	"unbiasedfl/internal/data"
+	"unbiasedfl/internal/stats"
+	"unbiasedfl/internal/tensor"
+)
+
+// LogisticRegression describes the model family: Dim input features, Classes
+// outputs, and an L2 regularization coefficient Mu (the strong-convexity
+// modulus). Parameters are flattened into a single tensor.Vec of length
+// Classes*Dim + Classes (weights row-major, then biases), which is the wire
+// and aggregation format used by the FL engine.
+type LogisticRegression struct {
+	Dim     int
+	Classes int
+	Mu      float64
+}
+
+// NewLogisticRegression validates and constructs the model family.
+func NewLogisticRegression(dim, classes int, mu float64) (*LogisticRegression, error) {
+	switch {
+	case dim <= 0:
+		return nil, errors.New("model: dim must be positive")
+	case classes <= 1:
+		return nil, errors.New("model: need at least two classes")
+	case mu < 0:
+		return nil, errors.New("model: negative regularization")
+	}
+	return &LogisticRegression{Dim: dim, Classes: classes, Mu: mu}, nil
+}
+
+// NumParams returns the flattened parameter length.
+func (m *LogisticRegression) NumParams() int { return m.Classes*m.Dim + m.Classes }
+
+// ZeroParams returns the w0 = 0 initialization used by the paper.
+func (m *LogisticRegression) ZeroParams() tensor.Vec { return tensor.NewVec(m.NumParams()) }
+
+// weightAt returns the weight for class c, feature j from flattened params.
+func (m *LogisticRegression) weightAt(w tensor.Vec, c, j int) float64 {
+	return w[c*m.Dim+j]
+}
+
+// biasAt returns the bias for class c.
+func (m *LogisticRegression) biasAt(w tensor.Vec, c int) float64 {
+	return w[m.Classes*m.Dim+c]
+}
+
+// Logits computes the class scores for input x into out (length Classes).
+func (m *LogisticRegression) Logits(w tensor.Vec, x []float64, out tensor.Vec) error {
+	if len(w) != m.NumParams() {
+		return fmt.Errorf("model: params length %d, want %d", len(w), m.NumParams())
+	}
+	if len(x) != m.Dim {
+		return fmt.Errorf("model: input dim %d, want %d", len(x), m.Dim)
+	}
+	if len(out) != m.Classes {
+		return errors.New("model: logits buffer size mismatch")
+	}
+	for c := 0; c < m.Classes; c++ {
+		row := w[c*m.Dim : (c+1)*m.Dim]
+		var s float64
+		for j, rj := range row {
+			s += rj * x[j]
+		}
+		out[c] = s + m.biasAt(w, c)
+	}
+	return nil
+}
+
+// Loss returns the regularized average cross-entropy of w on ds:
+// F(w) = (1/n) Σ -log softmax(Wx+b)[y] + (mu/2)||w||².
+func (m *LogisticRegression) Loss(w tensor.Vec, ds *data.Dataset) (float64, error) {
+	if ds.Len() == 0 {
+		return 0, errors.New("model: loss on empty dataset")
+	}
+	logits := make(tensor.Vec, m.Classes)
+	var sum float64
+	for i := range ds.X {
+		if err := m.Logits(w, ds.X[i], logits); err != nil {
+			return 0, err
+		}
+		lse, err := tensor.LogSumExp(logits)
+		if err != nil {
+			return 0, err
+		}
+		sum += lse - logits[ds.Y[i]]
+	}
+	return sum/float64(ds.Len()) + 0.5*m.Mu*w.SqNorm(), nil
+}
+
+// Gradient computes the full-batch gradient of Loss at w into grad.
+func (m *LogisticRegression) Gradient(w tensor.Vec, ds *data.Dataset, grad tensor.Vec) error {
+	if ds.Len() == 0 {
+		return errors.New("model: gradient on empty dataset")
+	}
+	idx := make([]int, ds.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	return m.batchGradient(w, ds, idx, grad)
+}
+
+// StochasticGradient computes an unbiased mini-batch gradient at w using
+// batchSize samples drawn uniformly with replacement from ds.
+func (m *LogisticRegression) StochasticGradient(
+	w tensor.Vec, ds *data.Dataset, batchSize int, r *stats.RNG, grad tensor.Vec,
+) error {
+	if ds.Len() == 0 {
+		return errors.New("model: gradient on empty dataset")
+	}
+	if batchSize <= 0 {
+		return errors.New("model: non-positive batch size")
+	}
+	if batchSize > ds.Len() {
+		batchSize = ds.Len()
+	}
+	idx := make([]int, batchSize)
+	for i := range idx {
+		idx[i] = r.Intn(ds.Len())
+	}
+	return m.batchGradient(w, ds, idx, grad)
+}
+
+// batchGradient accumulates the average gradient over the given sample
+// indices plus the L2 term.
+func (m *LogisticRegression) batchGradient(w tensor.Vec, ds *data.Dataset, idx []int, grad tensor.Vec) error {
+	if len(grad) != m.NumParams() {
+		return errors.New("model: gradient buffer size mismatch")
+	}
+	grad.Zero()
+	probs := make(tensor.Vec, m.Classes)
+	inv := 1.0 / float64(len(idx))
+	for _, i := range idx {
+		x := ds.X[i]
+		if err := m.Logits(w, x, probs); err != nil {
+			return err
+		}
+		if err := tensor.SoftmaxInPlace(probs); err != nil {
+			return err
+		}
+		probs[ds.Y[i]] -= 1 // softmax - onehot
+		for c := 0; c < m.Classes; c++ {
+			pc := inv * probs[c]
+			row := grad[c*m.Dim : (c+1)*m.Dim]
+			for j := range row {
+				row[j] += pc * x[j]
+			}
+			grad[m.Classes*m.Dim+c] += pc
+		}
+	}
+	if m.Mu > 0 {
+		if err := grad.AddScaled(m.Mu, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Predict returns the argmax class for x.
+func (m *LogisticRegression) Predict(w tensor.Vec, x []float64) (int, error) {
+	logits := make(tensor.Vec, m.Classes)
+	if err := m.Logits(w, x, logits); err != nil {
+		return 0, err
+	}
+	return tensor.ArgMax(logits)
+}
+
+// Accuracy returns the fraction of ds classified correctly by w.
+func (m *LogisticRegression) Accuracy(w tensor.Vec, ds *data.Dataset) (float64, error) {
+	if ds.Len() == 0 {
+		return 0, errors.New("model: accuracy on empty dataset")
+	}
+	correct := 0
+	logits := make(tensor.Vec, m.Classes)
+	for i := range ds.X {
+		if err := m.Logits(w, ds.X[i], logits); err != nil {
+			return 0, err
+		}
+		pred, err := tensor.ArgMax(logits)
+		if err != nil {
+			return 0, err
+		}
+		if pred == ds.Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(ds.Len()), nil
+}
+
+// EstimateSmoothness returns an upper bound on the smoothness constant L of
+// the regularized loss on ds. For softmax cross-entropy the Hessian spectral
+// norm is at most (1/2)·max_i ||x_i||² (plus 1 for the bias coordinate) plus
+// mu. This feeds α = 8LE/μ² in the convergence bound.
+func (m *LogisticRegression) EstimateSmoothness(ds *data.Dataset) (float64, error) {
+	if ds.Len() == 0 {
+		return 0, errors.New("model: smoothness on empty dataset")
+	}
+	var maxSq float64
+	for _, x := range ds.X {
+		var s float64
+		for _, xi := range x {
+			s += xi * xi
+		}
+		if s > maxSq {
+			maxSq = s
+		}
+	}
+	return 0.5*(maxSq+1) + m.Mu, nil
+}

@@ -1,0 +1,199 @@
+package model
+
+import (
+	"errors"
+	"fmt"
+
+	"unbiasedfl/internal/data"
+	"unbiasedfl/internal/stats"
+	"unbiasedfl/internal/tensor"
+)
+
+// RidgeRegression is the second convex model family of the paper's
+// Assumption-1 examples: one-hot least-squares (multi-output ridge)
+// classification. The objective on a shard is
+//
+//	F(w) = (1/2n) Σ_i ‖Wx_i + b − onehot(y_i)‖² + (μ/2)‖w‖²,
+//
+// which is μ-strongly convex and L-smooth with L ≤ max‖x̃‖² + μ. Parameters
+// share the flattened layout of LogisticRegression (weights row-major, then
+// biases), so the two families are drop-in interchangeable everywhere the
+// Model interface is used.
+type RidgeRegression struct {
+	Dim     int
+	Classes int
+	Mu      float64
+}
+
+// NewRidgeRegression validates and constructs the model family.
+func NewRidgeRegression(dim, classes int, mu float64) (*RidgeRegression, error) {
+	switch {
+	case dim <= 0:
+		return nil, errors.New("model: dim must be positive")
+	case classes <= 1:
+		return nil, errors.New("model: need at least two classes")
+	case mu < 0:
+		return nil, errors.New("model: negative regularization")
+	}
+	return &RidgeRegression{Dim: dim, Classes: classes, Mu: mu}, nil
+}
+
+// NumParams implements Model.
+func (m *RidgeRegression) NumParams() int { return m.Classes*m.Dim + m.Classes }
+
+// ZeroParams implements Model.
+func (m *RidgeRegression) ZeroParams() tensor.Vec { return tensor.NewVec(m.NumParams()) }
+
+// StrongConvexity implements Model.
+func (m *RidgeRegression) StrongConvexity() float64 { return m.Mu }
+
+// scores computes the linear outputs Wx + b into out.
+func (m *RidgeRegression) scores(w tensor.Vec, x []float64, out tensor.Vec) error {
+	if len(w) != m.NumParams() {
+		return fmt.Errorf("model: params length %d, want %d", len(w), m.NumParams())
+	}
+	if len(x) != m.Dim {
+		return fmt.Errorf("model: input dim %d, want %d", len(x), m.Dim)
+	}
+	if len(out) != m.Classes {
+		return errors.New("model: scores buffer size mismatch")
+	}
+	for c := 0; c < m.Classes; c++ {
+		row := w[c*m.Dim : (c+1)*m.Dim]
+		var s float64
+		for j, rj := range row {
+			s += rj * x[j]
+		}
+		out[c] = s + w[m.Classes*m.Dim+c]
+	}
+	return nil
+}
+
+// Loss implements Model.
+func (m *RidgeRegression) Loss(w tensor.Vec, ds *data.Dataset) (float64, error) {
+	if ds.Len() == 0 {
+		return 0, errors.New("model: loss on empty dataset")
+	}
+	scores := make(tensor.Vec, m.Classes)
+	var sum float64
+	for i := range ds.X {
+		if err := m.scores(w, ds.X[i], scores); err != nil {
+			return 0, err
+		}
+		for c := 0; c < m.Classes; c++ {
+			target := 0.0
+			if c == ds.Y[i] {
+				target = 1.0
+			}
+			d := scores[c] - target
+			sum += 0.5 * d * d
+		}
+	}
+	return sum/float64(ds.Len()) + 0.5*m.Mu*w.SqNorm(), nil
+}
+
+// Gradient implements Model.
+func (m *RidgeRegression) Gradient(w tensor.Vec, ds *data.Dataset, grad tensor.Vec) error {
+	if ds.Len() == 0 {
+		return errors.New("model: gradient on empty dataset")
+	}
+	idx := make([]int, ds.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	return m.batchGradient(w, ds, idx, grad)
+}
+
+// StochasticGradient implements Model.
+func (m *RidgeRegression) StochasticGradient(
+	w tensor.Vec, ds *data.Dataset, batchSize int, r *stats.RNG, grad tensor.Vec,
+) error {
+	if ds.Len() == 0 {
+		return errors.New("model: gradient on empty dataset")
+	}
+	if batchSize <= 0 {
+		return errors.New("model: non-positive batch size")
+	}
+	if batchSize > ds.Len() {
+		batchSize = ds.Len()
+	}
+	idx := make([]int, batchSize)
+	for i := range idx {
+		idx[i] = r.Intn(ds.Len())
+	}
+	return m.batchGradient(w, ds, idx, grad)
+}
+
+func (m *RidgeRegression) batchGradient(w tensor.Vec, ds *data.Dataset, idx []int, grad tensor.Vec) error {
+	if len(grad) != m.NumParams() {
+		return errors.New("model: gradient buffer size mismatch")
+	}
+	grad.Zero()
+	scores := make(tensor.Vec, m.Classes)
+	inv := 1.0 / float64(len(idx))
+	for _, i := range idx {
+		x := ds.X[i]
+		if err := m.scores(w, x, scores); err != nil {
+			return err
+		}
+		for c := 0; c < m.Classes; c++ {
+			target := 0.0
+			if c == ds.Y[i] {
+				target = 1.0
+			}
+			rc := inv * (scores[c] - target) // residual
+			row := grad[c*m.Dim : (c+1)*m.Dim]
+			for j := range row {
+				row[j] += rc * x[j]
+			}
+			grad[m.Classes*m.Dim+c] += rc
+		}
+	}
+	if m.Mu > 0 {
+		if err := grad.AddScaled(m.Mu, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Accuracy implements Model: argmax of the linear scores.
+func (m *RidgeRegression) Accuracy(w tensor.Vec, ds *data.Dataset) (float64, error) {
+	if ds.Len() == 0 {
+		return 0, errors.New("model: accuracy on empty dataset")
+	}
+	scores := make(tensor.Vec, m.Classes)
+	correct := 0
+	for i := range ds.X {
+		if err := m.scores(w, ds.X[i], scores); err != nil {
+			return 0, err
+		}
+		pred, err := tensor.ArgMax(scores)
+		if err != nil {
+			return 0, err
+		}
+		if pred == ds.Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(ds.Len()), nil
+}
+
+// EstimateSmoothness implements Model: for squared loss the per-output
+// Hessian is (1/n) Σ x̃x̃ᵀ with x̃ = (x, 1), so L ≤ max‖x̃‖² + μ.
+func (m *RidgeRegression) EstimateSmoothness(ds *data.Dataset) (float64, error) {
+	if ds.Len() == 0 {
+		return 0, errors.New("model: smoothness on empty dataset")
+	}
+	var maxSq float64
+	for _, x := range ds.X {
+		var s float64
+		for _, xi := range x {
+			s += xi * xi
+		}
+		if s > maxSq {
+			maxSq = s
+		}
+	}
+	return maxSq + 1 + m.Mu, nil
+}

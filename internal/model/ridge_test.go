@@ -1,0 +1,153 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"unbiasedfl/internal/data"
+	"unbiasedfl/internal/stats"
+)
+
+func TestNewRidgeRegressionValidation(t *testing.T) {
+	if _, err := NewRidgeRegression(0, 2, 0.1); err == nil {
+		t.Fatal("expected error for zero dim")
+	}
+	if _, err := NewRidgeRegression(2, 1, 0.1); err == nil {
+		t.Fatal("expected error for one class")
+	}
+	if _, err := NewRidgeRegression(2, 2, -1); err == nil {
+		t.Fatal("expected error for negative mu")
+	}
+	m, err := NewRidgeRegression(3, 4, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumParams() != 3*4+4 {
+		t.Fatalf("numparams %d", m.NumParams())
+	}
+	if m.StrongConvexity() != 0.01 {
+		t.Fatalf("mu %v", m.StrongConvexity())
+	}
+}
+
+func TestRidgeLossAtZero(t *testing.T) {
+	r := stats.NewRNG(1)
+	ds := twoBlobs(r, 50)
+	m, _ := NewRidgeRegression(2, 2, 0)
+	loss, err := m.Loss(m.ZeroParams(), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At w = 0 every score is 0; each sample contributes ½(0−1)² + ½·0² = ½.
+	if math.Abs(loss-0.5) > 1e-12 {
+		t.Fatalf("loss at zero %v, want 0.5", loss)
+	}
+}
+
+func TestRidgeGradientMatchesFiniteDifference(t *testing.T) {
+	r := stats.NewRNG(2)
+	ds := twoBlobs(r, 30)
+	m, _ := NewRidgeRegression(2, 2, 0.2)
+	w := m.ZeroParams()
+	for i := range w {
+		w[i] = 0.3 * r.NormFloat64()
+	}
+	grad := m.ZeroParams()
+	if err := m.Gradient(w, ds, grad); err != nil {
+		t.Fatal(err)
+	}
+	const h = 1e-6
+	for i := 0; i < len(w); i++ {
+		wp := w.Clone()
+		wp[i] += h
+		lp, err := m.Loss(wp, ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wm := w.Clone()
+		wm[i] -= h
+		lm, err := m.Loss(wm, ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fd := (lp - lm) / (2 * h)
+		if math.Abs(fd-grad[i]) > 1e-4 {
+			t.Fatalf("coord %d: fd %v vs grad %v", i, fd, grad[i])
+		}
+	}
+}
+
+func TestRidgeSolveSeparable(t *testing.T) {
+	r := stats.NewRNG(3)
+	ds := twoBlobs(r, 120)
+	m, _ := NewRidgeRegression(2, 2, 0.05)
+	w, err := Solve(m, ds, nil, SolveOptions{MaxIters: 4000, Tolerance: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := m.Accuracy(w, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.95 {
+		t.Fatalf("separable accuracy %v", acc)
+	}
+}
+
+func TestRidgeStochasticGradientUnbiased(t *testing.T) {
+	r := stats.NewRNG(4)
+	ds := twoBlobs(r, 25)
+	m, _ := NewRidgeRegression(2, 2, 0.05)
+	w := m.ZeroParams()
+	for i := range w {
+		w[i] = 0.2 * r.NormFloat64()
+	}
+	full := m.ZeroParams()
+	if err := m.Gradient(w, ds, full); err != nil {
+		t.Fatal(err)
+	}
+	avg := m.ZeroParams()
+	g := m.ZeroParams()
+	const reps = 4000
+	for i := 0; i < reps; i++ {
+		if err := m.StochasticGradient(w, ds, 5, r, g); err != nil {
+			t.Fatal(err)
+		}
+		if err := avg.AddScaled(1.0/reps, g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range avg {
+		if math.Abs(avg[i]-full[i]) > 0.05*math.Max(math.Abs(full[i]), 1) {
+			t.Fatalf("coord %d: avg %v vs full %v", i, avg[i], full[i])
+		}
+	}
+}
+
+func TestRidgeErrorsAndSmoothness(t *testing.T) {
+	m, _ := NewRidgeRegression(2, 2, 0.25)
+	empty := &data.Dataset{Dim: 2, Classes: 2}
+	if _, err := m.Loss(m.ZeroParams(), empty); err == nil {
+		t.Fatal("expected empty loss error")
+	}
+	if _, err := m.Accuracy(m.ZeroParams(), empty); err == nil {
+		t.Fatal("expected empty accuracy error")
+	}
+	if err := m.Gradient(m.ZeroParams(), empty, m.ZeroParams()); err == nil {
+		t.Fatal("expected empty gradient error")
+	}
+	if _, err := m.EstimateSmoothness(empty); err == nil {
+		t.Fatal("expected empty smoothness error")
+	}
+	ds := twoBlobs(stats.NewRNG(9), 10)
+	if err := m.StochasticGradient(m.ZeroParams(), ds, 0, stats.NewRNG(1), m.ZeroParams()); err == nil {
+		t.Fatal("expected zero-batch error")
+	}
+	l, err := m.EstimateSmoothness(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l <= m.Mu {
+		t.Fatalf("smoothness %v too small", l)
+	}
+}

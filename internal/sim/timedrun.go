@@ -1,0 +1,47 @@
+package sim
+
+import (
+	"errors"
+	"time"
+
+	"unbiasedfl/internal/fl"
+)
+
+// TimedResult is a training run paired with its simulated wall clock.
+type TimedResult struct {
+	Run    *fl.RunResult
+	Points []TimedPoint
+	Total  time.Duration
+}
+
+// TimedRun executes the runner and stamps its trajectory with simulated
+// wall-clock time from the timing model.
+func TimedRun(runner *fl.Runner, tm *TimingModel) (*TimedResult, error) {
+	if runner == nil || tm == nil {
+		return nil, errors.New("sim: nil runner or timing model")
+	}
+	if len(tm.Clients) != runner.Fed.NumClients() {
+		return nil, errors.New("sim: timing model covers a different fleet size")
+	}
+	res, err := runner.Run()
+	if err != nil {
+		return nil, err
+	}
+	participants := make([][]int, len(res.History))
+	for i, m := range res.History {
+		participants[i] = m.ParticipantIDs
+	}
+	points, err := tm.Timeline(res.History, participants, runner.Config.LocalSteps)
+	if err != nil {
+		return nil, err
+	}
+	var total time.Duration
+	for _, ids := range participants {
+		d, err := tm.RoundDuration(ids, runner.Config.LocalSteps)
+		if err != nil {
+			return nil, err
+		}
+		total += d
+	}
+	return &TimedResult{Run: res, Points: points, Total: total}, nil
+}

@@ -1,0 +1,61 @@
+package tensor
+
+import (
+	"errors"
+	"math"
+)
+
+// LogSumExp returns log(sum(exp(xs))) computed stably.
+func LogSumExp(xs Vec) (float64, error) {
+	if len(xs) == 0 {
+		return 0, errors.New("tensor: LogSumExp of empty vector")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	var s float64
+	for _, x := range xs {
+		s += math.Exp(x - m)
+	}
+	return m + math.Log(s), nil
+}
+
+// SoftmaxInPlace converts logits into probabilities in place, stably.
+func SoftmaxInPlace(xs Vec) error {
+	lse, err := LogSumExp(xs)
+	if err != nil {
+		return err
+	}
+	for i, x := range xs {
+		xs[i] = math.Exp(x - lse)
+	}
+	return nil
+}
+
+// ArgMax returns the index of the maximum element (first on ties).
+func ArgMax(xs Vec) (int, error) {
+	if len(xs) == 0 {
+		return 0, errors.New("tensor: ArgMax of empty vector")
+	}
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best, nil
+}
+
+// Clamp limits x to [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

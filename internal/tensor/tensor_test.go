@@ -1,0 +1,257 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestVecCloneIndependent(t *testing.T) {
+	v := Vec{1, 2, 3}
+	c := v.Clone()
+	c[0] = 99
+	if v[0] != 1 {
+		t.Fatal("clone shares storage")
+	}
+}
+
+func TestVecZeroFill(t *testing.T) {
+	v := NewVec(4)
+	v.Fill(2.5)
+	for _, x := range v {
+		if x != 2.5 {
+			t.Fatalf("fill failed: %v", v)
+		}
+	}
+	v.Zero()
+	for _, x := range v {
+		if x != 0 {
+			t.Fatalf("zero failed: %v", v)
+		}
+	}
+}
+
+func TestAddScaled(t *testing.T) {
+	v := Vec{1, 2, 3}
+	if err := v.AddScaled(2, Vec{1, 1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	want := Vec{3, 4, 5}
+	for i := range want {
+		if v[i] != want[i] {
+			t.Fatalf("got %v", v)
+		}
+	}
+	if err := v.AddScaled(1, Vec{1}); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+}
+
+func TestDotNormSub(t *testing.T) {
+	d, err := Dot(Vec{1, 2, 3}, Vec{4, 5, 6})
+	if err != nil || d != 32 {
+		t.Fatalf("dot %v err %v", d, err)
+	}
+	if _, err := Dot(Vec{1}, Vec{1, 2}); err == nil {
+		t.Fatal("expected mismatch error")
+	}
+	v := Vec{3, 4}
+	if v.Norm2() != 5 {
+		t.Fatalf("norm %v", v.Norm2())
+	}
+	if v.SqNorm() != 25 {
+		t.Fatalf("sqnorm %v", v.SqNorm())
+	}
+	s, err := Sub(Vec{5, 5}, Vec{2, 3})
+	if err != nil || s[0] != 3 || s[1] != 2 {
+		t.Fatalf("sub %v err %v", s, err)
+	}
+	a, err := Add(Vec{1, 2}, Vec{3, 4})
+	if err != nil || a[0] != 4 || a[1] != 6 {
+		t.Fatalf("add %v err %v", a, err)
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	v := NewVec(3)
+	if err := v.CopyFrom(Vec{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if v[2] != 3 {
+		t.Fatalf("copy failed: %v", v)
+	}
+	if err := v.CopyFrom(Vec{1}); err == nil {
+		t.Fatal("expected mismatch error")
+	}
+}
+
+func TestWeightedSum(t *testing.T) {
+	out, err := WeightedSum([]float64{0.5, 2}, []Vec{{2, 4}, {1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 3 || out[1] != 4 {
+		t.Fatalf("weighted sum %v", out)
+	}
+	if _, err := WeightedSum([]float64{1}, []Vec{{1}, {2}}); err == nil {
+		t.Fatal("expected count mismatch error")
+	}
+	if _, err := WeightedSum(nil, nil); err == nil {
+		t.Fatal("expected empty error")
+	}
+	if _, err := WeightedSum([]float64{1, 1}, []Vec{{1, 2}, {1}}); err == nil {
+		t.Fatal("expected ragged error")
+	}
+}
+
+func TestMaxAbsIsFinite(t *testing.T) {
+	v := Vec{-7, 3}
+	if v.MaxAbs() != 7 {
+		t.Fatalf("maxabs %v", v.MaxAbs())
+	}
+	if !v.IsFinite() {
+		t.Fatal("finite vector misreported")
+	}
+	if (Vec{1, math.NaN()}).IsFinite() {
+		t.Fatal("NaN not caught")
+	}
+	if (Vec{math.Inf(1)}).IsFinite() {
+		t.Fatal("Inf not caught")
+	}
+}
+
+func TestMatBasics(t *testing.T) {
+	m, err := NewMat(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Set(1, 2, 5)
+	if m.At(1, 2) != 5 {
+		t.Fatal("set/at mismatch")
+	}
+	if got := m.Row(1); got[2] != 5 {
+		t.Fatalf("row view %v", got)
+	}
+	if _, err := NewMat(-1, 2); err == nil {
+		t.Fatal("expected error for negative dims")
+	}
+}
+
+func TestMatMulVec(t *testing.T) {
+	m, _ := NewMat(2, 2)
+	m.Set(0, 0, 1)
+	m.Set(0, 1, 2)
+	m.Set(1, 0, 3)
+	m.Set(1, 1, 4)
+	out := NewVec(2)
+	if err := m.MulVec(Vec{1, 1}, out); err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 3 || out[1] != 7 {
+		t.Fatalf("mulvec %v", out)
+	}
+	if err := m.MulVec(Vec{1}, out); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestMatAddOuterScaledAndClone(t *testing.T) {
+	m, _ := NewMat(2, 2)
+	if err := m.AddOuterScaled(2, Vec{1, 0}, Vec{3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 0) != 6 || m.At(0, 1) != 8 || m.At(1, 0) != 0 {
+		t.Fatalf("outer %v", m.Data)
+	}
+	c := m.Clone()
+	c.Set(0, 0, -1)
+	if m.At(0, 0) != 6 {
+		t.Fatal("clone shares storage")
+	}
+	if err := m.AddOuterScaled(1, Vec{1}, Vec{1, 2}); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestSoftmaxLogSumExp(t *testing.T) {
+	v := Vec{1000, 1000, 1000}
+	lse, err := LogSumExp(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1000 + math.Log(3)
+	if math.Abs(lse-want) > 1e-9 {
+		t.Fatalf("lse %v want %v", lse, want)
+	}
+	if err := SoftmaxInPlace(v); err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, x := range v {
+		if math.Abs(x-1.0/3) > 1e-9 {
+			t.Fatalf("softmax %v", v)
+		}
+		sum += x
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("softmax sum %v", sum)
+	}
+	if _, err := LogSumExp(nil); err == nil {
+		t.Fatal("expected empty error")
+	}
+}
+
+func TestArgMaxClamp(t *testing.T) {
+	i, err := ArgMax(Vec{1, 5, 5, 2})
+	if err != nil || i != 1 {
+		t.Fatalf("argmax %d err %v", i, err)
+	}
+	if _, err := ArgMax(nil); err == nil {
+		t.Fatal("expected empty error")
+	}
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Fatal("clamp broken")
+	}
+}
+
+func TestQuickSoftmaxSumsToOne(t *testing.T) {
+	f := func(a, b, c float64) bool {
+		for _, x := range []float64{a, b, c} {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 500 {
+				return true // skip degenerate quick inputs
+			}
+		}
+		v := Vec{a, b, c}
+		if err := SoftmaxInPlace(v); err != nil {
+			return false
+		}
+		var sum float64
+		for _, x := range v {
+			if x < 0 {
+				return false
+			}
+			sum += x
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickWeightedSumLinearity(t *testing.T) {
+	f := func(w1, w2 float64) bool {
+		if math.IsNaN(w1) || math.IsNaN(w2) || math.Abs(w1) > 1e6 || math.Abs(w2) > 1e6 {
+			return true
+		}
+		v1, v2 := Vec{1, 2}, Vec{3, -1}
+		out, err := WeightedSum([]float64{w1, w2}, []Vec{v1, v2})
+		if err != nil {
+			return false
+		}
+		return math.Abs(out[0]-(w1+3*w2)) < 1e-6 && math.Abs(out[1]-(2*w1-w2)) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,165 @@
+// Package tensor provides the dense linear-algebra substrate for the
+// reproduction: float64 vectors and row-major matrices with the operations
+// the logistic-regression model and the federated averaging steps need.
+// It is deliberately small, allocation-conscious, and stdlib-only.
+package tensor
+
+import (
+	"errors"
+	"math"
+)
+
+// Vec is a dense float64 vector. Model parameters, gradients, and model
+// deltas all flow through this type.
+type Vec []float64
+
+// NewVec returns a zero vector of length n.
+func NewVec(n int) Vec { return make(Vec, n) }
+
+// Clone returns a deep copy of v.
+func (v Vec) Clone() Vec {
+	out := make(Vec, len(v))
+	copy(out, v)
+	return out
+}
+
+// Zero sets every element to 0 in place.
+func (v Vec) Zero() {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// Fill sets every element to x in place.
+func (v Vec) Fill(x float64) {
+	for i := range v {
+		v[i] = x
+	}
+}
+
+// CopyFrom copies src into v; the lengths must match.
+func (v Vec) CopyFrom(src Vec) error {
+	if len(v) != len(src) {
+		return errors.New("tensor: length mismatch in CopyFrom")
+	}
+	copy(v, src)
+	return nil
+}
+
+// AddScaled performs v += s*u in place (axpy); the lengths must match.
+func (v Vec) AddScaled(s float64, u Vec) error {
+	if len(v) != len(u) {
+		return errors.New("tensor: length mismatch in AddScaled")
+	}
+	for i := range v {
+		v[i] += s * u[i]
+	}
+	return nil
+}
+
+// Scale performs v *= s in place.
+func (v Vec) Scale(s float64) {
+	for i := range v {
+		v[i] *= s
+	}
+}
+
+// Dot returns the inner product of v and u; the lengths must match.
+func Dot(v, u Vec) (float64, error) {
+	if len(v) != len(u) {
+		return 0, errors.New("tensor: length mismatch in Dot")
+	}
+	var s float64
+	for i := range v {
+		s += v[i] * u[i]
+	}
+	return s, nil
+}
+
+// Norm2 returns the Euclidean norm of v.
+func (v Vec) Norm2() float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// SqNorm returns the squared Euclidean norm of v.
+func (v Vec) SqNorm() float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return s
+}
+
+// Sub returns v - u as a new vector; the lengths must match.
+func Sub(v, u Vec) (Vec, error) {
+	if len(v) != len(u) {
+		return nil, errors.New("tensor: length mismatch in Sub")
+	}
+	out := make(Vec, len(v))
+	for i := range v {
+		out[i] = v[i] - u[i]
+	}
+	return out, nil
+}
+
+// Add returns v + u as a new vector; the lengths must match.
+func Add(v, u Vec) (Vec, error) {
+	if len(v) != len(u) {
+		return nil, errors.New("tensor: length mismatch in Add")
+	}
+	out := make(Vec, len(v))
+	for i := range v {
+		out[i] = v[i] + u[i]
+	}
+	return out, nil
+}
+
+// WeightedSum returns sum_i weights[i]*vecs[i]; all vectors must share one
+// length and len(weights) must equal len(vecs). It is the kernel of every
+// aggregation rule in the FL engine.
+func WeightedSum(weights []float64, vecs []Vec) (Vec, error) {
+	if len(weights) != len(vecs) {
+		return nil, errors.New("tensor: weights/vectors count mismatch")
+	}
+	if len(vecs) == 0 {
+		return nil, errors.New("tensor: empty weighted sum")
+	}
+	n := len(vecs[0])
+	out := make(Vec, n)
+	for i, v := range vecs {
+		if len(v) != n {
+			return nil, errors.New("tensor: ragged vectors in WeightedSum")
+		}
+		w := weights[i]
+		for j := range v {
+			out[j] += w * v[j]
+		}
+	}
+	return out, nil
+}
+
+// MaxAbs returns the largest absolute element of v (0 for an empty vector).
+func (v Vec) MaxAbs() float64 {
+	var m float64
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// IsFinite reports whether every element is finite (no NaN/Inf). Training
+// loops use it as a cheap divergence guard.
+func (v Vec) IsFinite() bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}

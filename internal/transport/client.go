@@ -1,0 +1,127 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"unbiasedfl/internal/data"
+	"unbiasedfl/internal/model"
+	"unbiasedfl/internal/stats"
+	"unbiasedfl/internal/tensor"
+)
+
+// ClientConfig configures one device node.
+type ClientConfig struct {
+	Addr    string // server address to dial
+	ID      int    // client identity, also its index in the server's tables
+	Seed    uint64 // private randomness for participation and SGD
+	Timeout time.Duration
+}
+
+// Client is one device in the prototype: it owns a local shard, dials the
+// coordinator, and on every round independently decides with probability q
+// whether to participate; when it does, it runs E local SGD steps and ships
+// the delta back.
+type Client struct {
+	cfg   ClientConfig
+	model model.Model
+	shard *data.Dataset
+}
+
+// NewClient validates inputs and constructs the node.
+func NewClient(cfg ClientConfig, m model.Model, shard *data.Dataset) (*Client, error) {
+	if m == nil {
+		return nil, errors.New("transport: nil model")
+	}
+	if shard == nil || shard.Len() == 0 {
+		return nil, errors.New("transport: nil or empty shard")
+	}
+	if cfg.ID < 0 {
+		return nil, errors.New("transport: negative client id")
+	}
+	return &Client{cfg: cfg, model: m, shard: shard}, nil
+}
+
+// Run dials the server and executes the protocol until MsgDone. It returns
+// the number of rounds in which this client participated.
+func (c *Client) Run() (int, error) {
+	conn, err := net.Dial("tcp", c.cfg.Addr)
+	if err != nil {
+		return 0, fmt.Errorf("transport: dial: %w", err)
+	}
+	codec, err := NewCodec(conn, c.cfg.Timeout)
+	if err != nil {
+		_ = conn.Close()
+		return 0, err
+	}
+	defer func() { _ = codec.Close() }()
+
+	if err := codec.Send(&Message{Type: MsgHello, ClientID: c.cfg.ID}); err != nil {
+		return 0, err
+	}
+	welcome, err := codec.Recv()
+	if err != nil {
+		return 0, err
+	}
+	if welcome.Type != MsgWelcome {
+		return 0, fmt.Errorf("transport: expected welcome, got %v", welcome.Type)
+	}
+	q := welcome.Q
+	localSteps := welcome.LocalSteps
+	batch := welcome.BatchSize
+	if q <= 0 || q > 1 || localSteps <= 0 || batch <= 0 {
+		return 0, errors.New("transport: invalid welcome parameters")
+	}
+
+	rng := stats.NewRNG(c.cfg.Seed)
+	grad := c.model.ZeroParams()
+	var gradStats stats.Welford
+	participated := 0
+	for {
+		msg, err := codec.Recv()
+		if err != nil {
+			return participated, err
+		}
+		switch msg.Type {
+		case MsgDone:
+			return participated, nil
+		case MsgRoundStart:
+			// The client decides participation on its own — the essence of
+			// the paper's randomized independent participation.
+			if !rng.Bernoulli(q) {
+				if err := codec.Send(&Message{
+					Type: MsgSkip, ClientID: c.cfg.ID, Round: msg.Round,
+					GradSqNorm: gradStats.Mean(),
+				}); err != nil {
+					return participated, err
+				}
+				continue
+			}
+			w := tensor.Vec(msg.Model).Clone()
+			for e := 0; e < localSteps; e++ {
+				if err := c.model.StochasticGradient(w, c.shard, batch, rng, grad); err != nil {
+					return participated, err
+				}
+				gradStats.Add(grad.SqNorm())
+				if err := w.AddScaled(-msg.LR, grad); err != nil {
+					return participated, err
+				}
+			}
+			delta, err := tensor.Sub(w, tensor.Vec(msg.Model))
+			if err != nil {
+				return participated, err
+			}
+			participated++
+			if err := codec.Send(&Message{
+				Type: MsgUpdate, ClientID: c.cfg.ID, Round: msg.Round,
+				Model: delta, GradSqNorm: gradStats.Mean(),
+			}); err != nil {
+				return participated, err
+			}
+		default:
+			return participated, fmt.Errorf("transport: unexpected message %v", msg.Type)
+		}
+	}
+}

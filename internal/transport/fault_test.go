@@ -1,0 +1,210 @@
+package transport
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"unbiasedfl/internal/data"
+	"unbiasedfl/internal/fl"
+	"unbiasedfl/internal/model"
+	"unbiasedfl/internal/stats"
+	"unbiasedfl/internal/tensor"
+)
+
+// crashingClient follows the protocol for a few rounds, then severs the
+// connection mid-run to exercise the coordinator's fault handling.
+func crashingClient(t *testing.T, addr string, id, crashAfter int,
+	m *model.LogisticRegression, shard *data.Dataset) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Errorf("crashing client %d dial: %v", id, err)
+		return
+	}
+	codec, err := NewCodec(conn, 5*time.Second)
+	if err != nil {
+		t.Errorf("crashing client %d codec: %v", id, err)
+		return
+	}
+	if err := codec.Send(&Message{Type: MsgHello, ClientID: id}); err != nil {
+		t.Errorf("crashing client %d hello: %v", id, err)
+		return
+	}
+	welcome, err := codec.Recv()
+	if err != nil || welcome.Type != MsgWelcome {
+		t.Errorf("crashing client %d welcome: %v", id, err)
+		return
+	}
+	rng := stats.NewRNG(uint64(id) + 1)
+	grad := m.ZeroParams()
+	for round := 0; ; round++ {
+		msg, err := codec.Recv()
+		if err != nil {
+			return // server closed us after the crash: expected
+		}
+		if msg.Type == MsgDone {
+			return
+		}
+		if round >= crashAfter {
+			_ = codec.Close() // abrupt death mid-round
+			return
+		}
+		// Participate deterministically so the server sees real updates
+		// before the crash.
+		w := tensor.Vec(msg.Model).Clone()
+		for e := 0; e < welcome.LocalSteps; e++ {
+			if err := m.StochasticGradient(w, shard, welcome.BatchSize, rng, grad); err != nil {
+				t.Errorf("crashing client %d sgd: %v", id, err)
+				return
+			}
+			if err := w.AddScaled(-msg.LR, grad); err != nil {
+				t.Errorf("crashing client %d step: %v", id, err)
+				return
+			}
+		}
+		delta, err := tensor.Sub(w, tensor.Vec(msg.Model))
+		if err != nil {
+			t.Errorf("crashing client %d delta: %v", id, err)
+			return
+		}
+		if err := codec.Send(&Message{
+			Type: MsgUpdate, ClientID: id, Round: msg.Round,
+			Model: delta, GradSqNorm: 1,
+		}); err != nil {
+			return
+		}
+	}
+}
+
+func faultFixture(t *testing.T) (*data.Federated, *model.LogisticRegression) {
+	t.Helper()
+	cfg := data.MNISTLikeConfig()
+	cfg.NumClients = 4
+	cfg.TotalSamples = 400
+	cfg.TestSamples = 80
+	cfg.Dim = 6
+	cfg.Classes = 3
+	cfg.MaxClasses = 2
+	fed, err := data.GenerateImageLike(stats.NewRNG(31), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := model.NewLogisticRegression(cfg.Dim, cfg.Classes, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fed, m
+}
+
+// TestFaultToleranceSurvivesCrash verifies that with TolerateFaults the
+// coordinator finishes a run despite a client dying mid-training, marks the
+// client as dropped, and still produces a usable model.
+func TestFaultToleranceSurvivesCrash(t *testing.T) {
+	fed, m := faultFixture(t)
+	const rounds = 20
+	srv, err := NewServer(ServerConfig{
+		Addr: "127.0.0.1:0", NumClients: 4,
+		Q:       []float64{1, 1, 1, 1},
+		Weights: fed.Weights,
+		Rounds:  rounds, LocalSteps: 3, BatchSize: 8,
+		Schedule:       fl.ExpDecay{Eta0: 0.05, Decay: 0.996},
+		Timeout:        5 * time.Second,
+		TolerateFaults: true,
+	}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+
+	var wg sync.WaitGroup
+	// Three healthy clients.
+	for id := 1; id < 4; id++ {
+		client, err := NewClient(ClientConfig{
+			Addr: srv.Addr(), ID: id, Seed: uint64(id), Timeout: 5 * time.Second,
+		}, m, fed.Clients[id])
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := client.Run(); err != nil {
+				t.Errorf("healthy client: %v", err)
+			}
+		}()
+	}
+	// One client that crashes after 5 rounds.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		crashingClient(t, srv.Addr(), 0, 5, m, fed.Clients[0])
+	}()
+
+	result, err := srv.Run()
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("server did not tolerate the crash: %v", err)
+	}
+	if !result.Dropped[0] {
+		t.Fatal("crashed client not marked dropped")
+	}
+	for id := 1; id < 4; id++ {
+		if result.Dropped[id] {
+			t.Fatalf("healthy client %d marked dropped", id)
+		}
+		if result.ParticipationCounts[id] != rounds {
+			t.Fatalf("healthy client %d joined %d/%d rounds",
+				id, result.ParticipationCounts[id], rounds)
+		}
+	}
+	if result.ParticipationCounts[0] == 0 || result.ParticipationCounts[0] >= rounds {
+		t.Fatalf("crashed client participation count %d implausible",
+			result.ParticipationCounts[0])
+	}
+	if !result.FinalModel.IsFinite() {
+		t.Fatal("final model not finite")
+	}
+}
+
+// TestFaultIntoleranceAborts verifies the default strict mode: the same
+// crash aborts the run with an error.
+func TestFaultIntoleranceAborts(t *testing.T) {
+	fed, m := faultFixture(t)
+	srv, err := NewServer(ServerConfig{
+		Addr: "127.0.0.1:0", NumClients: 2,
+		Q:       []float64{1, 1},
+		Weights: []float64{fed.Weights[0], 1 - fed.Weights[0]},
+		Rounds:  20, LocalSteps: 3, BatchSize: 8,
+		Schedule: fl.ExpDecay{Eta0: 0.05, Decay: 0.996},
+		Timeout:  3 * time.Second,
+	}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+
+	var wg sync.WaitGroup
+	client, err := NewClient(ClientConfig{
+		Addr: srv.Addr(), ID: 1, Seed: 5, Timeout: 3 * time.Second,
+	}, m, fed.Clients[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		_, _ = client.Run() // will error when the server aborts; ignore
+	}()
+	go func() {
+		defer wg.Done()
+		crashingClient(t, srv.Addr(), 0, 2, m, fed.Clients[0])
+	}()
+
+	if _, err := srv.Run(); err == nil {
+		t.Fatal("strict server should abort on client crash")
+	}
+	_ = srv.Close()
+	wg.Wait()
+}

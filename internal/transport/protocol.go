@@ -1,0 +1,108 @@
+// Package transport reproduces the paper's hardware-prototype communication
+// substrate: "We develop a TCP-based socket interface for the communication
+// between the server and clients." It implements a length-delimited gob
+// protocol over net.Conn, a coordinator (the laptop server in the paper)
+// and client nodes (the Raspberry Pis), runnable across real TCP sockets on
+// localhost or a LAN. The FL semantics — Bernoulli(q_n) participation decided
+// client-side and unbiased aggregation server-side — match internal/fl.
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+)
+
+// MsgType discriminates protocol messages.
+type MsgType int
+
+// Protocol message types.
+const (
+	// MsgHello is sent by a client after dialing: it announces its ID.
+	MsgHello MsgType = iota + 1
+	// MsgWelcome acknowledges a hello and carries the run configuration.
+	MsgWelcome
+	// MsgRoundStart carries the current global model to every client.
+	MsgRoundStart
+	// MsgUpdate carries a participating client's model delta back.
+	MsgUpdate
+	// MsgSkip tells the server the client sat this round out.
+	MsgSkip
+	// MsgDone ends the session.
+	MsgDone
+)
+
+// Message is the single wire envelope. Unused fields stay at their zero
+// values; gob encodes them compactly.
+type Message struct {
+	Type     MsgType
+	ClientID int
+	Round    int
+	// Model carries the flattened global parameters (MsgRoundStart) or the
+	// client's delta (MsgUpdate).
+	Model []float64
+	// Q is the participation level assigned to the client (MsgWelcome).
+	Q float64
+	// LocalSteps and BatchSize configure client-side SGD (MsgWelcome).
+	LocalSteps int
+	BatchSize  int
+	Rounds     int
+	// LR is the learning rate for the announced round (MsgRoundStart).
+	LR float64
+	// GradSqNorm reports the client's running mean squared gradient norm
+	// (MsgUpdate/MsgSkip), feeding the server's G_n estimates.
+	GradSqNorm float64
+}
+
+// Codec wraps a connection with gob encoding and deadlines.
+type Codec struct {
+	conn    net.Conn
+	enc     *gob.Encoder
+	dec     *gob.Decoder
+	timeout time.Duration
+}
+
+// NewCodec wraps conn. timeout bounds each send/receive (0 = no deadline).
+func NewCodec(conn net.Conn, timeout time.Duration) (*Codec, error) {
+	if conn == nil {
+		return nil, errors.New("transport: nil connection")
+	}
+	return &Codec{
+		conn:    conn,
+		enc:     gob.NewEncoder(conn),
+		dec:     gob.NewDecoder(conn),
+		timeout: timeout,
+	}, nil
+}
+
+// Send writes one message.
+func (c *Codec) Send(m *Message) error {
+	if c.timeout > 0 {
+		if err := c.conn.SetWriteDeadline(time.Now().Add(c.timeout)); err != nil {
+			return fmt.Errorf("transport: set write deadline: %w", err)
+		}
+	}
+	if err := c.enc.Encode(m); err != nil {
+		return fmt.Errorf("transport: encode: %w", err)
+	}
+	return nil
+}
+
+// Recv reads one message.
+func (c *Codec) Recv() (*Message, error) {
+	if c.timeout > 0 {
+		if err := c.conn.SetReadDeadline(time.Now().Add(c.timeout)); err != nil {
+			return nil, fmt.Errorf("transport: set read deadline: %w", err)
+		}
+	}
+	var m Message
+	if err := c.dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("transport: decode: %w", err)
+	}
+	return &m, nil
+}
+
+// Close closes the underlying connection.
+func (c *Codec) Close() error { return c.conn.Close() }

@@ -1,0 +1,177 @@
+package transport
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"unbiasedfl/internal/data"
+	"unbiasedfl/internal/fl"
+	"unbiasedfl/internal/model"
+	"unbiasedfl/internal/stats"
+)
+
+// rawDial opens a codec to the server and sends an arbitrary first message.
+func rawDial(t *testing.T, addr string, first *Message) *Codec {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec, err := NewCodec(conn, 3*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := codec.Send(first); err != nil {
+		t.Fatal(err)
+	}
+	return codec
+}
+
+func robustnessServer(t *testing.T, clients int) *Server {
+	t.Helper()
+	m, err := model.NewLogisticRegression(2, 2, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := make([]float64, clients)
+	w := make([]float64, clients)
+	for i := range q {
+		q[i] = 1
+		w[i] = 1 / float64(clients)
+	}
+	srv, err := NewServer(ServerConfig{
+		Addr: "127.0.0.1:0", NumClients: clients,
+		Q: q, Weights: w,
+		Rounds: 2, LocalSteps: 1, BatchSize: 4,
+		Schedule: fl.ExpDecay{Eta0: 0.05, Decay: 1},
+		Timeout:  3 * time.Second,
+	}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// TestServerRejectsBadHello verifies the coordinator aborts on a protocol
+// violation during registration: a non-hello first message.
+func TestServerRejectsBadHello(t *testing.T) {
+	srv := robustnessServer(t, 1)
+	defer func() { _ = srv.Close() }()
+	done := make(chan error, 1)
+	go func() {
+		_, err := srv.Run()
+		done <- err
+	}()
+	codec := rawDial(t, srv.Addr(), &Message{Type: MsgUpdate, ClientID: 0})
+	defer func() { _ = codec.Close() }()
+	if err := <-done; err == nil {
+		t.Fatal("server accepted a non-hello first message")
+	}
+}
+
+// TestServerRejectsOutOfRangeID verifies id validation at registration.
+func TestServerRejectsOutOfRangeID(t *testing.T) {
+	srv := robustnessServer(t, 1)
+	defer func() { _ = srv.Close() }()
+	done := make(chan error, 1)
+	go func() {
+		_, err := srv.Run()
+		done <- err
+	}()
+	codec := rawDial(t, srv.Addr(), &Message{Type: MsgHello, ClientID: 5})
+	defer func() { _ = codec.Close() }()
+	if err := <-done; err == nil {
+		t.Fatal("server accepted an out-of-range client id")
+	}
+}
+
+// TestServerRejectsDuplicateID verifies duplicate registration is refused.
+func TestServerRejectsDuplicateID(t *testing.T) {
+	srv := robustnessServer(t, 2)
+	defer func() { _ = srv.Close() }()
+	done := make(chan error, 1)
+	go func() {
+		_, err := srv.Run()
+		done <- err
+	}()
+	first := rawDial(t, srv.Addr(), &Message{Type: MsgHello, ClientID: 0})
+	defer func() { _ = first.Close() }()
+	if _, err := first.Recv(); err != nil { // consume the welcome
+		t.Fatal(err)
+	}
+	second := rawDial(t, srv.Addr(), &Message{Type: MsgHello, ClientID: 0})
+	defer func() { _ = second.Close() }()
+	if err := <-done; err == nil {
+		t.Fatal("server accepted a duplicate client id")
+	}
+}
+
+// TestEndToEndTCPWithRidge runs the prototype with the second model family
+// through the Model interface.
+func TestEndToEndTCPWithRidge(t *testing.T) {
+	const numClients = 4
+	cfg := data.MNISTLikeConfig()
+	cfg.NumClients = numClients
+	cfg.TotalSamples = 600
+	cfg.TestSamples = 100
+	cfg.Dim = 6
+	cfg.Classes = 3
+	cfg.MaxClasses = 2
+	fed, err := data.GenerateImageLike(stats.NewRNG(51), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := model.NewRidgeRegression(cfg.Dim, cfg.Classes, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := []float64{0.8, 0.8, 0.8, 0.8}
+	srv, err := NewServer(ServerConfig{
+		Addr: "127.0.0.1:0", NumClients: numClients,
+		Q: q, Weights: fed.Weights,
+		Rounds: 20, LocalSteps: 4, BatchSize: 8,
+		// Ridge has L ≈ max‖x̃‖² (no softmax ½ factor), so the step must be
+		// far smaller than the logistic runs use.
+		Schedule: fl.ExpDecay{Eta0: 0.002, Decay: 0.996},
+		Timeout:  10 * time.Second,
+	}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+
+	var wg sync.WaitGroup
+	for id := 0; id < numClients; id++ {
+		client, err := NewClient(ClientConfig{
+			Addr: srv.Addr(), ID: id, Seed: uint64(70 + id), Timeout: 10 * time.Second,
+		}, m, fed.Clients[id])
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := client.Run(); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	result, err := srv.Run()
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeroLoss, err := m.Loss(m.ZeroParams(), fed.Train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	finalLoss, err := m.Loss(result.FinalModel, fed.Train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if finalLoss >= zeroLoss {
+		t.Fatalf("ridge TCP training did not improve: %v >= %v", finalLoss, zeroLoss)
+	}
+}

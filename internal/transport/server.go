@@ -1,0 +1,242 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"sync"
+	"time"
+
+	"unbiasedfl/internal/fl"
+	"unbiasedfl/internal/model"
+	"unbiasedfl/internal/tensor"
+)
+
+// ServerConfig configures the coordinator.
+type ServerConfig struct {
+	// Addr to listen on, e.g. "127.0.0.1:0" (port 0 picks a free port).
+	Addr string
+	// NumClients to wait for before training starts.
+	NumClients int
+	// Q holds the per-client participation levels handed out at welcome.
+	Q []float64
+	// Rounds, LocalSteps, BatchSize mirror fl.Config.
+	Rounds     int
+	LocalSteps int
+	BatchSize  int
+	// Schedule provides per-round learning rates.
+	Schedule fl.Schedule
+	// Weights are the data weights a_n used in the unbiased aggregation.
+	Weights []float64
+	// Timeout bounds every socket operation.
+	Timeout time.Duration
+	// TolerateFaults makes the coordinator treat a client that errors or
+	// times out mid-round as a skip for that and all later rounds, instead
+	// of aborting the whole run. This mirrors the paper's observation that
+	// clients are "only intermittently available due to their usage
+	// patterns": a crashed device must not strand the federation. The
+	// unbiased estimator stays correct in expectation for the rounds the
+	// client was reachable.
+	TolerateFaults bool
+}
+
+func (c *ServerConfig) validate() error {
+	switch {
+	case c.NumClients <= 0:
+		return errors.New("transport: need at least one client")
+	case len(c.Q) != c.NumClients:
+		return errors.New("transport: q length mismatch")
+	case len(c.Weights) != c.NumClients:
+		return errors.New("transport: weights length mismatch")
+	case c.Rounds <= 0 || c.LocalSteps <= 0 || c.BatchSize <= 0:
+		return errors.New("transport: invalid round/step/batch configuration")
+	case c.Schedule == nil:
+		return errors.New("transport: nil schedule")
+	}
+	for n, qn := range c.Q {
+		if qn <= 0 || qn > 1 {
+			return fmt.Errorf("transport: q[%d] = %v outside (0,1]", n, qn)
+		}
+	}
+	return nil
+}
+
+// ServerResult is the coordinator's view of a finished run.
+type ServerResult struct {
+	FinalModel tensor.Vec
+	// GradSqNorm holds the clients' self-reported mean squared gradient
+	// norms (the paper's G_n estimation channel).
+	GradSqNorm []float64
+	// ParticipationCounts tallies how often each client joined.
+	ParticipationCounts []int
+	// Dropped marks clients lost mid-run (only with TolerateFaults).
+	Dropped []bool
+}
+
+// Server coordinates FL over real TCP sockets: it waits for NumClients
+// hellos, then drives Rounds rounds of broadcast → collect → unbiased
+// aggregate.
+type Server struct {
+	cfg      ServerConfig
+	model    model.Model
+	listener net.Listener
+}
+
+// NewServer validates the configuration and binds the listener immediately
+// so callers can learn the address before any client dials.
+func NewServer(cfg ServerConfig, m model.Model) (*Server, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if m == nil {
+		return nil, errors.New("transport: nil model")
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen: %w", err)
+	}
+	return &Server{cfg: cfg, model: m, listener: ln}, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.listener.Addr().String() }
+
+// Close releases the listener.
+func (s *Server) Close() error { return s.listener.Close() }
+
+// Run accepts clients, runs the training protocol to completion, and
+// returns the final global model. It closes all client connections before
+// returning.
+func (s *Server) Run() (*ServerResult, error) {
+	codecs := make([]*Codec, s.cfg.NumClients)
+	defer func() {
+		for _, c := range codecs {
+			if c != nil {
+				_ = c.Close()
+			}
+		}
+	}()
+
+	// Accept and identify every client.
+	for i := 0; i < s.cfg.NumClients; i++ {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return nil, fmt.Errorf("transport: accept: %w", err)
+		}
+		codec, err := NewCodec(conn, s.cfg.Timeout)
+		if err != nil {
+			return nil, err
+		}
+		hello, err := codec.Recv()
+		if err != nil {
+			return nil, fmt.Errorf("transport: hello: %w", err)
+		}
+		if hello.Type != MsgHello {
+			return nil, fmt.Errorf("transport: expected hello, got %v", hello.Type)
+		}
+		id := hello.ClientID
+		if id < 0 || id >= s.cfg.NumClients {
+			return nil, fmt.Errorf("transport: client id %d out of range", id)
+		}
+		if codecs[id] != nil {
+			return nil, fmt.Errorf("transport: duplicate client id %d", id)
+		}
+		codecs[id] = codec
+		if err := codec.Send(&Message{
+			Type:       MsgWelcome,
+			ClientID:   id,
+			Q:          s.cfg.Q[id],
+			LocalSteps: s.cfg.LocalSteps,
+			BatchSize:  s.cfg.BatchSize,
+			Rounds:     s.cfg.Rounds,
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	global := s.model.ZeroParams()
+	result := &ServerResult{
+		GradSqNorm:          make([]float64, s.cfg.NumClients),
+		ParticipationCounts: make([]int, s.cfg.NumClients),
+		Dropped:             make([]bool, s.cfg.NumClients),
+	}
+	for round := 0; round < s.cfg.Rounds; round++ {
+		lr := s.cfg.Schedule.LR(round)
+		start := &Message{Type: MsgRoundStart, Round: round, Model: global, LR: lr}
+		// Broadcast concurrently; collect replies concurrently.
+		var wg sync.WaitGroup
+		replies := make([]*Message, s.cfg.NumClients)
+		errs := make([]error, s.cfg.NumClients)
+		for id, codec := range codecs {
+			id, codec := id, codec
+			if result.Dropped[id] {
+				continue
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := codec.Send(start); err != nil {
+					errs[id] = err
+					return
+				}
+				reply, err := codec.Recv()
+				if err != nil {
+					errs[id] = err
+					return
+				}
+				replies[id] = reply
+			}()
+		}
+		wg.Wait()
+		for id, err := range errs {
+			if err == nil {
+				continue
+			}
+			if !s.cfg.TolerateFaults {
+				return nil, fmt.Errorf("transport: round %d client %d: %w", round, id, err)
+			}
+			result.Dropped[id] = true
+			_ = codecs[id].Close()
+		}
+
+		var updates []fl.Update
+		for id, reply := range replies {
+			if reply == nil {
+				continue // dropped this round or earlier
+			}
+			switch reply.Type {
+			case MsgUpdate:
+				if len(reply.Model) != len(global) {
+					return nil, fmt.Errorf("transport: client %d delta length %d", id, len(reply.Model))
+				}
+				updates = append(updates, fl.Update{Client: id, Delta: reply.Model})
+				result.ParticipationCounts[id]++
+				result.GradSqNorm[id] = reply.GradSqNorm
+			case MsgSkip:
+				result.GradSqNorm[id] = math.Max(result.GradSqNorm[id], reply.GradSqNorm)
+			default:
+				return nil, fmt.Errorf("transport: unexpected reply %v from client %d", reply.Type, id)
+			}
+		}
+		agg := fl.UnbiasedAggregator{}
+		if err := agg.Aggregate(global, updates, s.cfg.Weights, s.cfg.Q); err != nil {
+			return nil, fmt.Errorf("transport: round %d aggregate: %w", round, err)
+		}
+	}
+
+	done := &Message{Type: MsgDone}
+	for id, codec := range codecs {
+		if result.Dropped[id] {
+			continue
+		}
+		if err := codec.Send(done); err != nil {
+			if !s.cfg.TolerateFaults {
+				return nil, fmt.Errorf("transport: done to client %d: %w", id, err)
+			}
+			result.Dropped[id] = true
+		}
+	}
+	result.FinalModel = global
+	return result, nil
+}

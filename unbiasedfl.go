@@ -1,0 +1,161 @@
+// Package unbiasedfl is the public façade of the reproduction of
+// "Incentive Mechanism Design for Unbiased Federated Learning with
+// Randomized Client Participation" (ICDCS 2023).
+//
+// The library implements the paper's Client Participation Level (CPL)
+// Stackelberg game — a server that posts customized per-client prices under
+// a budget and rational clients that respond with participation
+// probabilities — together with every substrate it needs: an unbiased
+// FedAvg-style training engine (Lemma 1), a Theorem-1 convergence-bound
+// model, dataset generators, a hardware-prototype timing model, and a TCP
+// socket prototype.
+//
+// # Quick start
+//
+//	env, err := unbiasedfl.NewSetup(unbiasedfl.Setup1, unbiasedfl.DefaultOptions())
+//	...
+//	eq, err := env.Params.SolveKKT()        // the paper's mechanism
+//	run, err := unbiasedfl.RunScheme(env, unbiasedfl.SchemeOptimal)
+//
+// See examples/ for runnable programs and EXPERIMENTS.md for the mapping
+// from the paper's tables and figures to the benchmark harness.
+package unbiasedfl
+
+import (
+	"unbiasedfl/internal/experiment"
+	"unbiasedfl/internal/fl"
+	"unbiasedfl/internal/game"
+	"unbiasedfl/internal/sim"
+)
+
+// Game-layer types: the paper's primary contribution.
+type (
+	// GameParams holds every constant of the CPL game (Section III).
+	GameParams = game.Params
+	// Equilibrium is a solved Stackelberg equilibrium (Section V).
+	Equilibrium = game.Equilibrium
+	// Scheme identifies a pricing strategy (Section VI benchmarks).
+	Scheme = game.Scheme
+	// Outcome is a priced market state under some scheme.
+	Outcome = game.Outcome
+	// Prior is the server's belief over private client parameters for the
+	// Bayesian incomplete-information extension (DESIGN.md X1).
+	Prior = game.Prior
+	// BayesianOutcome is a posted-price design under incomplete information.
+	BayesianOutcome = game.BayesianOutcome
+	// Sensitivity holds the equilibrium's comparative statics (DESIGN.md X5).
+	Sensitivity = game.Sensitivity
+	// CostComponents prices device resources for the decoupled cost model
+	// (DESIGN.md X2).
+	CostComponents = game.CostComponents
+	// DeviceProfile is a device's measured per-round resource usage.
+	DeviceProfile = game.DeviceProfile
+)
+
+// Pricing schemes compared in the paper's evaluation.
+const (
+	// SchemeOptimal is the paper's customized equilibrium pricing.
+	SchemeOptimal = game.SchemeOptimal
+	// SchemeUniform pays every client the same unit price.
+	SchemeUniform = game.SchemeUniform
+	// SchemeWeighted pays proportionally to data size.
+	SchemeWeighted = game.SchemeWeighted
+)
+
+// Experiment-layer types: the paper's evaluation section.
+type (
+	// SetupID selects one of the paper's three experimental setups.
+	SetupID = experiment.SetupID
+	// Options scales an experiment (DefaultOptions or PaperOptions).
+	Options = experiment.Options
+	// Environment is a fully-prepared experimental world.
+	Environment = experiment.Environment
+	// SchemeRun is a pricing scheme's full outcome: market + training.
+	SchemeRun = experiment.SchemeRun
+	// Comparison bundles all three schemes' runs on one environment.
+	Comparison = experiment.Comparison
+	// SweepKind selects a swept parameter for the Figs. 5–7 studies.
+	SweepKind = experiment.SweepKind
+	// SweepPoint is one sweep value's result.
+	SweepPoint = experiment.SweepPoint
+)
+
+// The paper's Table-I setups.
+const (
+	// Setup1 uses the Synthetic(1,1) dataset (B=200, c̄=50, v̄=4000).
+	Setup1 = experiment.Setup1
+	// Setup2 uses the MNIST-like dataset (B=40, c̄=20, v̄=30000).
+	Setup2 = experiment.Setup2
+	// Setup3 uses the EMNIST-like dataset (B=500, c̄=80, v̄=10000).
+	Setup3 = experiment.Setup3
+)
+
+// Swept parameters for the impact studies.
+const (
+	// SweepV varies the mean intrinsic value (Fig. 5).
+	SweepV = experiment.SweepV
+	// SweepC varies the mean local cost (Fig. 6).
+	SweepC = experiment.SweepC
+	// SweepB varies the server budget (Fig. 7).
+	SweepB = experiment.SweepB
+)
+
+// Training-layer types re-exported for custom pipelines.
+type (
+	// TrainConfig is the FL loop configuration.
+	TrainConfig = fl.Config
+	// Runner executes federated training.
+	Runner = fl.Runner
+	// UnbiasedAggregator implements Lemma 1's aggregation rule.
+	UnbiasedAggregator = fl.UnbiasedAggregator
+	// TimedPoint is a wall-clock-stamped loss/accuracy sample.
+	TimedPoint = sim.TimedPoint
+)
+
+// DefaultOptions returns the laptop-scale experiment configuration.
+func DefaultOptions() Options { return experiment.DefaultOptions() }
+
+// PaperOptions returns the paper's full scale (40 devices, R=1000, E=100).
+func PaperOptions() Options { return experiment.PaperOptions() }
+
+// NewSetup generates data, calibrates the convergence-bound constants, and
+// assembles the CPL game for one of the paper's setups.
+func NewSetup(id SetupID, opts Options) (*Environment, error) {
+	return experiment.BuildSetup(id, opts)
+}
+
+// RunScheme prices the market with the scheme and trains the model under
+// the induced participation levels.
+func RunScheme(env *Environment, s Scheme) (*SchemeRun, error) {
+	return experiment.RunScheme(env, s)
+}
+
+// CompareSchemes runs the proposed, weighted, and uniform pricing schemes
+// on one environment — the paper's Fig. 4 comparison.
+func CompareSchemes(env *Environment) (*Comparison, error) {
+	return experiment.Compare(env)
+}
+
+// RunSweep reruns the mechanism (with retraining) across values of one
+// parameter — the paper's Figs. 5–7.
+func RunSweep(env *Environment, kind SweepKind, values []float64) ([]SweepPoint, error) {
+	return experiment.Sweep(env, kind, values)
+}
+
+// EquilibriumSweep is RunSweep without retraining: equilibrium economics
+// only (Table V).
+func EquilibriumSweep(env *Environment, kind SweepKind, values []float64) ([]SweepPoint, error) {
+	return experiment.EquilibriumSweep(env, kind, values)
+}
+
+// BoundFidelity measures how faithfully the Theorem-1 surrogate ranks real
+// training outcomes across random participation profiles (DESIGN.md X6).
+func BoundFidelity(env *Environment, profiles int, seed uint64) (*experiment.FidelityResult, error) {
+	return experiment.BoundFidelity(env, profiles, seed)
+}
+
+// ConvergenceRate measures the empirical optimality gap across training
+// horizons, validating Theorem 1's O(1/R) shape (DESIGN.md X9).
+func ConvergenceRate(env *Environment, horizons []int, seed uint64) ([]experiment.GapPoint, error) {
+	return experiment.ConvergenceRate(env, horizons, seed)
+}
