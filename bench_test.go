@@ -2,7 +2,7 @@
 // (Section VI), plus ablations of the design choices called out in
 // DESIGN.md. Each benchmark reports the headline metric of its artifact via
 // b.ReportMetric, so `go test -bench=. -benchmem` doubles as a compact
-// reproduction run; EXPERIMENTS.md records paper-vs-measured values.
+// reproduction run; README.md maps the paper's artifacts to this harness.
 //
 // Benchmarks run at laptop scale (see benchOptions); pass the paper's scale
 // through cmd/flbench -paper for the full-size reproduction.
@@ -84,7 +84,7 @@ func BenchmarkTable2(b *testing.B) {
 // BenchmarkTable3 regenerates the time-to-target-accuracy rows (the paper's
 // headline: 69% less time than uniform pricing on MNIST). At laptop scale
 // the MNIST-like task saturates too quickly to separate schemes, so the
-// bench uses the harder EMNIST-like setup; see EXPERIMENTS.md.
+// bench uses the harder EMNIST-like setup; see README.md.
 func BenchmarkTable3(b *testing.B) {
 	env := buildEnv(b, unbiasedfl.Setup3)
 	b.ResetTimer()

@@ -1,6 +1,6 @@
 // Command flbench regenerates the paper's tables and figures. Each
 // experiment id maps to one artifact of the evaluation section (see
-// DESIGN.md §3 and EXPERIMENTS.md):
+// README.md for the artifact mapping):
 //
 //	fig4   — loss/accuracy vs time for all three pricing schemes
 //	table2 — time to target loss per scheme
@@ -19,12 +19,15 @@
 //
 //	flbench -experiment all [-setup 1] [-clients 12] [-rounds 120] [-runs 3]
 //	flbench -experiment fig4 -setup 2 -paper   # full paper scale (slow)
+//	flbench -experiment fig4 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"unbiasedfl/internal/experiment"
 	"unbiasedfl/internal/game"
@@ -49,8 +52,36 @@ func run() error {
 		seed    = flag.Uint64("seed", 1, "random seed")
 		out     = flag.String("out", "", "directory to persist CSV/markdown artifacts (optional)")
 		paper   = flag.Bool("paper", false, "use the paper's full scale (40 clients, R=1000, E=100, 20 runs)")
+		cpuprof = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprof != "" {
+		defer func() {
+			f, err := os.Create(*memprof)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "flbench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the steady-state heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "flbench: memprofile:", err)
+			}
+		}()
+	}
 
 	opts := experiment.DefaultOptions()
 	if *paper {

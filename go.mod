@@ -1,0 +1,3 @@
+module unbiasedfl
+
+go 1.22

@@ -43,8 +43,16 @@ func RunScheme(env *Environment, scheme game.Scheme) (*SchemeRun, error) {
 	return runPriced(env, scheme, outcome)
 }
 
-// runPriced trains under a fixed priced outcome.
+// runPriced trains under a fixed priced outcome with parallel local updates.
 func runPriced(env *Environment, scheme game.Scheme, outcome *game.Outcome) (*SchemeRun, error) {
+	return runPricedParallel(env, scheme, outcome, true)
+}
+
+// runPricedParallel is runPriced with the runner's parallelism explicit;
+// callers that already saturate the CPU at a coarser grain (parallel sweep
+// points) pass false to avoid oversubscribing GOMAXPROCS with nested pools.
+// Results are identical either way.
+func runPricedParallel(env *Environment, scheme game.Scheme, outcome *game.Outcome, parallel bool) (*SchemeRun, error) {
 	// The unbiased estimator needs q > 0; clamp priced-out clients to the
 	// game's floor (they almost never participate but remain reachable).
 	q := make([]float64, len(outcome.Q))
@@ -83,7 +91,7 @@ func runPriced(env *Environment, scheme game.Scheme, outcome *game.Outcome) (*Sc
 			Config:     cfg,
 			Sampler:    sampler,
 			Aggregator: fl.UnbiasedAggregator{},
-			Parallel:   true,
+			Parallel:   parallel,
 		}
 		timed, err := sim.TimedRun(runner, env.Timing)
 		if err != nil {

@@ -1,0 +1,60 @@
+package experiment
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// TestSweepDeterministicAcrossParallelism pins parallel sweep execution to
+// the sequential reference: every point owns its seeds and perturbed game,
+// so the worker count must not change a single bit of the results.
+func TestSweepDeterministicAcrossParallelism(t *testing.T) {
+	opts := tinyOptions()
+	opts.Rounds = 10
+	opts.Runs = 1
+	env, err := BuildSetup(Setup1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := []float64{1000, 4000, 8000}
+
+	seq, err := sweepParallel(env, SweepV, values, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	prev := runtime.GOMAXPROCS(4)
+	par, err := sweepParallel(env, SweepV, values, 4)
+	runtime.GOMAXPROCS(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("sweep results differ across parallelism:\nseq: %+v\npar: %+v", seq, par)
+	}
+
+	// The public entry point must agree with both.
+	pub, err := Sweep(env, SweepV, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, pub) {
+		t.Fatalf("Sweep differs from sequential reference:\nseq: %+v\npub: %+v", seq, pub)
+	}
+}
+
+// TestSweepParallelPropagatesError ensures a failing point surfaces from the
+// concurrent path too.
+func TestSweepParallelPropagatesError(t *testing.T) {
+	env, err := BuildSetup(Setup1, tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	if _, err := sweepParallel(env, SweepC, []float64{10, -5, 20}, 4); err == nil {
+		t.Fatal("expected error from invalid sweep value")
+	}
+}

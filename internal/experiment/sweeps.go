@@ -3,6 +3,9 @@ package experiment
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"unbiasedfl/internal/game"
 	"unbiasedfl/internal/stats"
@@ -48,46 +51,100 @@ func (k SweepKind) String() string {
 
 // Sweep reruns the proposed mechanism across values of one parameter on a
 // prepared environment, retraining the model at each point. α stays at the
-// environment's calibrated value throughout, as in the paper.
+// environment's calibrated value throughout, as in the paper. Points are
+// independent — each owns its perturbed game, seeds, and runners over the
+// shared read-only environment — so they execute concurrently across
+// GOMAXPROCS workers; the returned order and values match a sequential run
+// exactly.
 func Sweep(env *Environment, kind SweepKind, values []float64) ([]SweepPoint, error) {
+	return sweepParallel(env, kind, values, runtime.GOMAXPROCS(0))
+}
+
+// sweepParallel is Sweep with an explicit worker count (1 = sequential).
+func sweepParallel(env *Environment, kind SweepKind, values []float64, workers int) ([]SweepPoint, error) {
 	if env == nil {
 		return nil, errors.New("experiment: nil environment")
 	}
 	if len(values) == 0 {
 		return nil, errors.New("experiment: empty sweep")
 	}
-	out := make([]SweepPoint, 0, len(values))
-	for _, val := range values {
-		params, err := perturbedParams(env, kind, val)
+	out := make([]SweepPoint, len(values))
+	if workers > len(values) {
+		workers = len(values)
+	}
+	if workers <= 1 {
+		for i, val := range values {
+			p, err := sweepPoint(env, kind, val, true)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = p
+		}
+		return out, nil
+	}
+
+	errs := make([]error, len(values))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(values) {
+					return
+				}
+				// Sweep workers already saturate the CPU; keep each point's
+				// inner training sequential to avoid nested pools.
+				p, err := sweepPoint(env, kind, values[i], false)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				out[i] = p
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		outcome, err := params.SolveScheme(game.SchemeOptimal)
-		if err != nil {
-			return nil, fmt.Errorf("%v=%v: %w", kind, val, err)
-		}
-		// Train under the perturbed equilibrium, reusing the environment's
-		// data, model, and timing.
-		sub := *env
-		sub.Params = params
-		run, err := runPriced(&sub, game.SchemeOptimal, outcome)
-		if err != nil {
-			return nil, fmt.Errorf("%v=%v: %w", kind, val, err)
-		}
-		var meanQ float64
-		for _, q := range outcome.Q {
-			meanQ += q / float64(len(outcome.Q))
-		}
-		out = append(out, SweepPoint{
-			Value:            val,
-			FinalLoss:        run.FinalLoss,
-			FinalAccuracy:    run.FinalAccuracy,
-			ServerObj:        outcome.ServerObj,
-			MeanQ:            meanQ,
-			NegativePayments: run.NegativePayments,
-		})
 	}
 	return out, nil
+}
+
+// sweepPoint prices and retrains one sweep value.
+func sweepPoint(env *Environment, kind SweepKind, val float64, innerParallel bool) (SweepPoint, error) {
+	params, err := perturbedParams(env, kind, val)
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	outcome, err := params.SolveScheme(game.SchemeOptimal)
+	if err != nil {
+		return SweepPoint{}, fmt.Errorf("%v=%v: %w", kind, val, err)
+	}
+	// Train under the perturbed equilibrium, reusing the environment's
+	// data, model, and timing.
+	sub := *env
+	sub.Params = params
+	run, err := runPricedParallel(&sub, game.SchemeOptimal, outcome, innerParallel)
+	if err != nil {
+		return SweepPoint{}, fmt.Errorf("%v=%v: %w", kind, val, err)
+	}
+	var meanQ float64
+	for _, q := range outcome.Q {
+		meanQ += q / float64(len(outcome.Q))
+	}
+	return SweepPoint{
+		Value:            val,
+		FinalLoss:        run.FinalLoss,
+		FinalAccuracy:    run.FinalAccuracy,
+		ServerObj:        outcome.ServerObj,
+		MeanQ:            meanQ,
+		NegativePayments: run.NegativePayments,
+	}, nil
 }
 
 // EquilibriumSweep is Sweep without the training step: it reports the

@@ -10,7 +10,7 @@ import (
 	"unbiasedfl/internal/tensor"
 )
 
-func testFederation(t *testing.T, seed uint64, clients int) *data.Federated {
+func testFederation(t testing.TB, seed uint64, clients int) *data.Federated {
 	t.Helper()
 	cfg := data.MNISTLikeConfig()
 	cfg.NumClients = clients
@@ -26,7 +26,7 @@ func testFederation(t *testing.T, seed uint64, clients int) *data.Federated {
 	return fed
 }
 
-func testModel(t *testing.T, fed *data.Federated) *model.LogisticRegression {
+func testModel(t testing.TB, fed *data.Federated) *model.LogisticRegression {
 	t.Helper()
 	m, err := model.NewLogisticRegression(fed.Train.Dim, fed.Train.Classes, 0.01)
 	if err != nil {

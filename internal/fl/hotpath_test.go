@@ -1,0 +1,155 @@
+package fl
+
+import (
+	"runtime"
+	"testing"
+
+	"unbiasedfl/internal/stats"
+	"unbiasedfl/internal/tensor"
+)
+
+// hotpathRunner builds a runner plus warm client states for direct
+// localUpdate exercises.
+func hotpathRunner(t testing.TB, parallel bool) (*Runner, []*clientState) {
+	fed := testFederation(t, 21, 4)
+	m := testModel(t, fed)
+	sampler, err := NewFullSampler(fed.NumClients())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Rounds = 4
+	cfg.LocalSteps = 10
+	r := &Runner{
+		Model: m, Fed: fed, Config: cfg,
+		Sampler: sampler, Aggregator: UnbiasedAggregator{}, Parallel: parallel,
+	}
+	root := stats.NewRNG(cfg.Seed)
+	states := make([]*clientState, fed.NumClients())
+	for n := range states {
+		states[n] = &clientState{rng: root.Split()}
+	}
+	return r, states
+}
+
+// TestLocalUpdateZeroAllocs is the end-to-end allocation gate on the FL hot
+// path: with the client's scratch arena warm, a full E-step local update
+// (batch draws, fused SGD steps, gradient-norm stats, delta) must perform
+// zero heap allocations.
+func TestLocalUpdateZeroAllocs(t *testing.T) {
+	r, states := hotpathRunner(t, false)
+	global := r.Model.ZeroParams()
+	if _, err := r.localUpdate(global, 0, states[0], 0.01); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := r.localUpdate(global, 0, states[0], 0.01); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state local update allocates %v times per run", allocs)
+	}
+}
+
+// TestRunnerDeterministicAcrossWorkerCounts complements
+// TestRunnerDeterministicAcrossParallelism: the pooled runner must produce a
+// bit-identical model whether the pool has one worker or several.
+func TestRunnerDeterministicAcrossWorkerCounts(t *testing.T) {
+	run := func(procs int) tensor.Vec {
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+		fed := testFederation(t, 3, 5)
+		m := testModel(t, fed)
+		q := []float64{0.9, 0.6, 0.4, 0.8, 0.5}
+		sampler, err := NewBernoulliSampler(q, stats.NewRNG(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig()
+		cfg.Rounds = 12
+		cfg.LocalSteps = 4
+		runner := &Runner{
+			Model: m, Fed: fed, Config: cfg,
+			Sampler: sampler, Aggregator: UnbiasedAggregator{}, Parallel: true,
+		}
+		res, err := runner.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.FinalModel
+	}
+	one := run(1)
+	four := run(4)
+	for j := range one {
+		if one[j] != four[j] {
+			t.Fatalf("param %d differs across worker counts: %v vs %v", j, one[j], four[j])
+		}
+	}
+}
+
+// dupSampler returns the same client twice in a round — illegal, because a
+// client's RNG, scratch, and delta buffer are single-owner within a round.
+type dupSampler struct{ n int }
+
+func (d dupSampler) Sample(int) []int { return []int{0, 1, 0} }
+func (d dupSampler) NumClients() int  { return d.n }
+
+// TestRunnerRejectsDuplicateParticipants pins the guard that protects the
+// reused per-client buffers from samplers that draw with replacement.
+func TestRunnerRejectsDuplicateParticipants(t *testing.T) {
+	fed := testFederation(t, 30, 3)
+	m := testModel(t, fed)
+	cfg := DefaultConfig()
+	cfg.Rounds = 2
+	runner := &Runner{
+		Model: m, Fed: fed, Config: cfg,
+		Sampler: dupSampler{n: 3}, Aggregator: UnbiasedAggregator{},
+	}
+	if _, err := runner.Run(); err == nil {
+		t.Fatal("expected duplicate-participant error")
+	}
+}
+
+// BenchmarkLocalUpdate measures one participant's full local update (E=10
+// fused SGD steps at batch 16) on the engine's test federation.
+func BenchmarkLocalUpdate(b *testing.B) {
+	r, states := hotpathRunner(b, false)
+	global := r.Model.ZeroParams()
+	if _, err := r.localUpdate(global, 0, states[0], 0.01); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.localUpdate(global, 0, states[0], 0.01); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunnerRound measures whole training rounds through the pooled
+// runner, aggregation included.
+func BenchmarkRunnerRound(b *testing.B) {
+	fed := testFederation(b, 21, 8)
+	m := testModel(b, fed)
+	sampler, err := NewFullSampler(fed.NumClients())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.LocalSteps = 8
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Rounds = 1
+		cfg.EvalEvery = 2 // skip evaluation; this measures the update path
+		runner := &Runner{
+			Model: m, Fed: fed, Config: cfg,
+			Sampler: sampler, Aggregator: UnbiasedAggregator{}, Parallel: true,
+		}
+		if _, err := runner.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package fl
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 
 	"unbiasedfl/internal/data"
@@ -43,19 +44,44 @@ type Runner struct {
 	Config     Config
 	Sampler    Sampler
 	Aggregator Aggregator
-	// Parallel enables concurrent local updates across participants. Results
-	// are identical either way because every client owns a private RNG.
+	// Parallel enables concurrent local updates across participants via a
+	// persistent worker pool sized to GOMAXPROCS. Results are identical
+	// either way: every client owns a private RNG and its own scratch arena,
+	// and the summation order inside a client's update never depends on the
+	// worker count.
 	Parallel bool
 	// OnRound, when non-nil, is invoked after every round with that round's
 	// metrics — a progress hook for long paper-scale runs. It runs on the
 	// training goroutine; keep it fast.
 	OnRound func(RoundMetrics)
+
+	// Per-round buffers, reused across rounds so the steady-state loop does
+	// not allocate.
+	updates []Update
+	errs    []error
+	seen    []bool
 }
 
-// clientState holds per-client mutable state across rounds.
+// clientState holds per-client mutable state across rounds: the private RNG,
+// the gradient-norm statistics, and the scratch arena (parameter clone,
+// gradient, delta, and the model's batch buffers) that makes the local-SGD
+// hot path allocation-free in steady state.
 type clientState struct {
 	rng     *stats.RNG
 	sqNorms stats.Welford
+	w       tensor.Vec // working copy of the global model
+	grad    tensor.Vec // gradient buffer
+	delta   tensor.Vec // w − global, handed to the aggregator
+	scratch model.Scratch
+}
+
+// ensure sizes the state's vectors for a model with p parameters.
+func (st *clientState) ensure(p int) {
+	if len(st.w) != p {
+		st.w = tensor.NewVec(p)
+		st.grad = tensor.NewVec(p)
+		st.delta = tensor.NewVec(p)
+	}
 }
 
 // Run trains for Config.Rounds rounds and returns the trajectory.
@@ -70,6 +96,16 @@ func (r *Runner) Run() (*RunResult, error) {
 		states[n] = &clientState{rng: root.Split()}
 	}
 
+	var pool *updatePool
+	if r.Parallel {
+		workers := runtime.GOMAXPROCS(0)
+		if workers > nClients {
+			workers = nClients
+		}
+		pool = newUpdatePool(r, workers)
+		defer pool.close()
+	}
+
 	global := r.Model.ZeroParams()
 	history := make([]RoundMetrics, 0, r.Config.Rounds)
 	q := r.participationLevels()
@@ -78,7 +114,7 @@ func (r *Runner) Run() (*RunResult, error) {
 		participants := r.Sampler.Sample(round)
 		lr := r.Config.Schedule.LR(round)
 
-		updates, err := r.localUpdates(global, participants, states, lr)
+		updates, err := r.localUpdates(global, participants, states, lr, pool)
 		if err != nil {
 			return nil, fmt.Errorf("round %d: %w", round, err)
 		}
@@ -166,12 +202,111 @@ func (r *Runner) participationLevels() []float64 {
 	return q
 }
 
+// updatePool is the persistent worker pool behind parallel local updates.
+// Its goroutines live for the whole Run — one per available CPU — instead of
+// spawning a goroutine per participant per round. Round context is published
+// before the task indices are sent on the channel (the send is the
+// happens-before edge), and the WaitGroup barrier ends the round.
+type updatePool struct {
+	r     *Runner
+	tasks chan int
+	wg    sync.WaitGroup
+
+	// Per-round context: written by the training goroutine before dispatch,
+	// read-only while workers run.
+	global       tensor.Vec
+	lr           float64
+	participants []int
+	states       []*clientState
+	updates      []Update
+	errs         []error
+}
+
+func newUpdatePool(r *Runner, workers int) *updatePool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &updatePool{r: r, tasks: make(chan int, workers)}
+	for k := 0; k < workers; k++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *updatePool) worker() {
+	for i := range p.tasks {
+		n := p.participants[i]
+		u, err := p.r.localUpdate(p.global, n, p.states[n], p.lr)
+		if err != nil {
+			p.errs[i] = err
+		} else {
+			p.updates[i] = u
+		}
+		p.wg.Done()
+	}
+}
+
+func (p *updatePool) close() { close(p.tasks) }
+
+// round runs one round's updates through the pool, filling updates[i] for
+// participant i (slot order is preserved, so aggregation order — and thus
+// the aggregated model — is independent of worker scheduling).
+func (p *updatePool) round(
+	global tensor.Vec, participants []int, states []*clientState, lr float64,
+	updates []Update, errs []error,
+) error {
+	p.global, p.lr = global, lr
+	p.participants, p.states = participants, states
+	p.updates, p.errs = updates, errs
+	p.wg.Add(len(participants))
+	for i := range participants {
+		p.tasks <- i
+	}
+	p.wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // localUpdates runs E steps of local SGD for each participant.
 func (r *Runner) localUpdates(
-	global tensor.Vec, participants []int, states []*clientState, lr float64,
+	global tensor.Vec, participants []int, states []*clientState, lr float64, pool *updatePool,
 ) ([]Update, error) {
-	updates := make([]Update, len(participants))
-	if !r.Parallel || len(participants) < 2 {
+	if cap(r.updates) < len(participants) {
+		r.updates = make([]Update, len(participants))
+		r.errs = make([]error, len(participants))
+	}
+	updates := r.updates[:len(participants)]
+	errs := r.errs[:len(participants)]
+	for i := range errs {
+		errs[i] = nil
+	}
+
+	// A client's RNG, scratch arena, and delta buffer are single-owner within
+	// a round, so a sampler handing out the same client twice would corrupt
+	// the aggregate (and race under the pool). Reject it explicitly.
+	if len(r.seen) != r.Fed.NumClients() {
+		r.seen = make([]bool, r.Fed.NumClients())
+	}
+	dup := -1
+	for _, n := range participants {
+		if r.seen[n] {
+			dup = n
+			break
+		}
+		r.seen[n] = true
+	}
+	for _, n := range participants {
+		r.seen[n] = false
+	}
+	if dup >= 0 {
+		return nil, fmt.Errorf("fl: sampler returned client %d twice in one round", dup)
+	}
+
+	if pool == nil || len(participants) < 2 {
 		for i, n := range participants {
 			u, err := r.localUpdate(global, n, states[n], lr)
 			if err != nil {
@@ -181,38 +316,34 @@ func (r *Runner) localUpdates(
 		}
 		return updates, nil
 	}
-
-	var wg sync.WaitGroup
-	errs := make([]error, len(participants))
-	for i, n := range participants {
-		i, n := i, n
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			u, err := r.localUpdate(global, n, states[n], lr)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			updates[i] = u
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if err := pool.round(global, participants, states, lr, updates, errs); err != nil {
+		return nil, err
 	}
 	return updates, nil
 }
 
-// localUpdate clones the global model and performs E mini-batch SGD steps on
-// the client's shard, recording squared gradient norms for G_n estimation.
+// localUpdate copies the global model into the client's scratch arena and
+// performs E mini-batch SGD steps on the client's shard, recording squared
+// gradient norms for G_n estimation. Models implementing model.LocalStepper
+// run the fused step; otherwise the generic StochasticGradient + axpy path
+// applies. In steady state (buffers warm) the step performs no heap
+// allocations.
 func (r *Runner) localUpdate(global tensor.Vec, n int, st *clientState, lr float64) (Update, error) {
 	shard := r.Fed.Clients[n]
-	w := global.Clone()
-	grad := r.Model.ZeroParams()
+	st.ensure(len(global))
+	w := st.w
+	copy(w, global)
+	stepper, hasStep := r.Model.(model.LocalStepper)
 	for e := 0; e < r.Config.LocalSteps; e++ {
+		if hasStep {
+			sq, err := stepper.SGDStep(w, shard, r.Config.BatchSize, lr, st.rng, &st.scratch)
+			if err != nil {
+				return Update{}, fmt.Errorf("client %d: %w", n, err)
+			}
+			st.sqNorms.Add(sq)
+			continue
+		}
+		grad := st.grad
 		if err := r.Model.StochasticGradient(w, shard, r.Config.BatchSize, st.rng, grad); err != nil {
 			return Update{}, fmt.Errorf("client %d: %w", n, err)
 		}
@@ -221,9 +352,9 @@ func (r *Runner) localUpdate(global tensor.Vec, n int, st *clientState, lr float
 			return Update{}, err
 		}
 	}
-	delta, err := tensor.Sub(w, global)
-	if err != nil {
-		return Update{}, err
+	delta := st.delta
+	for j := range delta {
+		delta[j] = w[j] - global[j]
 	}
 	return Update{Client: n, Delta: delta}, nil
 }

@@ -45,16 +45,6 @@ func (m *LogisticRegression) NumParams() int { return m.Classes*m.Dim + m.Classe
 // ZeroParams returns the w0 = 0 initialization used by the paper.
 func (m *LogisticRegression) ZeroParams() tensor.Vec { return tensor.NewVec(m.NumParams()) }
 
-// weightAt returns the weight for class c, feature j from flattened params.
-func (m *LogisticRegression) weightAt(w tensor.Vec, c, j int) float64 {
-	return w[c*m.Dim+j]
-}
-
-// biasAt returns the bias for class c.
-func (m *LogisticRegression) biasAt(w tensor.Vec, c int) float64 {
-	return w[m.Classes*m.Dim+c]
-}
-
 // Logits computes the class scores for input x into out (length Classes).
 func (m *LogisticRegression) Logits(w tensor.Vec, x []float64, out tensor.Vec) error {
 	if len(w) != m.NumParams() {
@@ -66,34 +56,44 @@ func (m *LogisticRegression) Logits(w tensor.Vec, x []float64, out tensor.Vec) e
 	if len(out) != m.Classes {
 		return errors.New("model: logits buffer size mismatch")
 	}
-	for c := 0; c < m.Classes; c++ {
-		row := w[c*m.Dim : (c+1)*m.Dim]
-		var s float64
-		for j, rj := range row {
-			s += rj * x[j]
-		}
-		out[c] = s + m.biasAt(w, c)
-	}
-	return nil
+	wRows := w[:m.Classes*m.Dim]
+	bias := w[m.Classes*m.Dim:]
+	return tensor.LogitsBatch([][]float64{x}, wRows, bias, m.Dim, m.Classes, out)
 }
 
 // Loss returns the regularized average cross-entropy of w on ds:
-// F(w) = (1/n) Σ -log softmax(Wx+b)[y] + (mu/2)||w||².
+// F(w) = (1/n) Σ -log softmax(Wx+b)[y] + (mu/2)||w||². The dataset is
+// evaluated in fixed-size shards, concurrently when CPUs allow; the shard
+// reduction order is fixed, so the result does not depend on parallelism.
 func (m *LogisticRegression) Loss(w tensor.Vec, ds *data.Dataset) (float64, error) {
 	if ds.Len() == 0 {
 		return 0, errors.New("model: loss on empty dataset")
 	}
-	logits := make(tensor.Vec, m.Classes)
-	var sum float64
-	for i := range ds.X {
-		if err := m.Logits(w, ds.X[i], logits); err != nil {
+	if len(w) != m.NumParams() {
+		return 0, fmt.Errorf("model: params length %d, want %d", len(w), m.NumParams())
+	}
+	classes, dim := m.Classes, m.Dim
+	wRows := w[:classes*dim]
+	bias := w[classes*dim:]
+	sum, err := chunkSum(ds.Len(), func(lo, hi int, s *Scratch) (float64, error) {
+		b := hi - lo
+		logits := s.ensureProbs(b * classes)
+		if err := tensor.LogitsBatch(ds.X[lo:hi], wRows, bias, dim, classes, logits); err != nil {
 			return 0, err
 		}
-		lse, err := tensor.LogSumExp(logits)
-		if err != nil {
-			return 0, err
+		var part float64
+		for i := 0; i < b; i++ {
+			row := logits[i*classes : (i+1)*classes]
+			lse, err := tensor.LogSumExp(row)
+			if err != nil {
+				return 0, err
+			}
+			part += lse - row[ds.Y[lo+i]]
 		}
-		sum += lse - logits[ds.Y[i]]
+		return part, nil
+	})
+	if err != nil {
+		return 0, err
 	}
 	return sum/float64(ds.Len()) + 0.5*m.Mu*w.SqNorm(), nil
 }
@@ -103,11 +103,7 @@ func (m *LogisticRegression) Gradient(w tensor.Vec, ds *data.Dataset, grad tenso
 	if ds.Len() == 0 {
 		return errors.New("model: gradient on empty dataset")
 	}
-	idx := make([]int, ds.Len())
-	for i := range idx {
-		idx[i] = i
-	}
-	return m.batchGradient(w, ds, idx, grad)
+	return m.batchGradient(w, ds, nil, ds.Len(), grad, new(Scratch))
 }
 
 // StochasticGradient computes an unbiased mini-batch gradient at w using
@@ -115,55 +111,31 @@ func (m *LogisticRegression) Gradient(w tensor.Vec, ds *data.Dataset, grad tenso
 func (m *LogisticRegression) StochasticGradient(
 	w tensor.Vec, ds *data.Dataset, batchSize int, r *stats.RNG, grad tensor.Vec,
 ) error {
-	if ds.Len() == 0 {
-		return errors.New("model: gradient on empty dataset")
-	}
-	if batchSize <= 0 {
-		return errors.New("model: non-positive batch size")
-	}
-	if batchSize > ds.Len() {
-		batchSize = ds.Len()
-	}
-	idx := make([]int, batchSize)
-	for i := range idx {
-		idx[i] = r.Intn(ds.Len())
-	}
-	return m.batchGradient(w, ds, idx, grad)
+	return m.StochasticGradientScratch(w, ds, batchSize, r, grad, new(Scratch))
 }
 
-// batchGradient accumulates the average gradient over the given sample
-// indices plus the L2 term.
-func (m *LogisticRegression) batchGradient(w tensor.Vec, ds *data.Dataset, idx []int, grad tensor.Vec) error {
-	if len(grad) != m.NumParams() {
-		return errors.New("model: gradient buffer size mismatch")
-	}
-	grad.Zero()
-	probs := make(tensor.Vec, m.Classes)
-	inv := 1.0 / float64(len(idx))
-	for _, i := range idx {
-		x := ds.X[i]
-		if err := m.Logits(w, x, probs); err != nil {
-			return err
-		}
-		if err := tensor.SoftmaxInPlace(probs); err != nil {
-			return err
-		}
-		probs[ds.Y[i]] -= 1 // softmax - onehot
-		for c := 0; c < m.Classes; c++ {
-			pc := inv * probs[c]
-			row := grad[c*m.Dim : (c+1)*m.Dim]
-			for j := range row {
-				row[j] += pc * x[j]
-			}
-			grad[m.Classes*m.Dim+c] += pc
-		}
-	}
-	if m.Mu > 0 {
-		if err := grad.AddScaled(m.Mu, w); err != nil {
-			return err
-		}
-	}
-	return nil
+// StochasticGradientScratch implements BatchGradienter: the same mini-batch
+// gradient, with every buffer drawn from the caller-owned scratch so the
+// steady-state training step performs no heap allocations.
+func (m *LogisticRegression) StochasticGradientScratch(
+	w tensor.Vec, ds *data.Dataset, batchSize int, r *stats.RNG, grad tensor.Vec, s *Scratch,
+) error {
+	return linearStochasticGradient(w, ds, batchSize, r, m.Dim, m.Classes, m.Mu, true, grad, s)
+}
+
+// SGDStep implements LocalStepper: one fused, allocation-free local SGD step.
+func (m *LogisticRegression) SGDStep(
+	w tensor.Vec, ds *data.Dataset, batchSize int, lr float64, r *stats.RNG, s *Scratch,
+) (float64, error) {
+	return linearSGDStep(w, ds, batchSize, lr, r, m.Dim, m.Classes, m.Mu, true, s)
+}
+
+// batchGradient runs the shared batched kernel path (see batch.go) with the
+// cross-entropy softmax transform.
+func (m *LogisticRegression) batchGradient(
+	w tensor.Vec, ds *data.Dataset, idx []int, n int, grad tensor.Vec, s *Scratch,
+) error {
+	return linearBatchGradient(w, ds, idx, n, m.Dim, m.Classes, m.Mu, true, grad, s)
 }
 
 // Predict returns the argmax class for x.
@@ -175,26 +147,46 @@ func (m *LogisticRegression) Predict(w tensor.Vec, x []float64) (int, error) {
 	return tensor.ArgMax(logits)
 }
 
-// Accuracy returns the fraction of ds classified correctly by w.
+// Accuracy returns the fraction of ds classified correctly by w, evaluated
+// in parallel shards like Loss.
 func (m *LogisticRegression) Accuracy(w tensor.Vec, ds *data.Dataset) (float64, error) {
 	if ds.Len() == 0 {
 		return 0, errors.New("model: accuracy on empty dataset")
 	}
-	correct := 0
-	logits := make(tensor.Vec, m.Classes)
-	for i := range ds.X {
-		if err := m.Logits(w, ds.X[i], logits); err != nil {
-			return 0, err
-		}
-		pred, err := tensor.ArgMax(logits)
-		if err != nil {
-			return 0, err
-		}
-		if pred == ds.Y[i] {
-			correct++
-		}
+	if len(w) != m.NumParams() {
+		return 0, fmt.Errorf("model: params length %d, want %d", len(w), m.NumParams())
 	}
-	return float64(correct) / float64(ds.Len()), nil
+	correct, err := countCorrect(w, ds, m.Dim, m.Classes)
+	if err != nil {
+		return 0, err
+	}
+	return correct / float64(ds.Len()), nil
+}
+
+// countCorrect is the shared sharded argmax-accuracy kernel: score each
+// shard with one batched X·Wᵀ+b pass and count argmax hits. Both model
+// families use linear scores, so they share it verbatim.
+func countCorrect(w tensor.Vec, ds *data.Dataset, dim, classes int) (float64, error) {
+	wRows := w[:classes*dim]
+	bias := w[classes*dim:]
+	return chunkSum(ds.Len(), func(lo, hi int, s *Scratch) (float64, error) {
+		b := hi - lo
+		scores := s.ensureProbs(b * classes)
+		if err := tensor.LogitsBatch(ds.X[lo:hi], wRows, bias, dim, classes, scores); err != nil {
+			return 0, err
+		}
+		var hits float64
+		for i := 0; i < b; i++ {
+			pred, err := tensor.ArgMax(scores[i*classes : (i+1)*classes])
+			if err != nil {
+				return 0, err
+			}
+			if pred == ds.Y[lo+i] {
+				hits++
+			}
+		}
+		return hits, nil
+	})
 }
 
 // EstimateSmoothness returns an upper bound on the smoothness constant L of

@@ -58,36 +58,44 @@ func (m *RidgeRegression) scores(w tensor.Vec, x []float64, out tensor.Vec) erro
 	if len(out) != m.Classes {
 		return errors.New("model: scores buffer size mismatch")
 	}
-	for c := 0; c < m.Classes; c++ {
-		row := w[c*m.Dim : (c+1)*m.Dim]
-		var s float64
-		for j, rj := range row {
-			s += rj * x[j]
-		}
-		out[c] = s + w[m.Classes*m.Dim+c]
-	}
-	return nil
+	wRows := w[:m.Classes*m.Dim]
+	bias := w[m.Classes*m.Dim:]
+	return tensor.LogitsBatch([][]float64{x}, wRows, bias, m.Dim, m.Classes, out)
 }
 
-// Loss implements Model.
+// Loss implements Model, evaluating the dataset in parallel shards with a
+// fixed reduction order (see chunkSum).
 func (m *RidgeRegression) Loss(w tensor.Vec, ds *data.Dataset) (float64, error) {
 	if ds.Len() == 0 {
 		return 0, errors.New("model: loss on empty dataset")
 	}
-	scores := make(tensor.Vec, m.Classes)
-	var sum float64
-	for i := range ds.X {
-		if err := m.scores(w, ds.X[i], scores); err != nil {
+	if len(w) != m.NumParams() {
+		return 0, fmt.Errorf("model: params length %d, want %d", len(w), m.NumParams())
+	}
+	classes, dim := m.Classes, m.Dim
+	wRows := w[:classes*dim]
+	bias := w[classes*dim:]
+	sum, err := chunkSum(ds.Len(), func(lo, hi int, s *Scratch) (float64, error) {
+		b := hi - lo
+		scores := s.ensureProbs(b * classes)
+		if err := tensor.LogitsBatch(ds.X[lo:hi], wRows, bias, dim, classes, scores); err != nil {
 			return 0, err
 		}
-		for c := 0; c < m.Classes; c++ {
-			target := 0.0
-			if c == ds.Y[i] {
-				target = 1.0
+		var part float64
+		for i := 0; i < b; i++ {
+			row := scores[i*classes : (i+1)*classes]
+			y := ds.Y[lo+i]
+			for c, v := range row {
+				if c == y {
+					v -= 1
+				}
+				part += 0.5 * v * v
 			}
-			d := scores[c] - target
-			sum += 0.5 * d * d
 		}
+		return part, nil
+	})
+	if err != nil {
+		return 0, err
 	}
 	return sum/float64(ds.Len()) + 0.5*m.Mu*w.SqNorm(), nil
 }
@@ -97,86 +105,52 @@ func (m *RidgeRegression) Gradient(w tensor.Vec, ds *data.Dataset, grad tensor.V
 	if ds.Len() == 0 {
 		return errors.New("model: gradient on empty dataset")
 	}
-	idx := make([]int, ds.Len())
-	for i := range idx {
-		idx[i] = i
-	}
-	return m.batchGradient(w, ds, idx, grad)
+	return m.batchGradient(w, ds, nil, ds.Len(), grad, new(Scratch))
 }
 
 // StochasticGradient implements Model.
 func (m *RidgeRegression) StochasticGradient(
 	w tensor.Vec, ds *data.Dataset, batchSize int, r *stats.RNG, grad tensor.Vec,
 ) error {
-	if ds.Len() == 0 {
-		return errors.New("model: gradient on empty dataset")
-	}
-	if batchSize <= 0 {
-		return errors.New("model: non-positive batch size")
-	}
-	if batchSize > ds.Len() {
-		batchSize = ds.Len()
-	}
-	idx := make([]int, batchSize)
-	for i := range idx {
-		idx[i] = r.Intn(ds.Len())
-	}
-	return m.batchGradient(w, ds, idx, grad)
+	return m.StochasticGradientScratch(w, ds, batchSize, r, grad, new(Scratch))
 }
 
-func (m *RidgeRegression) batchGradient(w tensor.Vec, ds *data.Dataset, idx []int, grad tensor.Vec) error {
-	if len(grad) != m.NumParams() {
-		return errors.New("model: gradient buffer size mismatch")
-	}
-	grad.Zero()
-	scores := make(tensor.Vec, m.Classes)
-	inv := 1.0 / float64(len(idx))
-	for _, i := range idx {
-		x := ds.X[i]
-		if err := m.scores(w, x, scores); err != nil {
-			return err
-		}
-		for c := 0; c < m.Classes; c++ {
-			target := 0.0
-			if c == ds.Y[i] {
-				target = 1.0
-			}
-			rc := inv * (scores[c] - target) // residual
-			row := grad[c*m.Dim : (c+1)*m.Dim]
-			for j := range row {
-				row[j] += rc * x[j]
-			}
-			grad[m.Classes*m.Dim+c] += rc
-		}
-	}
-	if m.Mu > 0 {
-		if err := grad.AddScaled(m.Mu, w); err != nil {
-			return err
-		}
-	}
-	return nil
+// StochasticGradientScratch implements BatchGradienter.
+func (m *RidgeRegression) StochasticGradientScratch(
+	w tensor.Vec, ds *data.Dataset, batchSize int, r *stats.RNG, grad tensor.Vec, s *Scratch,
+) error {
+	return linearStochasticGradient(w, ds, batchSize, r, m.Dim, m.Classes, m.Mu, false, grad, s)
 }
 
-// Accuracy implements Model: argmax of the linear scores.
+// SGDStep implements LocalStepper: one fused, allocation-free local SGD step.
+func (m *RidgeRegression) SGDStep(
+	w tensor.Vec, ds *data.Dataset, batchSize int, lr float64, r *stats.RNG, s *Scratch,
+) (float64, error) {
+	return linearSGDStep(w, ds, batchSize, lr, r, m.Dim, m.Classes, m.Mu, false, s)
+}
+
+// batchGradient runs the shared batched kernel path (see batch.go) with raw
+// residuals (scores − onehot) in place of softmax probabilities.
+func (m *RidgeRegression) batchGradient(
+	w tensor.Vec, ds *data.Dataset, idx []int, n int, grad tensor.Vec, s *Scratch,
+) error {
+	return linearBatchGradient(w, ds, idx, n, m.Dim, m.Classes, m.Mu, false, grad, s)
+}
+
+// Accuracy implements Model: argmax of the linear scores, evaluated in
+// parallel shards.
 func (m *RidgeRegression) Accuracy(w tensor.Vec, ds *data.Dataset) (float64, error) {
 	if ds.Len() == 0 {
 		return 0, errors.New("model: accuracy on empty dataset")
 	}
-	scores := make(tensor.Vec, m.Classes)
-	correct := 0
-	for i := range ds.X {
-		if err := m.scores(w, ds.X[i], scores); err != nil {
-			return 0, err
-		}
-		pred, err := tensor.ArgMax(scores)
-		if err != nil {
-			return 0, err
-		}
-		if pred == ds.Y[i] {
-			correct++
-		}
+	if len(w) != m.NumParams() {
+		return 0, fmt.Errorf("model: params length %d, want %d", len(w), m.NumParams())
 	}
-	return float64(correct) / float64(ds.Len()), nil
+	correct, err := countCorrect(w, ds, m.Dim, m.Classes)
+	if err != nil {
+		return 0, err
+	}
+	return correct / float64(ds.Len()), nil
 }
 
 // EstimateSmoothness implements Model: for squared loss the per-output

@@ -17,8 +17,9 @@
 //	eq, err := env.Params.SolveKKT()        // the paper's mechanism
 //	run, err := unbiasedfl.RunScheme(env, unbiasedfl.SchemeOptimal)
 //
-// See examples/ for runnable programs and EXPERIMENTS.md for the mapping
-// from the paper's tables and figures to the benchmark harness.
+// See examples/ for runnable programs and README.md for the mapping from
+// the paper's tables and figures to the benchmark harness (bench_test.go
+// and cmd/flbench).
 package unbiasedfl
 
 import (
