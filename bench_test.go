@@ -9,6 +9,7 @@
 package unbiasedfl_test
 
 import (
+	"context"
 	"strconv"
 	"testing"
 
@@ -36,7 +37,7 @@ func benchOptions() unbiasedfl.Options {
 
 func buildEnv(b *testing.B, id unbiasedfl.SetupID) *unbiasedfl.Environment {
 	b.Helper()
-	env, err := unbiasedfl.NewSetup(id, benchOptions())
+	env, err := unbiasedfl.NewSetup(context.Background(), id, benchOptions())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -49,7 +50,7 @@ func benchFig4(b *testing.B, id unbiasedfl.SetupID) {
 	env := buildEnv(b, id)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		cmp, err := unbiasedfl.CompareSchemes(env)
+		cmp, err := unbiasedfl.CompareSchemes(context.Background(), env)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -69,7 +70,7 @@ func BenchmarkTable2(b *testing.B) {
 	env := buildEnv(b, unbiasedfl.Setup2)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		cmp, err := unbiasedfl.CompareSchemes(env)
+		cmp, err := unbiasedfl.CompareSchemes(context.Background(), env)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -89,7 +90,7 @@ func BenchmarkTable3(b *testing.B) {
 	env := buildEnv(b, unbiasedfl.Setup3)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		cmp, err := unbiasedfl.CompareSchemes(env)
+		cmp, err := unbiasedfl.CompareSchemes(context.Background(), env)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -106,7 +107,7 @@ func BenchmarkTable4(b *testing.B) {
 	env := buildEnv(b, unbiasedfl.Setup1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		cmp, err := unbiasedfl.CompareSchemes(env)
+		cmp, err := unbiasedfl.CompareSchemes(context.Background(), env)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -125,7 +126,7 @@ func BenchmarkTable5(b *testing.B) {
 	env := buildEnv(b, unbiasedfl.Setup1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		points, err := unbiasedfl.EquilibriumSweep(env, unbiasedfl.SweepV,
+		points, err := unbiasedfl.EquilibriumSweep(context.Background(), env, unbiasedfl.SweepV,
 			[]float64{0, 4000, 80000})
 		if err != nil {
 			b.Fatal(err)
@@ -141,7 +142,7 @@ func BenchmarkFig5(b *testing.B) {
 	env := buildEnv(b, unbiasedfl.Setup1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		points, err := unbiasedfl.RunSweep(env, unbiasedfl.SweepV,
+		points, err := unbiasedfl.RunSweep(context.Background(), env, unbiasedfl.SweepV,
 			[]float64{1000, 4000, 16000})
 		if err != nil {
 			b.Fatal(err)
@@ -156,7 +157,7 @@ func BenchmarkFig6(b *testing.B) {
 	env := buildEnv(b, unbiasedfl.Setup2)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		points, err := unbiasedfl.RunSweep(env, unbiasedfl.SweepC,
+		points, err := unbiasedfl.RunSweep(context.Background(), env, unbiasedfl.SweepC,
 			[]float64{10, 20, 60})
 		if err != nil {
 			b.Fatal(err)
@@ -171,7 +172,7 @@ func BenchmarkFig7(b *testing.B) {
 	env := buildEnv(b, unbiasedfl.Setup3)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		points, err := unbiasedfl.RunSweep(env, unbiasedfl.SweepB,
+		points, err := unbiasedfl.RunSweep(context.Background(), env, unbiasedfl.SweepB,
 			[]float64{125, 500, 2000})
 		if err != nil {
 			b.Fatal(err)
@@ -396,14 +397,14 @@ func BenchmarkExtensionBayesian(b *testing.B) {
 func BenchmarkBoundFidelity(b *testing.B) {
 	opts := benchOptions()
 	opts.Rounds = 30
-	env, err := unbiasedfl.NewSetup(unbiasedfl.Setup2, opts)
+	env, err := unbiasedfl.NewSetup(context.Background(), unbiasedfl.Setup2, opts)
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	var tauSum float64
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.BoundFidelity(env, 6, 123)
+		res, err := experiment.BoundFidelity(context.Background(), env, 6, 123)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -418,13 +419,13 @@ func BenchmarkBoundFidelity(b *testing.B) {
 func BenchmarkConvergenceRate(b *testing.B) {
 	opts := benchOptions()
 	opts.Rounds = 40
-	env, err := unbiasedfl.NewSetup(unbiasedfl.Setup2, opts)
+	env, err := unbiasedfl.NewSetup(context.Background(), unbiasedfl.Setup2, opts)
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		points, err := experiment.ConvergenceRate(env, []int{10, 40, 160}, uint64(i)+5)
+		points, err := experiment.ConvergenceRate(context.Background(), env, []int{10, 40, 160}, uint64(i)+5)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -443,13 +444,13 @@ func BenchmarkConvergenceRate(b *testing.B) {
 func BenchmarkExtensionAdaptiveRepricing(b *testing.B) {
 	opts := benchOptions()
 	opts.Rounds = 40
-	env, err := unbiasedfl.NewSetup(unbiasedfl.Setup2, opts)
+	env, err := unbiasedfl.NewSetup(context.Background(), unbiasedfl.Setup2, opts)
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.RunAdaptive(env, 4, 9)
+		res, err := experiment.RunAdaptive(context.Background(), env, 4, 9)
 		if err != nil {
 			b.Fatal(err)
 		}

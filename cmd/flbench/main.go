@@ -23,25 +23,29 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
 
+	"unbiasedfl/internal/cli"
 	"unbiasedfl/internal/experiment"
 	"unbiasedfl/internal/game"
 	"unbiasedfl/internal/stats"
 )
 
 func main() {
-	if err := run(); err != nil {
+	ctx, stop := cli.SignalContext()
+	defer stop()
+	if err := run(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "flbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	var (
 		exp     = flag.String("experiment", "all", "experiment id (fig4..fig7, table2..table5, all)")
 		setup   = flag.Int("setup", 0, "restrict to one setup (0 = the paper's setup for that artifact)")
@@ -94,7 +98,7 @@ func run() error {
 	}
 	opts.Seed = *seed
 
-	h := &harness{opts: opts, out: os.Stdout, onlySetup: experiment.SetupID(*setup)}
+	h := &harness{ctx: ctx, opts: opts, out: os.Stdout, onlySetup: experiment.SetupID(*setup)}
 	if *out != "" {
 		artifacts, err := experiment.NewArtifacts(*out)
 		if err != nil {
@@ -144,6 +148,7 @@ func run() error {
 }
 
 type harness struct {
+	ctx       context.Context
 	opts      experiment.Options
 	out       *os.File
 	onlySetup experiment.SetupID
@@ -161,11 +166,11 @@ func (h *harness) setups() []experiment.SetupID {
 func (h *harness) comparisons() error {
 	for _, id := range h.setups() {
 		fmt.Fprintln(h.out, experiment.Banner(id.String()))
-		env, err := experiment.BuildSetup(id, h.opts)
+		env, err := experiment.BuildSetup(h.ctx, id, h.opts)
 		if err != nil {
 			return err
 		}
-		cmp, err := experiment.Compare(env)
+		cmp, err := experiment.Compare(h.ctx, env)
 		if err != nil {
 			return err
 		}
@@ -185,11 +190,11 @@ func (h *harness) comparisons() error {
 // table5 reproduces the negative-payment counts of Table V on Setup 1.
 func (h *harness) table5() error {
 	fmt.Fprintln(h.out, experiment.Banner("Table V — negative payments vs v (Setup 1)"))
-	env, err := experiment.BuildSetup(experiment.Setup1, h.opts)
+	env, err := experiment.BuildSetup(h.ctx, experiment.Setup1, h.opts)
 	if err != nil {
 		return err
 	}
-	points, err := experiment.EquilibriumSweep(env, experiment.SweepV, []float64{0, 4000, 80000})
+	points, err := experiment.EquilibriumSweep(h.ctx, env, experiment.SweepV, []float64{0, 4000, 80000})
 	if err != nil {
 		return err
 	}
@@ -208,11 +213,11 @@ func (h *harness) table5() error {
 // sweep produces one of Figs. 5–7 with full retraining at each point.
 func (h *harness) sweep(id experiment.SetupID, kind experiment.SweepKind, values []float64) error {
 	fmt.Fprintf(h.out, "%s\n", experiment.Banner(fmt.Sprintf("%v — %v", id, kind)))
-	env, err := experiment.BuildSetup(id, h.opts)
+	env, err := experiment.BuildSetup(h.ctx, id, h.opts)
 	if err != nil {
 		return err
 	}
-	points, err := experiment.Sweep(env, kind, values)
+	points, err := experiment.Sweep(h.ctx, env, kind, values)
 	if err != nil {
 		return err
 	}
@@ -229,12 +234,12 @@ func (h *harness) sweep(id experiment.SetupID, kind experiment.SweepKind, values
 // rate validates the O(1/R) decay of Theorem 1 empirically.
 func (h *harness) rate() error {
 	fmt.Fprintln(h.out, experiment.Banner("Convergence rate — empirical O(1/R) check"))
-	env, err := experiment.BuildSetup(experiment.Setup2, h.opts)
+	env, err := experiment.BuildSetup(h.ctx, experiment.Setup2, h.opts)
 	if err != nil {
 		return err
 	}
 	horizons := []int{h.opts.Rounds / 4, h.opts.Rounds, h.opts.Rounds * 4}
-	points, err := experiment.ConvergenceRate(env, horizons, h.opts.Seed)
+	points, err := experiment.ConvergenceRate(h.ctx, env, horizons, h.opts.Seed)
 	if err != nil {
 		return err
 	}
@@ -252,11 +257,11 @@ func (h *harness) rate() error {
 // fidelity reports the rank agreement between the bound and training.
 func (h *harness) fidelity() error {
 	fmt.Fprintln(h.out, experiment.Banner("Bound fidelity — surrogate vs training"))
-	env, err := experiment.BuildSetup(experiment.Setup2, h.opts)
+	env, err := experiment.BuildSetup(h.ctx, experiment.Setup2, h.opts)
 	if err != nil {
 		return err
 	}
-	res, err := experiment.BoundFidelity(env, 6, h.opts.Seed+99)
+	res, err := experiment.BoundFidelity(h.ctx, env, 6, h.opts.Seed+99)
 	if err != nil {
 		return err
 	}
@@ -273,7 +278,7 @@ func (h *harness) fidelity() error {
 // bayes contrasts complete-information pricing with the Bayesian design.
 func (h *harness) bayes() error {
 	fmt.Fprintln(h.out, experiment.Banner("Bayesian incomplete information"))
-	env, err := experiment.BuildSetup(experiment.Setup1, h.opts)
+	env, err := experiment.BuildSetup(h.ctx, experiment.Setup1, h.opts)
 	if err != nil {
 		return err
 	}

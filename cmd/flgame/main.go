@@ -1,46 +1,80 @@
 // Command flgame solves the CPL Stackelberg game for one of the paper's
 // setups and prints the equilibrium: per-client participation levels,
 // customized prices (including negative, bi-directional payments), the
-// payment-direction threshold v_t, and the Theorem-2 invariant.
+// payment-direction threshold v_t, and the Theorem-2 invariant. Ctrl-C
+// cancels a long setup build cleanly.
 //
 // Usage:
 //
-//	flgame -setup 1 [-clients 12] [-budget 200] [-meanv 4000] [-seed 1]
+//	flgame -setup 1 [-clients 12] [-budget 200] [-meanv 4000] [-seed 1] [-json]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
-	"unbiasedfl/internal/experiment"
+	"unbiasedfl"
+	"unbiasedfl/internal/cli"
 	"unbiasedfl/internal/game"
 )
 
 func main() {
-	if err := run(); err != nil {
+	ctx, stop := cli.SignalContext()
+	defer stop()
+	if err := run(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "flgame:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+// equilibriumJSON is flgame's machine-readable result shape.
+type equilibriumJSON struct {
+	Setup            string       `json:"setup"`
+	Clients          int          `json:"clients"`
+	Budget           float64      `json:"budget"`
+	Alpha            float64      `json:"alpha"`
+	Rounds           float64      `json:"rounds"`
+	Lambda           float64      `json:"lambda"`
+	BudgetTight      bool         `json:"budget_tight"`
+	PaymentThreshold float64      `json:"payment_threshold_vt"`
+	Spend            float64      `json:"spend"`
+	ServerBound      float64      `json:"server_bound"`
+	NegativePayments int          `json:"negative_payments"`
+	PerClient        []clientJSON `json:"per_client"`
+}
+
+type clientJSON struct {
+	Client  int     `json:"client"`
+	A       float64 `json:"a"`
+	G       float64 `json:"g"`
+	C       float64 `json:"c"`
+	V       float64 `json:"v"`
+	Q       float64 `json:"q"`
+	P       float64 `json:"p"`
+	Payment float64 `json:"payment"`
+}
+
+func run(ctx context.Context) error {
 	var (
-		setup   = flag.Int("setup", 1, "experimental setup (1=Synthetic, 2=MNIST-like, 3=EMNIST-like)")
-		clients = flag.Int("clients", 12, "number of clients")
-		budget  = flag.Float64("budget", -1, "override server budget B (-1 = Table I value)")
-		meanV   = flag.Float64("meanv", -1, "override mean intrinsic value (-1 = Table I value)")
-		seed    = flag.Uint64("seed", 1, "random seed")
+		setup    = flag.Int("setup", 1, "experimental setup (1=Synthetic, 2=MNIST-like, 3=EMNIST-like)")
+		clients  = flag.Int("clients", 12, "number of clients")
+		budget   = flag.Float64("budget", -1, "override server budget B (-1 = Table I value)")
+		meanV    = flag.Float64("meanv", -1, "override mean intrinsic value (-1 = Table I value)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		jsonFlag = flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 	)
 	flag.Parse()
 
-	opts := experiment.DefaultOptions()
-	opts.NumClients = *clients
-	opts.Seed = *seed
-	env, err := experiment.BuildSetup(experiment.SetupID(*setup), opts)
+	sess, err := unbiasedfl.NewSession(ctx, unbiasedfl.SetupID(*setup),
+		unbiasedfl.WithClients(*clients),
+		unbiasedfl.WithSeed(*seed),
+	)
 	if err != nil {
 		return err
 	}
+	env := sess.Environment()
 	params := env.Params
 	if *budget >= 0 {
 		params = params.Clone()
@@ -57,6 +91,29 @@ func run() error {
 	eq, err := params.SolveKKT()
 	if err != nil {
 		return err
+	}
+
+	if *jsonFlag {
+		out := equilibriumJSON{
+			Setup:            env.ID.String(),
+			Clients:          params.N(),
+			Budget:           params.B,
+			Alpha:            params.Alpha,
+			Rounds:           params.R,
+			Lambda:           eq.Lambda,
+			BudgetTight:      eq.BudgetTight,
+			PaymentThreshold: eq.Vt(),
+			Spend:            eq.Spent,
+			ServerBound:      eq.ServerObj,
+			NegativePayments: eq.NegativePayments(),
+		}
+		for n := 0; n < params.N(); n++ {
+			out.PerClient = append(out.PerClient, clientJSON{
+				Client: n, A: params.A[n], G: params.G[n], C: params.C[n],
+				V: params.V[n], Q: eq.Q[n], P: eq.P[n], Payment: eq.P[n] * eq.Q[n],
+			})
+		}
+		return cli.WriteJSON(os.Stdout, out)
 	}
 
 	fmt.Printf("%v — Stackelberg equilibrium (N=%d, B=%.2f, alpha=%.4g, R=%.0f)\n\n",

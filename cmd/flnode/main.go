@@ -13,24 +13,28 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"unbiasedfl/internal/cli"
 	"unbiasedfl/internal/experiment"
 	"unbiasedfl/internal/fl"
 	"unbiasedfl/internal/transport"
 )
 
 func main() {
-	if err := run(); err != nil {
+	ctx, stop := cli.SignalContext()
+	defer stop()
+	if err := run(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "flnode:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	var (
 		role    = flag.String("role", "server", "node role: server or client")
 		addr    = flag.String("addr", "127.0.0.1:9000", "listen (server) or dial (client) address")
@@ -49,7 +53,7 @@ func run() error {
 	opts.Rounds = *rounds
 	opts.LocalSteps = *steps
 	opts.Seed = *seed
-	env, err := experiment.BuildSetup(experiment.SetupID(*setup), opts)
+	env, err := experiment.BuildSetup(ctx, experiment.SetupID(*setup), opts)
 	if err != nil {
 		return err
 	}
@@ -83,7 +87,7 @@ func run() error {
 		}
 		defer func() { _ = srv.Close() }()
 		fmt.Printf("server listening on %s, waiting for %d clients\n", srv.Addr(), *clients)
-		res, err := srv.Run()
+		res, err := srv.Run(ctx)
 		if err != nil {
 			return err
 		}
@@ -110,7 +114,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		joined, err := node.Run()
+		joined, err := node.Run(ctx)
 		if err != nil {
 			return err
 		}

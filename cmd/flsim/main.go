@@ -1,73 +1,131 @@
 // Command flsim runs one federated training simulation for a setup under a
 // chosen pricing scheme and prints the timed loss/accuracy trajectory — one
-// curve of the paper's Fig. 4.
+// curve of the paper's Fig. 4. Any scheme registered in the pricing
+// registry is accepted; Ctrl-C cancels mid-round.
 //
 // Usage:
 //
-//	flsim -setup 2 -scheme proposed [-rounds 120] [-clients 12] [-runs 3]
+//	flsim -setup 2 -scheme proposed [-rounds 120] [-clients 12] [-runs 3] [-json] [-progress]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
+	"unbiasedfl"
+	"unbiasedfl/internal/cli"
 	"unbiasedfl/internal/experiment"
-	"unbiasedfl/internal/game"
 )
 
 func main() {
-	if err := run(); err != nil {
+	ctx, stop := cli.SignalContext()
+	defer stop()
+	if err := run(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "flsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+// schemeRunJSON is flsim's machine-readable result shape.
+type schemeRunJSON struct {
+	Setup              string      `json:"setup"`
+	Scheme             string      `json:"scheme"`
+	Budget             float64     `json:"budget"`
+	Spend              float64     `json:"spend"`
+	ServerBound        float64     `json:"server_bound"`
+	FinalLoss          float64     `json:"final_loss"`
+	FinalAccuracy      float64     `json:"final_accuracy"`
+	TotalClientUtility float64     `json:"total_client_utility"`
+	NegativePayments   int         `json:"negative_payments"`
+	Points             []pointJSON `json:"points"`
+}
+
+type pointJSON struct {
+	TimeS    float64 `json:"time_s"`
+	Loss     float64 `json:"loss"`
+	Accuracy float64 `json:"accuracy"`
+}
+
+func run(ctx context.Context) error {
 	var (
-		setup   = flag.Int("setup", 1, "experimental setup (1, 2, or 3)")
-		scheme  = flag.String("scheme", "proposed", "pricing scheme: proposed, uniform, weighted")
-		clients = flag.Int("clients", 12, "number of clients")
-		rounds  = flag.Int("rounds", 120, "training rounds R")
-		steps   = flag.Int("steps", 10, "local SGD steps E")
-		runs    = flag.Int("runs", 3, "independent runs to average")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		csv     = flag.Bool("csv", false, "emit CSV instead of a table")
+		setup    = flag.Int("setup", 1, "experimental setup (1, 2, or 3)")
+		scheme   = flag.String("scheme", "proposed", "pricing scheme (any registered name; built-ins: proposed, uniform, weighted)")
+		clients  = flag.Int("clients", 12, "number of clients")
+		rounds   = flag.Int("rounds", 120, "training rounds R")
+		steps    = flag.Int("steps", 10, "local SGD steps E")
+		runs     = flag.Int("runs", 3, "independent runs to average")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		csv      = flag.Bool("csv", false, "emit CSV instead of a table")
+		jsonFlag = flag.Bool("json", false, "emit machine-readable JSON instead of a table")
+		progress = flag.Bool("progress", false, "stream per-round progress to stderr while training")
 	)
 	flag.Parse()
 
-	var s game.Scheme
-	switch *scheme {
-	case "proposed", "optimal":
-		s = game.SchemeOptimal
-	case "uniform":
-		s = game.SchemeUniform
-	case "weighted":
-		s = game.SchemeWeighted
-	default:
-		return fmt.Errorf("unknown scheme %q", *scheme)
+	name := *scheme
+	if name == "optimal" { // historical alias for the proposed mechanism
+		name = unbiasedfl.SchemeNameProposed
 	}
-
-	opts := experiment.DefaultOptions()
-	opts.NumClients = *clients
-	opts.Rounds = *rounds
-	opts.LocalSteps = *steps
-	opts.Runs = *runs
-	opts.Seed = *seed
-	env, err := experiment.BuildSetup(experiment.SetupID(*setup), opts)
-	if err != nil {
-		return err
-	}
-	run, err := experiment.RunScheme(env, s)
-	if err != nil {
+	if _, err := unbiasedfl.SchemeByName(name); err != nil {
 		return err
 	}
 
-	if *csv {
+	options := []unbiasedfl.Option{
+		unbiasedfl.WithClients(*clients),
+		unbiasedfl.WithRounds(*rounds),
+		unbiasedfl.WithLocalSteps(*steps),
+		unbiasedfl.WithRuns(*runs),
+		unbiasedfl.WithSeed(*seed),
+	}
+	if *progress {
+		options = append(options, unbiasedfl.WithObserver(
+			unbiasedfl.ObserverFunc(func(e unbiasedfl.Event) {
+				switch ev := e.(type) {
+				case unbiasedfl.SchemeSolved:
+					fmt.Fprintf(os.Stderr, "%s: priced (spend %.2f)\n", ev.Scheme, ev.Outcome.Spent)
+				case unbiasedfl.RoundEnd:
+					if ev.Evaluated {
+						fmt.Fprintf(os.Stderr, "%s run %d round %d: loss %.4f acc %.4f\n",
+							ev.Scheme, ev.Run, ev.Round, ev.Loss, ev.Accuracy)
+					}
+				}
+			})))
+	}
+	sess, err := unbiasedfl.NewSession(ctx, unbiasedfl.SetupID(*setup), options...)
+	if err != nil {
+		return err
+	}
+	run, err := sess.RunScheme(ctx, name)
+	if err != nil {
+		return err
+	}
+	env := sess.Environment()
+
+	switch {
+	case *jsonFlag:
+		out := schemeRunJSON{
+			Setup:              env.ID.String(),
+			Scheme:             run.Scheme,
+			Budget:             env.Params.B,
+			Spend:              run.Outcome.Spent,
+			ServerBound:        run.Outcome.ServerObj,
+			FinalLoss:          run.FinalLoss,
+			FinalAccuracy:      run.FinalAccuracy,
+			TotalClientUtility: run.TotalClientUtility,
+			NegativePayments:   run.NegativePayments,
+		}
+		for _, pt := range run.Points {
+			out.Points = append(out.Points, pointJSON{
+				TimeS: pt.Elapsed.Seconds(), Loss: pt.Loss, Accuracy: pt.Accuracy,
+			})
+		}
+		return cli.WriteJSON(os.Stdout, out)
+	case *csv:
 		return experiment.WriteSeriesCSV(os.Stdout, run)
 	}
 	fmt.Printf("%v under %v pricing (spent %.2f of B=%.2f)\n\n",
-		env.ID, s, run.Outcome.Spent, env.Params.B)
+		env.ID, run.Scheme, run.Outcome.Spent, env.Params.B)
 	fmt.Println("  time (s) |   loss | accuracy")
 	fmt.Println("-----------+--------+---------")
 	for _, pt := range run.Points {

@@ -1,6 +1,7 @@
 package unbiasedfl_test
 
 import (
+	"context"
 	"fmt"
 
 	"unbiasedfl"
@@ -20,7 +21,7 @@ func Example() {
 		Seed:         1,
 		Runs:         1,
 	}
-	env, err := unbiasedfl.NewSetup(unbiasedfl.Setup1, opts)
+	env, err := unbiasedfl.NewSetup(context.Background(), unbiasedfl.Setup1, opts)
 	if err != nil {
 		fmt.Println("error:", err)
 		return

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -24,12 +25,13 @@ func main() {
 }
 
 func run() error {
-	opts := unbiasedfl.DefaultOptions()
-	opts.NumClients = 16
-	env, err := unbiasedfl.NewSetup(unbiasedfl.Setup1, opts)
+	ctx := context.Background()
+	sess, err := unbiasedfl.NewSession(ctx, unbiasedfl.Setup1,
+		unbiasedfl.WithClients(16))
 	if err != nil {
 		return err
 	}
+	env := sess.Environment()
 	p := env.Params
 
 	// Complete information: the paper's mechanism.
@@ -49,8 +51,13 @@ func run() error {
 		return err
 	}
 
-	// Uniform posted price: the least-informed fallback.
-	uni, err := p.SolveScheme(unbiasedfl.SchemeUniform)
+	// Uniform posted price: the least-informed fallback, resolved through
+	// the open pricing registry.
+	uniScheme, err := unbiasedfl.SchemeByName(unbiasedfl.SchemeNameUniform)
+	if err != nil {
+		return err
+	}
+	uni, err := uniScheme.Price(p)
 	if err != nil {
 		return err
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -20,16 +21,17 @@ func main() {
 }
 
 func run() error {
-	opts := unbiasedfl.DefaultOptions()
-	opts.NumClients = 12
-	env, err := unbiasedfl.NewSetup(unbiasedfl.Setup1, opts)
+	ctx := context.Background()
+	sess, err := unbiasedfl.NewSession(ctx, unbiasedfl.Setup1,
+		unbiasedfl.WithClients(12))
 	if err != nil {
 		return err
 	}
+	env := sess.Environment()
 
 	// Table V's sweep: negative-payment counts vs mean intrinsic value.
 	fmt.Println("Table V reproduction — negative payments vs mean intrinsic value:")
-	points, err := unbiasedfl.EquilibriumSweep(env, unbiasedfl.SweepV,
+	points, err := sess.EquilibriumSweep(ctx, unbiasedfl.SweepV,
 		[]float64{0, 1000, 4000, 16000, 80000})
 	if err != nil {
 		return err
@@ -40,7 +42,7 @@ func run() error {
 	}
 
 	// Zoom into one equilibrium and verify the threshold classification.
-	eq, err := env.Params.SolveKKT()
+	eq, err := sess.Equilibrium()
 	if err != nil {
 		return err
 	}

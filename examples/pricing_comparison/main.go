@@ -1,9 +1,13 @@
 // Pricing comparison: reproduce the paper's headline experiment (Fig. 4 and
 // Tables II–IV) on one setup — the proposed customized pricing versus
-// uniform and data-size-weighted pricing under the same budget.
+// uniform and data-size-weighted pricing under the same budget — and
+// demonstrate the open registry by entering a fourth, third-party scheme
+// ("flat": every client gets an equal share of the budget as its price)
+// into the same comparison without touching the game internals.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -11,6 +15,21 @@ import (
 	"unbiasedfl"
 	"unbiasedfl/internal/experiment"
 )
+
+// flatScheme is the third-party mechanism: post the same total price B/N to
+// every client regardless of data size or cost, and let the game evaluate
+// the induced best responses. It implements unbiasedfl.PricingScheme.
+type flatScheme struct{}
+
+func (flatScheme) Name() string { return "flat" }
+
+func (flatScheme) Price(p *unbiasedfl.GameParams) (*unbiasedfl.Outcome, error) {
+	prices := make([]float64, p.N())
+	for i := range prices {
+		prices[i] = p.B / float64(p.N())
+	}
+	return p.OutcomeFor("flat", prices)
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -22,18 +41,28 @@ func main() {
 func run() error {
 	setup := flag.Int("setup", 2, "experimental setup (1, 2, or 3)")
 	flag.Parse()
+	ctx := context.Background()
 
-	opts := unbiasedfl.DefaultOptions()
-	opts.NumClients = 10
-	opts.Rounds = 80
-	opts.Runs = 2
-	env, err := unbiasedfl.NewSetup(unbiasedfl.SetupID(*setup), opts)
+	// Register the third-party scheme; from here on CompareSchemes and
+	// RunSweep treat it exactly like the paper's built-ins.
+	if err := unbiasedfl.RegisterScheme(flatScheme{}); err != nil {
+		return err
+	}
+	defer unbiasedfl.UnregisterScheme("flat")
+
+	sess, err := unbiasedfl.NewSession(ctx, unbiasedfl.SetupID(*setup),
+		unbiasedfl.WithClients(10),
+		unbiasedfl.WithRounds(80),
+		unbiasedfl.WithRuns(2),
+	)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("comparing pricing schemes on %v (budget %.1f)\n\n", env.ID, env.Params.B)
+	env := sess.Environment()
+	fmt.Printf("comparing pricing schemes on %v (budget %.1f): %v\n\n",
+		env.ID, env.Params.B, unbiasedfl.SchemeNames())
 
-	cmp, err := unbiasedfl.CompareSchemes(env)
+	cmp, err := sess.CompareSchemes(ctx)
 	if err != nil {
 		return err
 	}
@@ -65,9 +94,15 @@ func run() error {
 	}
 
 	// Savings headline, as the paper reports ("69% less time than uniform").
-	if tl[0].OK && tl[2].OK && tl[2].Elapsed > 0 {
-		saving := 1 - tl[0].Elapsed.Seconds()/tl[2].Elapsed.Seconds()
-		fmt.Printf("\nproposed pricing reaches the loss target %.0f%% faster than uniform\n", saving*100)
+	proposed := cmp.Scheme(unbiasedfl.SchemeNameProposed)
+	uniform := cmp.Scheme(unbiasedfl.SchemeNameUniform)
+	if proposed != nil && uniform != nil {
+		pt, pok := timeTo(tl, unbiasedfl.SchemeNameProposed)
+		ut, uok := timeTo(tl, unbiasedfl.SchemeNameUniform)
+		if pok && uok && ut > 0 {
+			saving := 1 - pt/ut
+			fmt.Printf("\nproposed pricing reaches the loss target %.0f%% faster than uniform\n", saving*100)
+		}
 	}
 
 	overU, overW, err := cmp.UtilityGains()
@@ -79,4 +114,13 @@ func run() error {
 	// Full markdown report (what cmd/flbench prints for every setup).
 	fmt.Println("\n--- full report ---")
 	return experiment.WriteComparisonReport(os.Stdout, cmp)
+}
+
+func timeTo(rows []experiment.TimeToTarget, scheme string) (seconds float64, ok bool) {
+	for _, r := range rows {
+		if r.Scheme == scheme {
+			return r.Elapsed.Seconds(), r.OK
+		}
+	}
+	return 0, false
 }

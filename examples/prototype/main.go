@@ -6,8 +6,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
+	"os/signal"
 	"sync"
 	"time"
 
@@ -29,18 +31,24 @@ func run() error {
 		rounds     = 30
 		localSteps = 5
 	)
-	opts := unbiasedfl.DefaultOptions()
-	opts.NumClients = numClients
-	opts.Rounds = rounds
-	opts.LocalSteps = localSteps
-	env, err := unbiasedfl.NewSetup(unbiasedfl.Setup2, opts)
+	// Ctrl-C cancels the whole federation — coordinator and every device
+	// node unwind through their contexts.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	sess, err := unbiasedfl.NewSession(ctx, unbiasedfl.Setup2,
+		unbiasedfl.WithClients(numClients),
+		unbiasedfl.WithRounds(rounds),
+		unbiasedfl.WithLocalSteps(localSteps),
+	)
 	if err != nil {
 		return err
 	}
+	env := sess.Environment()
 
 	// Price the market with the proposed mechanism; the equilibrium q*
 	// becomes each device's autonomous participation probability.
-	eq, err := env.Params.SolveKKT()
+	eq, err := sess.Equilibrium()
 	if err != nil {
 		return err
 	}
@@ -80,7 +88,7 @@ func run() error {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			joined, err := node.Run()
+			joined, err := node.Run(ctx)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "client %d: %v\n", id, err)
 				return
@@ -89,7 +97,7 @@ func run() error {
 		}(id)
 	}
 
-	result, err := srv.Run()
+	result, err := srv.Run(ctx)
 	wg.Wait()
 	if err != nil {
 		return err

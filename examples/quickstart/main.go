@@ -1,9 +1,11 @@
-// Quickstart: build the paper's Setup 1 world, solve the CPL Stackelberg
-// game, inspect the equilibrium, and train one model under the proposed
-// pricing. This is the smallest end-to-end tour of the public API.
+// Quickstart: build the paper's Setup 1 world as a Session, solve the CPL
+// Stackelberg game, inspect the equilibrium, and train one model under the
+// proposed pricing with streamed per-round progress. This is the smallest
+// end-to-end tour of the public API.
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -19,16 +21,26 @@ func main() {
 }
 
 func run() error {
+	ctx := context.Background()
+
 	// 1. Build an experimental world: Synthetic(1,1) data across clients,
 	// calibrated G_n estimates, Table-I economics, a device timing model.
-	opts := unbiasedfl.DefaultOptions()
-	opts.NumClients = 8
-	opts.Rounds = 60
-	opts.Runs = 1
-	env, err := unbiasedfl.NewSetup(unbiasedfl.Setup1, opts)
+	// Functional options scale it; the observer streams typed events.
+	sess, err := unbiasedfl.NewSession(ctx, unbiasedfl.Setup1,
+		unbiasedfl.WithClients(8),
+		unbiasedfl.WithRounds(60),
+		unbiasedfl.WithRuns(1),
+		unbiasedfl.WithObserver(unbiasedfl.ObserverFunc(func(e unbiasedfl.Event) {
+			if r, ok := e.(unbiasedfl.RoundEnd); ok && r.Evaluated {
+				fmt.Printf("  [stream] round %3d: loss %.4f accuracy %.4f\n",
+					r.Round, r.Loss, r.Accuracy)
+			}
+		})),
+	)
 	if err != nil {
 		return err
 	}
+	env := sess.Environment()
 	fmt.Printf("built %v: %d clients, %d training samples\n\n",
 		env.ID, env.Fed.NumClients(), env.Fed.Train.Len())
 	if err := data.WriteSummary(os.Stdout, env.Fed); err != nil {
@@ -37,7 +49,7 @@ func run() error {
 
 	// 2. Solve the Stackelberg equilibrium: customized prices P* and the
 	// clients' best-response participation levels q*.
-	eq, err := env.Params.SolveKKT()
+	eq, err := sess.Equilibrium()
 	if err != nil {
 		return err
 	}
@@ -52,13 +64,15 @@ func run() error {
 			n, eq.Q[n], eq.P[n], direction)
 	}
 
-	// 3. Train under the proposed pricing with unbiased aggregation and
-	// report the timed trajectory.
-	sr, err := unbiasedfl.RunScheme(env, unbiasedfl.SchemeOptimal)
+	// 3. Train under the proposed pricing with unbiased aggregation; the
+	// observer above streams rounds as they complete, and the returned run
+	// holds the averaged timed trajectory.
+	fmt.Println("\ntraining under proposed pricing:")
+	sr, err := sess.RunScheme(ctx, unbiasedfl.SchemeNameProposed)
 	if err != nil {
 		return err
 	}
-	fmt.Println("\ntraining under proposed pricing:")
+	fmt.Println("\naveraged timed trajectory:")
 	for _, pt := range sr.Points {
 		fmt.Printf("  t=%6.1fs  loss=%.4f  accuracy=%.4f\n",
 			pt.Elapsed.Seconds(), pt.Loss, pt.Accuracy)

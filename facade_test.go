@@ -1,39 +1,44 @@
 package unbiasedfl_test
 
 import (
+	"context"
 	"testing"
 
 	"unbiasedfl"
 )
 
 // tinyFacadeOptions keeps the façade smoke tests fast.
-func tinyFacadeOptions() unbiasedfl.Options {
-	return unbiasedfl.Options{
-		NumClients:   5,
-		TotalSamples: 600,
-		Rounds:       25,
-		LocalSteps:   5,
-		BatchSize:    16,
-		EvalEvery:    5,
-		Calibration:  2,
-		Seed:         2,
-		Runs:         1,
+func tinyFacadeOptions() []unbiasedfl.Option {
+	return []unbiasedfl.Option{
+		unbiasedfl.WithClients(5),
+		unbiasedfl.WithTotalSamples(600),
+		unbiasedfl.WithRounds(25),
+		unbiasedfl.WithLocalSteps(5),
+		unbiasedfl.WithBatchSize(16),
+		unbiasedfl.WithEvalEvery(5),
+		unbiasedfl.WithCalibrationRounds(2),
+		unbiasedfl.WithSeed(2),
+		unbiasedfl.WithRuns(1),
 	}
 }
 
-func TestFacadeEndToEnd(t *testing.T) {
-	env, err := unbiasedfl.NewSetup(unbiasedfl.Setup1, tinyFacadeOptions())
+func TestSessionEndToEnd(t *testing.T) {
+	ctx := context.Background()
+	sess, err := unbiasedfl.NewSession(ctx, unbiasedfl.Setup1, tinyFacadeOptions()...)
 	if err != nil {
 		t.Fatal(err)
 	}
-	eq, err := env.Params.SolveKKT()
+	if got := sess.Options().NumClients; got != 5 {
+		t.Fatalf("functional options not applied: clients %d", got)
+	}
+	eq, err := sess.Equilibrium()
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(eq.Q) != 5 || len(eq.P) != 5 {
 		t.Fatalf("equilibrium sizes %d/%d", len(eq.Q), len(eq.P))
 	}
-	run, err := unbiasedfl.RunScheme(env, unbiasedfl.SchemeOptimal)
+	run, err := sess.RunScheme(ctx, unbiasedfl.SchemeNameProposed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,21 +48,30 @@ func TestFacadeEndToEnd(t *testing.T) {
 	if run.FinalLoss <= 0 {
 		t.Fatalf("final loss %v", run.FinalLoss)
 	}
+	if run.Scheme != unbiasedfl.SchemeNameProposed {
+		t.Fatalf("scheme name %q", run.Scheme)
+	}
 }
 
-func TestFacadeCompareAndSweep(t *testing.T) {
-	env, err := unbiasedfl.NewSetup(unbiasedfl.Setup2, tinyFacadeOptions())
+func TestSessionCompareAndSweep(t *testing.T) {
+	ctx := context.Background()
+	sess, err := unbiasedfl.NewSession(ctx, unbiasedfl.Setup2, tinyFacadeOptions()...)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cmp, err := unbiasedfl.CompareSchemes(env)
+	cmp, err := sess.CompareSchemes(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(cmp.Schemes) != 3 {
 		t.Fatalf("schemes %d", len(cmp.Schemes))
 	}
-	points, err := unbiasedfl.EquilibriumSweep(env, unbiasedfl.SweepB, []float64{10, 100})
+	if cmp.Scheme(unbiasedfl.SchemeNameProposed) == nil ||
+		cmp.Scheme(unbiasedfl.SchemeNameUniform) == nil ||
+		cmp.Scheme(unbiasedfl.SchemeNameWeighted) == nil {
+		t.Fatal("missing built-in scheme in comparison")
+	}
+	points, err := sess.EquilibriumSweep(ctx, unbiasedfl.SweepB, []float64{10, 100})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,6 +83,42 @@ func TestFacadeCompareAndSweep(t *testing.T) {
 	}
 }
 
+// TestDeprecatedFacade keeps the v0 entry points (ctx-threaded now, enum
+// constants deprecated) working against the registry-backed internals.
+func TestDeprecatedFacade(t *testing.T) {
+	ctx := context.Background()
+	opts := unbiasedfl.Options{
+		NumClients:   5,
+		TotalSamples: 600,
+		Rounds:       25,
+		LocalSteps:   5,
+		BatchSize:    16,
+		EvalEvery:    5,
+		Calibration:  2,
+		Seed:         2,
+		Runs:         1,
+	}
+	env, err := unbiasedfl.NewSetup(ctx, unbiasedfl.Setup1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The deprecated enum still prices through the registry shim.
+	out, err := env.Params.SolveScheme(unbiasedfl.SchemeOptimal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Name != unbiasedfl.SchemeNameProposed {
+		t.Fatalf("enum mapped to %q", out.Name)
+	}
+	run, err := unbiasedfl.RunScheme(ctx, env, unbiasedfl.SchemeOptimal.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.FinalLoss <= 0 {
+		t.Fatalf("final loss %v", run.FinalLoss)
+	}
+}
+
 func TestFacadeDefaults(t *testing.T) {
 	d := unbiasedfl.DefaultOptions()
 	p := unbiasedfl.PaperOptions()
@@ -77,5 +127,9 @@ func TestFacadeDefaults(t *testing.T) {
 	}
 	if unbiasedfl.Setup1.String() == "" || unbiasedfl.SchemeOptimal.String() != "proposed" {
 		t.Fatal("stringers broken")
+	}
+	names := unbiasedfl.SchemeNames()
+	if len(names) < 3 || names[0] != unbiasedfl.SchemeNameProposed {
+		t.Fatalf("registry names %v", names)
 	}
 }

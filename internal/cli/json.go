@@ -1,0 +1,23 @@
+// Package cli holds helpers shared by the cmd/ binaries: machine-readable
+// output encoding and signal-driven cancellation plumbing, so each binary
+// does not grow its own divergent copy.
+package cli
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteJSON encodes v as indented JSON followed by a newline — the single
+// encoding path behind every binary's -json flag, so all machine-readable
+// output shares one shape discipline (two-space indent, trailing newline,
+// stable field order from the struct definitions).
+func WriteJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		return fmt.Errorf("cli: encode json: %w", err)
+	}
+	return nil
+}

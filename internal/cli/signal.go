@@ -1,0 +1,20 @@
+package cli
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// SignalContext returns a context cancelled on SIGINT or SIGTERM, giving
+// every binary the same Ctrl-C semantics: the first signal cancels the
+// in-flight work (which unwinds promptly through the context-aware API),
+// a second signal kills the process via the restored default handler —
+// the AfterFunc unregisters the capture as soon as the context fires, so
+// repeated signals are not swallowed while shutdown unwinds.
+func SignalContext() (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	context.AfterFunc(ctx, stop)
+	return ctx, stop
+}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -41,8 +42,12 @@ type AdaptiveResult struct {
 }
 
 // RunAdaptive trains once with static pricing and once with per-epoch
-// repricing, both under the same total round budget.
-func RunAdaptive(env *Environment, epochs int, seed uint64) (*AdaptiveResult, error) {
+// repricing, both under the same total round budget. Cancelling ctx aborts
+// promptly with ctx.Err().
+func RunAdaptive(ctx context.Context, env *Environment, epochs int, seed uint64) (*AdaptiveResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if env == nil {
 		return nil, errors.New("experiment: nil environment")
 	}
@@ -60,7 +65,7 @@ func RunAdaptive(env *Environment, epochs int, seed uint64) (*AdaptiveResult, er
 	if err != nil {
 		return nil, err
 	}
-	staticRun, err := trainWithQ(env, staticOutcome.Q, totalRounds, seed)
+	staticRun, err := trainWithQ(ctx, env, staticOutcome.Q, totalRounds, seed)
 	if err != nil {
 		return nil, fmt.Errorf("static arm: %w", err)
 	}
@@ -74,7 +79,7 @@ func RunAdaptive(env *Environment, epochs int, seed uint64) (*AdaptiveResult, er
 		if err != nil {
 			return nil, fmt.Errorf("adaptive epoch %d pricing: %w", e, err)
 		}
-		run, err := trainWithQ(env, outcome.Q, perEpoch, adaptiveSeed+uint64(e))
+		run, err := trainWithQ(ctx, env, outcome.Q, perEpoch, adaptiveSeed+uint64(e))
 		if err != nil {
 			return nil, fmt.Errorf("adaptive epoch %d: %w", e, err)
 		}
@@ -119,7 +124,7 @@ func RunAdaptive(env *Environment, epochs int, seed uint64) (*AdaptiveResult, er
 // Each segment restarts from w0; the comparison is between pricing policies
 // over equal-length segments, the regime where the bound's variance term
 // dominates.
-func trainWithQ(env *Environment, q []float64, rounds int, seed uint64) (*fl.RunResult, error) {
+func trainWithQ(ctx context.Context, env *Environment, q []float64, rounds int, seed uint64) (*fl.RunResult, error) {
 	qc := clampVec(q, env.Params.QMin, env.Params.QMax)
 	sampler, err := fl.NewBernoulliSampler(qc, stats.NewRNG(seed))
 	if err != nil {
@@ -137,7 +142,7 @@ func trainWithQ(env *Environment, q []float64, rounds int, seed uint64) (*fl.Run
 		Model: env.Model, Fed: env.Fed, Config: cfg,
 		Sampler: sampler, Aggregator: fl.UnbiasedAggregator{}, Parallel: true,
 	}
-	return runner.Run()
+	return runner.RunContext(ctx)
 }
 
 func clampVec(q []float64, lo, hi float64) []float64 {

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"math"
 	"testing"
 )
@@ -9,11 +10,11 @@ func TestRunAdaptive(t *testing.T) {
 	opts := tinyOptions()
 	opts.Rounds = 40
 	opts.Runs = 1
-	env, err := BuildSetup(Setup2, opts)
+	env, err := BuildSetup(context.Background(), Setup2, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := RunAdaptive(env, 4, 9)
+	res, err := RunAdaptive(context.Background(), env, 4, 9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,21 +46,21 @@ func TestRunAdaptive(t *testing.T) {
 }
 
 func TestRunAdaptiveErrors(t *testing.T) {
-	if _, err := RunAdaptive(nil, 2, 1); err == nil {
+	if _, err := RunAdaptive(context.Background(), nil, 2, 1); err == nil {
 		t.Fatal("expected nil env error")
 	}
-	env, err := BuildSetup(Setup1, tinyOptions())
+	env, err := BuildSetup(context.Background(), Setup1, tinyOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := RunAdaptive(env, 1, 1); err == nil {
+	if _, err := RunAdaptive(context.Background(), env, 1, 1); err == nil {
 		t.Fatal("expected epochs error")
 	}
 	small := *env
 	smallOpts := env.Opts
 	smallOpts.Rounds = 2
 	small.Opts = smallOpts
-	if _, err := RunAdaptive(&small, 5, 1); err == nil {
+	if _, err := RunAdaptive(context.Background(), &small, 5, 1); err == nil {
 		t.Fatal("expected too-many-epochs error")
 	}
 }

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -12,15 +13,15 @@ func TestArtifactsRoundTrip(t *testing.T) {
 	opts := tinyOptions()
 	opts.Rounds = 15
 	opts.Runs = 1
-	env, err := BuildSetup(Setup1, opts)
+	env, err := BuildSetup(context.Background(), Setup1, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cmp, err := Compare(env)
+	cmp, err := Compare(context.Background(), env)
 	if err != nil {
 		t.Fatal(err)
 	}
-	points, err := EquilibriumSweep(env, SweepV, []float64{0, 4000})
+	points, err := EquilibriumSweep(context.Background(), env, SweepV, []float64{0, 4000})
 	if err != nil {
 		t.Fatal(err)
 	}

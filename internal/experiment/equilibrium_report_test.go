@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -8,7 +9,7 @@ import (
 )
 
 func TestWriteEquilibriumReport(t *testing.T) {
-	env, err := BuildSetup(Setup1, tinyOptions())
+	env, err := BuildSetup(context.Background(), Setup1, tinyOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

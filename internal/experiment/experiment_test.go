@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -75,7 +76,7 @@ func TestOptionsValidate(t *testing.T) {
 
 func TestBuildSetupAllThree(t *testing.T) {
 	for _, id := range []SetupID{Setup1, Setup2, Setup3} {
-		env, err := BuildSetup(id, tinyOptions())
+		env, err := BuildSetup(context.Background(), id, tinyOptions())
 		if err != nil {
 			t.Fatalf("%v: %v", id, err)
 		}
@@ -102,22 +103,22 @@ func TestBuildSetupAllThree(t *testing.T) {
 			t.Fatalf("%v: intrinsic scale %v far from mean cost %v", id, got, env.MeanC)
 		}
 	}
-	if _, err := BuildSetup(SetupID(9), tinyOptions()); err == nil {
+	if _, err := BuildSetup(context.Background(), SetupID(9), tinyOptions()); err == nil {
 		t.Fatal("expected error for unknown setup")
 	}
 	bad := tinyOptions()
 	bad.Rounds = 0
-	if _, err := BuildSetup(Setup1, bad); err == nil {
+	if _, err := BuildSetup(context.Background(), Setup1, bad); err == nil {
 		t.Fatal("expected options error")
 	}
 }
 
 func TestBuildSetupDeterministic(t *testing.T) {
-	a, err := BuildSetup(Setup1, tinyOptions())
+	a, err := BuildSetup(context.Background(), Setup1, tinyOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := BuildSetup(Setup1, tinyOptions())
+	b, err := BuildSetup(context.Background(), Setup1, tinyOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,11 +133,11 @@ func TestBuildSetupDeterministic(t *testing.T) {
 }
 
 func TestRunSchemeAndCompare(t *testing.T) {
-	env, err := BuildSetup(Setup1, tinyOptions())
+	env, err := BuildSetup(context.Background(), Setup1, tinyOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
-	cmp, err := Compare(env)
+	cmp, err := Compare(context.Background(), env)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,9 +153,9 @@ func TestRunSchemeAndCompare(t *testing.T) {
 			t.Fatalf("%v overspent", s.Scheme)
 		}
 		switch s.Scheme {
-		case game.SchemeOptimal:
+		case game.SchemeNameProposed:
 			opt = s
-		case game.SchemeUniform:
+		case game.SchemeNameUniform:
 			uni = s
 		}
 	}
@@ -192,11 +193,11 @@ func TestRunSchemeAndCompare(t *testing.T) {
 }
 
 func TestEquilibriumSweepTableV(t *testing.T) {
-	env, err := BuildSetup(Setup1, tinyOptions())
+	env, err := BuildSetup(context.Background(), Setup1, tinyOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
-	points, err := EquilibriumSweep(env, SweepV, []float64{0, 4000, 80000})
+	points, err := EquilibriumSweep(context.Background(), env, SweepV, []float64{0, 4000, 80000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,11 +214,11 @@ func TestEquilibriumSweepTableV(t *testing.T) {
 }
 
 func TestEquilibriumSweepBudget(t *testing.T) {
-	env, err := BuildSetup(Setup3, tinyOptions())
+	env, err := BuildSetup(context.Background(), Setup3, tinyOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
-	points, err := EquilibriumSweep(env, SweepB, []float64{100, 500, 2000})
+	points, err := EquilibriumSweep(context.Background(), env, SweepB, []float64{100, 500, 2000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,11 +233,11 @@ func TestEquilibriumSweepBudget(t *testing.T) {
 }
 
 func TestEquilibriumSweepCost(t *testing.T) {
-	env, err := BuildSetup(Setup2, tinyOptions())
+	env, err := BuildSetup(context.Background(), Setup2, tinyOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
-	points, err := EquilibriumSweep(env, SweepC, []float64{10, 20, 80})
+	points, err := EquilibriumSweep(context.Background(), env, SweepC, []float64{10, 20, 80})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,11 +252,11 @@ func TestSweepWithTraining(t *testing.T) {
 	opts := tinyOptions()
 	opts.Rounds = 20
 	opts.Runs = 1
-	env, err := BuildSetup(Setup1, opts)
+	env, err := BuildSetup(context.Background(), Setup1, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	points, err := Sweep(env, SweepV, []float64{1000, 8000})
+	points, err := Sweep(context.Background(), env, SweepV, []float64{1000, 8000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,23 +271,23 @@ func TestSweepWithTraining(t *testing.T) {
 }
 
 func TestSweepErrors(t *testing.T) {
-	env, err := BuildSetup(Setup1, tinyOptions())
+	env, err := BuildSetup(context.Background(), Setup1, tinyOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := EquilibriumSweep(nil, SweepV, []float64{1}); err == nil {
+	if _, err := EquilibriumSweep(context.Background(), nil, SweepV, []float64{1}); err == nil {
 		t.Fatal("expected nil env error")
 	}
-	if _, err := EquilibriumSweep(env, SweepV, nil); err == nil {
+	if _, err := EquilibriumSweep(context.Background(), env, SweepV, nil); err == nil {
 		t.Fatal("expected empty sweep error")
 	}
-	if _, err := EquilibriumSweep(env, SweepKind(9), []float64{1}); err == nil {
+	if _, err := EquilibriumSweep(context.Background(), env, SweepKind(9), []float64{1}); err == nil {
 		t.Fatal("expected unknown kind error")
 	}
-	if _, err := EquilibriumSweep(env, SweepC, []float64{0}); err == nil {
+	if _, err := EquilibriumSweep(context.Background(), env, SweepC, []float64{0}); err == nil {
 		t.Fatal("expected non-positive cost error")
 	}
-	if _, err := EquilibriumSweep(env, SweepV, []float64{-1}); err == nil {
+	if _, err := EquilibriumSweep(context.Background(), env, SweepV, []float64{-1}); err == nil {
 		t.Fatal("expected negative value error")
 	}
 }
@@ -295,11 +296,11 @@ func TestReports(t *testing.T) {
 	opts := tinyOptions()
 	opts.Rounds = 20
 	opts.Runs = 1
-	env, err := BuildSetup(Setup1, opts)
+	env, err := BuildSetup(context.Background(), Setup1, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cmp, err := Compare(env)
+	cmp, err := Compare(context.Background(), env)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -314,7 +315,7 @@ func TestReports(t *testing.T) {
 		}
 	}
 
-	points, err := EquilibriumSweep(env, SweepV, []float64{0, 4000})
+	points, err := EquilibriumSweep(context.Background(), env, SweepV, []float64{0, 4000})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -25,12 +26,19 @@ type FidelityResult struct {
 
 // BoundFidelity draws random participation profiles, evaluates the bound
 // and trains the model under each, and reports the rank agreement.
-func BoundFidelity(env *Environment, profiles int, seed uint64) (*FidelityResult, error) {
+// Cancelling ctx aborts promptly with ctx.Err().
+func BoundFidelity(ctx context.Context, env *Environment, profiles int, seed uint64) (*FidelityResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if env == nil {
 		return nil, errors.New("experiment: nil environment")
 	}
 	if profiles < 2 {
 		return nil, errors.New("experiment: need at least two profiles")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	rng := stats.NewRNG(seed)
 	n := env.Fed.NumClients()
@@ -69,8 +77,11 @@ func BoundFidelity(env *Environment, profiles int, seed uint64) (*FidelityResult
 				Model: env.Model, Fed: env.Fed, Config: cfg,
 				Sampler: sampler, Aggregator: fl.UnbiasedAggregator{}, Parallel: true,
 			}
-			out, err := runner.Run()
+			out, err := runner.RunContext(ctx)
 			if err != nil {
+				if ctxErr := ctx.Err(); ctxErr != nil {
+					return nil, ctxErr
+				}
 				return nil, fmt.Errorf("profile %d run %d: %w", i, run, err)
 			}
 			finalLoss += out.FinalLoss / float64(env.Opts.Runs)

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"testing"
 
 	"unbiasedfl/internal/stats"
@@ -30,11 +31,11 @@ func TestBoundFidelity(t *testing.T) {
 	opts := tinyOptions()
 	opts.Rounds = 25
 	opts.Runs = 1
-	env, err := BuildSetup(Setup2, opts)
+	env, err := BuildSetup(context.Background(), Setup2, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := BoundFidelity(env, 6, 77)
+	res, err := BoundFidelity(context.Background(), env, 6, 77)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,14 +48,14 @@ func TestBoundFidelity(t *testing.T) {
 }
 
 func TestBoundFidelityErrors(t *testing.T) {
-	if _, err := BoundFidelity(nil, 4, 1); err == nil {
+	if _, err := BoundFidelity(context.Background(), nil, 4, 1); err == nil {
 		t.Fatal("expected nil env error")
 	}
-	env, err := BuildSetup(Setup1, tinyOptions())
+	env, err := BuildSetup(context.Background(), Setup1, tinyOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := BoundFidelity(env, 1, 1); err == nil {
+	if _, err := BoundFidelity(context.Background(), env, 1, 1); err == nil {
 		t.Fatal("expected profile-count error")
 	}
 }

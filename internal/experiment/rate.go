@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -22,13 +23,20 @@ type GapPoint struct {
 // ConvergenceRate measures the empirical optimality gap across training
 // horizons under full participation and the theorem's decaying step size,
 // validating the O(1/R) shape of Theorem 1. F* is computed by the
-// deterministic solver on the pooled data.
-func ConvergenceRate(env *Environment, horizons []int, seed uint64) ([]GapPoint, error) {
+// deterministic solver on the pooled data. Cancelling ctx aborts promptly
+// with ctx.Err().
+func ConvergenceRate(ctx context.Context, env *Environment, horizons []int, seed uint64) ([]GapPoint, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if env == nil {
 		return nil, errors.New("experiment: nil environment")
 	}
 	if len(horizons) == 0 {
 		return nil, errors.New("experiment: no horizons")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	sorted := append([]int(nil), horizons...)
 	sort.Ints(sorted)
@@ -67,8 +75,11 @@ func ConvergenceRate(env *Environment, horizons []int, seed uint64) ([]GapPoint,
 			Model: env.Model, Fed: env.Fed, Config: cfg,
 			Sampler: sampler, Aggregator: fl.UnbiasedAggregator{}, Parallel: true,
 		}
-		res, err := runner.Run()
+		res, err := runner.RunContext(ctx)
 		if err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return nil, ctxErr
+			}
 			return nil, fmt.Errorf("horizon %d: %w", r, err)
 		}
 		gap := res.FinalLoss - fstar

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"testing"
 )
 
@@ -11,11 +12,11 @@ func TestConvergenceRateDecreasing(t *testing.T) {
 	opts := tinyOptions()
 	opts.Rounds = 40
 	opts.Runs = 1
-	env, err := BuildSetup(Setup2, opts)
+	env, err := BuildSetup(context.Background(), Setup2, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	points, err := ConvergenceRate(env, []int{10, 40, 160}, 5)
+	points, err := ConvergenceRate(context.Background(), env, []int{10, 40, 160}, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,17 +37,17 @@ func TestConvergenceRateDecreasing(t *testing.T) {
 }
 
 func TestConvergenceRateErrors(t *testing.T) {
-	if _, err := ConvergenceRate(nil, []int{1}, 1); err == nil {
+	if _, err := ConvergenceRate(context.Background(), nil, []int{1}, 1); err == nil {
 		t.Fatal("expected nil env error")
 	}
-	env, err := BuildSetup(Setup1, tinyOptions())
+	env, err := BuildSetup(context.Background(), Setup1, tinyOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ConvergenceRate(env, nil, 1); err == nil {
+	if _, err := ConvergenceRate(context.Background(), env, nil, 1); err == nil {
 		t.Fatal("expected empty horizons error")
 	}
-	if _, err := ConvergenceRate(env, []int{0, 5}, 1); err == nil {
+	if _, err := ConvergenceRate(context.Background(), env, []int{0, 5}, 1); err == nil {
 		t.Fatal("expected non-positive horizon error")
 	}
 }

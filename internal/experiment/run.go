@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -15,7 +16,10 @@ import (
 // priced market, the induced training trajectories averaged over runs, and
 // the client-side economics.
 type SchemeRun struct {
-	Scheme  game.Scheme
+	// Scheme is the registry name of the pricing scheme ("proposed",
+	// "uniform", "weighted", or any name registered via
+	// game.RegisterScheme).
+	Scheme  string
 	Outcome *game.Outcome
 	// Points holds the run-averaged (time, loss, accuracy) trajectory.
 	Points []sim.TimedPoint
@@ -29,30 +33,49 @@ type SchemeRun struct {
 	NegativePayments int
 }
 
-// RunScheme prices the environment's market with the scheme, trains the
-// model Opts.Runs times with the induced participation levels, and averages
-// the trajectories.
-func RunScheme(env *Environment, scheme game.Scheme) (*SchemeRun, error) {
+// RunScheme prices the environment's market with the named scheme (resolved
+// through the pricing registry), trains the model Opts.Runs times with the
+// induced participation levels, and averages the trajectories. Cancelling
+// ctx aborts promptly with ctx.Err(). Observers receive SchemeSolved, then
+// per-round RoundStart/RoundEnd streams, then SchemeDone.
+func RunScheme(ctx context.Context, env *Environment, scheme string, obs ...Observer) (*SchemeRun, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if env == nil {
 		return nil, errors.New("experiment: nil environment")
 	}
-	outcome, err := env.Params.SolveScheme(scheme)
+	ps, err := game.SchemeByName(scheme)
 	if err != nil {
-		return nil, fmt.Errorf("%v pricing: %w", scheme, err)
+		return nil, err
 	}
-	return runPriced(env, scheme, outcome)
+	return runRegistered(ctx, env, ps, combineObservers(obs))
 }
 
-// runPriced trains under a fixed priced outcome with parallel local updates.
-func runPriced(env *Environment, scheme game.Scheme, outcome *game.Outcome) (*SchemeRun, error) {
-	return runPricedParallel(env, scheme, outcome, true)
+// runRegistered solves and trains one resolved scheme.
+func runRegistered(ctx context.Context, env *Environment, ps game.PricingScheme, obs Observer) (*SchemeRun, error) {
+	outcome, err := ps.Price(env.Params)
+	if err != nil {
+		return nil, fmt.Errorf("%v pricing: %w", ps.Name(), err)
+	}
+	emit(obs, SchemeSolved{Scheme: ps.Name(), Outcome: outcome})
+	run, err := runPricedParallel(ctx, env, ps.Name(), outcome, true, obs)
+	if err != nil {
+		return nil, err
+	}
+	emit(obs, SchemeDone{Scheme: ps.Name(), Run: run})
+	return run, nil
 }
 
-// runPricedParallel is runPriced with the runner's parallelism explicit;
-// callers that already saturate the CPU at a coarser grain (parallel sweep
-// points) pass false to avoid oversubscribing GOMAXPROCS with nested pools.
-// Results are identical either way.
-func runPricedParallel(env *Environment, scheme game.Scheme, outcome *game.Outcome, parallel bool) (*SchemeRun, error) {
+// runPricedParallel trains under a fixed priced outcome. The parallel flag
+// makes the runner's worker pool explicit; callers that already saturate
+// the CPU at a coarser grain (parallel sweep points) pass false to avoid
+// oversubscribing GOMAXPROCS with nested pools. Results are identical
+// either way.
+func runPricedParallel(
+	ctx context.Context, env *Environment, scheme string, outcome *game.Outcome,
+	parallel bool, obs Observer,
+) (*SchemeRun, error) {
 	// The unbiased estimator needs q > 0; clamp priced-out clients to the
 	// game's floor (they almost never participate but remain reachable).
 	q := make([]float64, len(outcome.Q))
@@ -72,7 +95,10 @@ func runPricedParallel(env *Environment, scheme game.Scheme, outcome *game.Outco
 		accs   [][]float64
 	)
 	for run := 0; run < env.Opts.Runs; run++ {
-		seed := env.Opts.Seed + 7919*uint64(run+1) + uint64(scheme)<<24
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		seed := env.Opts.Seed + 7919*uint64(run+1) + schemeSeedSalt(scheme)
 		sampler, err := fl.NewBernoulliSampler(q, stats.NewRNG(seed))
 		if err != nil {
 			return nil, err
@@ -93,8 +119,28 @@ func runPricedParallel(env *Environment, scheme game.Scheme, outcome *game.Outco
 			Aggregator: fl.UnbiasedAggregator{},
 			Parallel:   parallel,
 		}
-		timed, err := sim.TimedRun(runner, env.Timing)
+		if obs != nil {
+			run := run
+			runner.OnRoundStart = func(round int) {
+				obs.OnEvent(RoundStart{Scheme: scheme, Run: run, Round: round})
+			}
+			runner.OnRound = func(m fl.RoundMetrics) {
+				obs.OnEvent(RoundEnd{
+					Scheme:       scheme,
+					Run:          run,
+					Round:        m.Round,
+					Participants: m.Participants,
+					Evaluated:    m.Evaluated,
+					Loss:         m.GlobalLoss,
+					Accuracy:     m.TestAccuracy,
+				})
+			}
+		}
+		timed, err := sim.TimedRun(ctx, runner, env.Timing)
 		if err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return nil, ctxErr
+			}
 			return nil, fmt.Errorf("%v run %d: %w", scheme, run, err)
 		}
 		ts := make([]float64, len(timed.Points))
@@ -150,6 +196,28 @@ func runPricedParallel(env *Environment, scheme game.Scheme, outcome *game.Outco
 	return sr, nil
 }
 
+// schemeSeedSalt keeps per-scheme training seeds distinct, matching the
+// historical enum-based salt for the built-ins so trajectories are
+// bit-identical with the pre-registry code, and hashing names for
+// third-party schemes.
+func schemeSeedSalt(scheme string) uint64 {
+	switch scheme {
+	case game.SchemeNameProposed:
+		return uint64(game.SchemeOptimal) << 24
+	case game.SchemeNameUniform:
+		return uint64(game.SchemeUniform) << 24
+	case game.SchemeNameWeighted:
+		return uint64(game.SchemeWeighted) << 24
+	}
+	// FNV-1a over the name, shifted onto the same byte as the enum salt.
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(scheme); i++ {
+		h ^= uint64(scheme[i])
+		h *= 1099511628211
+	}
+	return (h | 0x04) << 24 // | 0x04 keeps clear of the builtin enum values
+}
+
 func countNegative(prices []float64) int {
 	c := 0
 	for _, p := range prices {
@@ -160,31 +228,54 @@ func countNegative(prices []float64) int {
 	return c
 }
 
-// Comparison holds the three schemes' runs on one environment, the raw
-// material for Fig. 4 and Tables II–IV.
+// Comparison holds every registered scheme's run on one environment, the
+// raw material for Fig. 4 and Tables II–IV.
 type Comparison struct {
-	Env     *Environment
-	Schemes []*SchemeRun // ordered: proposed, weighted, uniform
+	Env *Environment
+	// Schemes is ordered by the pricing registry: the paper's trio first
+	// (proposed, weighted, uniform), then third-party registrations in
+	// registration order.
+	Schemes []*SchemeRun
 }
 
-// Compare runs all three pricing schemes on env.
-func Compare(env *Environment) (*Comparison, error) {
-	order := []game.Scheme{game.SchemeOptimal, game.SchemeWeighted, game.SchemeUniform}
-	out := &Comparison{Env: env, Schemes: make([]*SchemeRun, 0, len(order))}
-	for _, s := range order {
-		run, err := RunScheme(env, s)
+// Compare runs every pricing scheme in the registry on env — the paper's
+// built-in trio plus any scheme added via game.RegisterScheme. Cancelling
+// ctx aborts promptly with ctx.Err().
+func Compare(ctx context.Context, env *Environment, obs ...Observer) (*Comparison, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if env == nil {
+		return nil, errors.New("experiment: nil environment")
+	}
+	o := combineObservers(obs)
+	names := game.SchemeNames()
+	out := &Comparison{Env: env, Schemes: make([]*SchemeRun, 0, len(names))}
+	for _, name := range names {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		ps, err := game.SchemeByName(name)
+		if err != nil {
+			// Unregistered between listing and lookup; skip rather than fail.
+			continue
+		}
+		run, err := runRegistered(ctx, env, ps, o)
 		if err != nil {
 			return nil, err
 		}
 		out.Schemes = append(out.Schemes, run)
 	}
+	if len(out.Schemes) == 0 {
+		return nil, errors.New("experiment: no pricing schemes registered")
+	}
 	return out, nil
 }
 
-// TimeToLossRow extracts each scheme's time to reach the target loss.
-// Schemes that never reach it report ok=false.
+// TimeToTarget is one scheme's time to reach a target metric. Schemes that
+// never reach it report OK=false.
 type TimeToTarget struct {
-	Scheme  game.Scheme
+	Scheme  string
 	Elapsed time.Duration
 	OK      bool
 }
@@ -207,6 +298,17 @@ func (c *Comparison) TimesToAccuracy(target float64) []TimeToTarget {
 		out[i] = TimeToTarget{Scheme: s.Scheme, Elapsed: d, OK: ok}
 	}
 	return out
+}
+
+// Scheme returns the named scheme's run, or nil when the comparison does
+// not include it.
+func (c *Comparison) Scheme(name string) *SchemeRun {
+	for _, s := range c.Schemes {
+		if s.Scheme == name {
+			return s
+		}
+	}
+	return nil
 }
 
 // AdaptiveLossTarget picks a target loss every scheme eventually reaches:
@@ -239,19 +341,11 @@ func (c *Comparison) AdaptiveAccuracyTarget() float64 {
 // UtilityGains returns Table IV's two columns: total client utility of the
 // proposed scheme minus uniform, and minus weighted.
 func (c *Comparison) UtilityGains() (overUniform, overWeighted float64, err error) {
-	var opt, uni, wtd *SchemeRun
-	for _, s := range c.Schemes {
-		switch s.Scheme {
-		case game.SchemeOptimal:
-			opt = s
-		case game.SchemeUniform:
-			uni = s
-		case game.SchemeWeighted:
-			wtd = s
-		}
-	}
+	opt := c.Scheme(game.SchemeNameProposed)
+	uni := c.Scheme(game.SchemeNameUniform)
+	wtd := c.Scheme(game.SchemeNameWeighted)
 	if opt == nil || uni == nil || wtd == nil {
-		return 0, 0, errors.New("experiment: comparison missing a scheme")
+		return 0, 0, errors.New("experiment: comparison missing a built-in scheme")
 	}
 	return opt.TotalClientUtility - uni.TotalClientUtility,
 		opt.TotalClientUtility - wtd.TotalClientUtility, nil

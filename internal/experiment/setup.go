@@ -10,6 +10,7 @@
 package experiment
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -141,8 +142,12 @@ type Environment struct {
 const mu = 0.01
 
 // BuildSetup generates data, calibrates the bound constants, and assembles
-// the game for the given setup.
-func BuildSetup(id SetupID, opts Options) (*Environment, error) {
+// the game for the given setup. Cancelling ctx aborts the (training-heavy)
+// calibration phase promptly with ctx.Err().
+func BuildSetup(ctx context.Context, id SetupID, opts Options) (*Environment, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
@@ -173,8 +178,11 @@ func BuildSetup(id SetupID, opts Options) (*Environment, error) {
 		EvalEvery:  opts.EvalEvery,
 		Seed:       root.Uint64(),
 	}
-	cal, err := fl.Calibrate(m, fed, runCfg, opts.Calibration)
+	cal, err := fl.Calibrate(ctx, m, fed, runCfg, opts.Calibration)
 	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
 		return nil, fmt.Errorf("%v calibration: %w", id, err)
 	}
 

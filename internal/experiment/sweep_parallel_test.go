@@ -1,9 +1,14 @@
 package experiment
 
 import (
+	"context"
+	"errors"
 	"reflect"
 	"runtime"
+	"strings"
 	"testing"
+
+	"unbiasedfl/internal/game"
 )
 
 // TestSweepDeterministicAcrossParallelism pins parallel sweep execution to
@@ -13,19 +18,19 @@ func TestSweepDeterministicAcrossParallelism(t *testing.T) {
 	opts := tinyOptions()
 	opts.Rounds = 10
 	opts.Runs = 1
-	env, err := BuildSetup(Setup1, opts)
+	env, err := BuildSetup(context.Background(), Setup1, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	values := []float64{1000, 4000, 8000}
 
-	seq, err := sweepParallel(env, SweepV, values, 1)
+	seq, err := sweepParallel(context.Background(), env, game.SchemeNameProposed, SweepV, values, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	prev := runtime.GOMAXPROCS(4)
-	par, err := sweepParallel(env, SweepV, values, 4)
+	par, err := sweepParallel(context.Background(), env, game.SchemeNameProposed, SweepV, values, 4, nil)
 	runtime.GOMAXPROCS(prev)
 	if err != nil {
 		t.Fatal(err)
@@ -36,7 +41,7 @@ func TestSweepDeterministicAcrossParallelism(t *testing.T) {
 	}
 
 	// The public entry point must agree with both.
-	pub, err := Sweep(env, SweepV, values)
+	pub, err := Sweep(context.Background(), env, SweepV, values)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,15 +51,24 @@ func TestSweepDeterministicAcrossParallelism(t *testing.T) {
 }
 
 // TestSweepParallelPropagatesError ensures a failing point surfaces from the
-// concurrent path too.
+// concurrent path too, and that the originating error wins over the
+// context.Canceled artifacts the internal fail-fast abort induces in points
+// still in flight.
 func TestSweepParallelPropagatesError(t *testing.T) {
-	env, err := BuildSetup(Setup1, tinyOptions())
+	env, err := BuildSetup(context.Background(), Setup1, tinyOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
 	prev := runtime.GOMAXPROCS(4)
 	defer runtime.GOMAXPROCS(prev)
-	if _, err := sweepParallel(env, SweepC, []float64{10, -5, 20}, 4); err == nil {
+	_, err = sweepParallel(context.Background(), env, game.SchemeNameProposed, SweepC, []float64{10, -5, 20}, 4, nil)
+	if err == nil {
 		t.Fatal("expected error from invalid sweep value")
+	}
+	if errors.Is(err, context.Canceled) {
+		t.Fatalf("fail-fast abort leaked as the sweep error: %v", err)
+	}
+	if !strings.Contains(err.Error(), "non-positive mean cost") {
+		t.Fatalf("expected the originating point error, got: %v", err)
 	}
 }

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -12,7 +13,7 @@ import (
 )
 
 // SweepPoint is one sweep value's result: the equilibrium economics and the
-// induced model quality under the proposed (optimal) pricing.
+// induced model quality under the swept pricing scheme.
 type SweepPoint struct {
 	Value            float64 // the swept parameter's value (v̄, c̄, or B)
 	FinalLoss        float64
@@ -50,23 +51,46 @@ func (k SweepKind) String() string {
 }
 
 // Sweep reruns the proposed mechanism across values of one parameter on a
-// prepared environment, retraining the model at each point. α stays at the
+// prepared environment, retraining the model at each point — the paper's
+// Figs. 5–7 configuration. See SweepScheme for the general registry-driven
+// form.
+func Sweep(ctx context.Context, env *Environment, kind SweepKind, values []float64, obs ...Observer) ([]SweepPoint, error) {
+	return SweepScheme(ctx, env, game.SchemeNameProposed, kind, values, obs...)
+}
+
+// SweepScheme is Sweep under any registered pricing scheme: it reruns the
+// named mechanism (with retraining) at each value. α stays at the
 // environment's calibrated value throughout, as in the paper. Points are
 // independent — each owns its perturbed game, seeds, and runners over the
 // shared read-only environment — so they execute concurrently across
 // GOMAXPROCS workers; the returned order and values match a sequential run
-// exactly.
-func Sweep(env *Environment, kind SweepKind, values []float64) ([]SweepPoint, error) {
-	return sweepParallel(env, kind, values, runtime.GOMAXPROCS(0))
+// exactly, and observers see SweepPointDone events in ascending index
+// order. Cancelling ctx aborts promptly with ctx.Err() and no leaked
+// workers.
+func SweepScheme(
+	ctx context.Context, env *Environment, scheme string, kind SweepKind,
+	values []float64, obs ...Observer,
+) ([]SweepPoint, error) {
+	return sweepParallel(ctx, env, scheme, kind, values, runtime.GOMAXPROCS(0), combineObservers(obs))
 }
 
-// sweepParallel is Sweep with an explicit worker count (1 = sequential).
-func sweepParallel(env *Environment, kind SweepKind, values []float64, workers int) ([]SweepPoint, error) {
+// sweepParallel is SweepScheme with an explicit worker count (1 = sequential).
+func sweepParallel(
+	ctx context.Context, env *Environment, scheme string, kind SweepKind,
+	values []float64, workers int, obs Observer,
+) ([]SweepPoint, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if env == nil {
 		return nil, errors.New("experiment: nil environment")
 	}
 	if len(values) == 0 {
 		return nil, errors.New("experiment: empty sweep")
+	}
+	ps, err := game.SchemeByName(scheme)
+	if err != nil {
+		return nil, err
 	}
 	out := make([]SweepPoint, len(values))
 	if workers > len(values) {
@@ -74,15 +98,26 @@ func sweepParallel(env *Environment, kind SweepKind, values []float64, workers i
 	}
 	if workers <= 1 {
 		for i, val := range values {
-			p, err := sweepPoint(env, kind, val, true)
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			p, err := sweepPoint(ctx, env, ps, kind, val, true)
 			if err != nil {
 				return nil, err
 			}
 			out[i] = p
+			emit(obs, SweepPointDone{Kind: kind, Index: i, Value: val, Point: p})
 		}
 		return out, nil
 	}
 
+	// A failed point aborts the whole sweep: the result would be discarded
+	// anyway, so remaining points must not burn a full retraining each.
+	// sweepCtx cancels in-flight and unstarted points on the first error.
+	sweepCtx, stopSweep := context.WithCancel(ctx)
+	defer stopSweep()
+
+	seq := newSweepSequencer(obs)
 	errs := make([]error, len(values))
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -92,45 +127,68 @@ func sweepParallel(env *Environment, kind SweepKind, values []float64, workers i
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(values) {
+				if i >= len(values) || sweepCtx.Err() != nil {
 					return
 				}
 				// Sweep workers already saturate the CPU; keep each point's
 				// inner training sequential to avoid nested pools.
-				p, err := sweepPoint(env, kind, values[i], false)
+				p, err := sweepPoint(sweepCtx, env, ps, kind, values[i], false)
 				if err != nil {
 					errs[i] = err
+					stopSweep()
 					continue
 				}
 				out[i] = p
+				seq.done(i, SweepPointDone{Kind: kind, Index: i, Value: values[i], Point: p})
 			}
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// Prefer the originating failure over the context.Canceled artifacts
+	// the internal abort induced in points that were still in flight.
+	var aborted error
 	for _, err := range errs {
-		if err != nil {
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, context.Canceled) {
 			return nil, err
 		}
+		aborted = err
+	}
+	if aborted != nil {
+		return nil, aborted
 	}
 	return out, nil
 }
 
 // sweepPoint prices and retrains one sweep value.
-func sweepPoint(env *Environment, kind SweepKind, val float64, innerParallel bool) (SweepPoint, error) {
+func sweepPoint(
+	ctx context.Context, env *Environment, ps game.PricingScheme, kind SweepKind,
+	val float64, innerParallel bool,
+) (SweepPoint, error) {
 	params, err := perturbedParams(env, kind, val)
 	if err != nil {
 		return SweepPoint{}, err
 	}
-	outcome, err := params.SolveScheme(game.SchemeOptimal)
+	outcome, err := ps.Price(params)
 	if err != nil {
 		return SweepPoint{}, fmt.Errorf("%v=%v: %w", kind, val, err)
 	}
-	// Train under the perturbed equilibrium, reusing the environment's
-	// data, model, and timing.
+	// Train under the perturbed priced market, reusing the environment's
+	// data, model, and timing. Per-round events are deliberately not
+	// forwarded here: concurrent points would interleave them
+	// non-deterministically, so sweeps stream SweepPointDone only.
 	sub := *env
 	sub.Params = params
-	run, err := runPricedParallel(&sub, game.SchemeOptimal, outcome, innerParallel)
+	run, err := runPricedParallel(ctx, &sub, ps.Name(), outcome, innerParallel, nil)
 	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return SweepPoint{}, ctxErr
+		}
 		return SweepPoint{}, fmt.Errorf("%v=%v: %w", kind, val, err)
 	}
 	var meanQ float64
@@ -149,16 +207,26 @@ func sweepPoint(env *Environment, kind SweepKind, val float64, innerParallel boo
 
 // EquilibriumSweep is Sweep without the training step: it reports the
 // economics (server bound, mean q, negative payments) only, which is what
-// Table V needs and is orders of magnitude faster.
-func EquilibriumSweep(env *Environment, kind SweepKind, values []float64) ([]SweepPoint, error) {
+// Table V needs and is orders of magnitude faster. Observers receive
+// SweepPointDone events in order.
+func EquilibriumSweep(
+	ctx context.Context, env *Environment, kind SweepKind, values []float64, obs ...Observer,
+) ([]SweepPoint, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if env == nil {
 		return nil, errors.New("experiment: nil environment")
 	}
 	if len(values) == 0 {
 		return nil, errors.New("experiment: empty sweep")
 	}
+	o := combineObservers(obs)
 	out := make([]SweepPoint, 0, len(values))
-	for _, val := range values {
+	for i, val := range values {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		params, err := perturbedParams(env, kind, val)
 		if err != nil {
 			return nil, err
@@ -171,12 +239,14 @@ func EquilibriumSweep(env *Environment, kind SweepKind, values []float64) ([]Swe
 		for _, q := range eq.Q {
 			meanQ += q / float64(len(eq.Q))
 		}
-		out = append(out, SweepPoint{
+		p := SweepPoint{
 			Value:            val,
 			ServerObj:        eq.ServerObj,
 			MeanQ:            meanQ,
 			NegativePayments: eq.NegativePayments(),
-		})
+		}
+		out = append(out, p)
+		emit(o, SweepPointDone{Kind: kind, Index: i, Value: val, Point: p})
 	}
 	return out, nil
 }

@@ -1,6 +1,7 @@
 package fl
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -23,10 +24,14 @@ type Calibration struct {
 
 // Calibrate runs a short full-participation training phase and distills the
 // per-client gradient statistics into G_n estimates, plus the smoothness and
-// α constants. rounds controls the calibration length.
+// α constants. rounds controls the calibration length. Cancelling ctx stops
+// the calibration run promptly with ctx.Err().
 func Calibrate(
-	m model.Model, fed *data.Federated, cfg Config, rounds int,
+	ctx context.Context, m model.Model, fed *data.Federated, cfg Config, rounds int,
 ) (*Calibration, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if rounds <= 0 {
 		return nil, errors.New("fl: calibration needs at least one round")
 	}
@@ -51,8 +56,11 @@ func Calibrate(
 		Aggregator: UnbiasedAggregator{},
 		Parallel:   true,
 	}
-	res, err := runner.Run()
+	res, err := runner.RunContext(ctx)
 	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
 		return nil, fmt.Errorf("calibration run: %w", err)
 	}
 	g := make([]float64, fed.NumClients())

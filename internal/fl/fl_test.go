@@ -1,6 +1,7 @@
 package fl
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -416,7 +417,7 @@ func TestCalibrate(t *testing.T) {
 	m := testModel(t, fed)
 	cfg := DefaultConfig()
 	cfg.LocalSteps = 6
-	cal, err := Calibrate(m, fed, cfg, 3)
+	cal, err := Calibrate(context.Background(), m, fed, cfg, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -435,17 +436,17 @@ func TestCalibrate(t *testing.T) {
 	if math.Abs(cal.Alpha-wantAlpha) > 1e-9 {
 		t.Fatalf("alpha %v want %v", cal.Alpha, wantAlpha)
 	}
-	if _, err := Calibrate(m, fed, cfg, 0); err == nil {
+	if _, err := Calibrate(context.Background(), m, fed, cfg, 0); err == nil {
 		t.Fatal("expected error for zero calibration rounds")
 	}
-	if _, err := Calibrate(nil, fed, cfg, 1); err == nil {
+	if _, err := Calibrate(context.Background(), nil, fed, cfg, 1); err == nil {
 		t.Fatal("expected error for nil model")
 	}
 	noreg, err := model.NewLogisticRegression(fed.Train.Dim, fed.Train.Classes, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Calibrate(noreg, fed, cfg, 1); err == nil {
+	if _, err := Calibrate(context.Background(), noreg, fed, cfg, 1); err == nil {
 		t.Fatal("expected error for mu = 0")
 	}
 }

@@ -1,6 +1,7 @@
 package fl
 
 import (
+	"context"
 	"runtime"
 	"testing"
 
@@ -39,11 +40,11 @@ func hotpathRunner(t testing.TB, parallel bool) (*Runner, []*clientState) {
 func TestLocalUpdateZeroAllocs(t *testing.T) {
 	r, states := hotpathRunner(t, false)
 	global := r.Model.ZeroParams()
-	if _, err := r.localUpdate(global, 0, states[0], 0.01); err != nil {
+	if _, err := r.localUpdate(context.Background(), global, 0, states[0], 0.01); err != nil {
 		t.Fatal(err)
 	}
 	allocs := testing.AllocsPerRun(100, func() {
-		if _, err := r.localUpdate(global, 0, states[0], 0.01); err != nil {
+		if _, err := r.localUpdate(context.Background(), global, 0, states[0], 0.01); err != nil {
 			t.Fatal(err)
 		}
 	})
@@ -116,13 +117,13 @@ func TestRunnerRejectsDuplicateParticipants(t *testing.T) {
 func BenchmarkLocalUpdate(b *testing.B) {
 	r, states := hotpathRunner(b, false)
 	global := r.Model.ZeroParams()
-	if _, err := r.localUpdate(global, 0, states[0], 0.01); err != nil {
+	if _, err := r.localUpdate(context.Background(), global, 0, states[0], 0.01); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := r.localUpdate(global, 0, states[0], 0.01); err != nil {
+		if _, err := r.localUpdate(context.Background(), global, 0, states[0], 0.01); err != nil {
 			b.Fatal(err)
 		}
 	}

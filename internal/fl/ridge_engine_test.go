@@ -1,6 +1,7 @@
 package fl
 
 import (
+	"context"
 	"testing"
 
 	"unbiasedfl/internal/model"
@@ -50,7 +51,7 @@ func TestRunnerModelAgnostic(t *testing.T) {
 				t.Fatalf("%s final accuracy %v too low", name, res.FinalAcc)
 			}
 			// Calibration must also work through the interface.
-			cal, err := Calibrate(m, fed, cfg, 2)
+			cal, err := Calibrate(context.Background(), m, fed, cfg, 2)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,6 +1,7 @@
 package fl
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -50,6 +51,10 @@ type Runner struct {
 	// and the summation order inside a client's update never depends on the
 	// worker count.
 	Parallel bool
+	// OnRoundStart, when non-nil, is invoked before every round's local
+	// updates begin — the streaming-observer entry hook. It runs on the
+	// training goroutine; keep it fast.
+	OnRoundStart func(round int)
 	// OnRound, when non-nil, is invoked after every round with that round's
 	// metrics — a progress hook for long paper-scale runs. It runs on the
 	// training goroutine; keep it fast.
@@ -84,8 +89,21 @@ func (st *clientState) ensure(p int) {
 	}
 }
 
-// Run trains for Config.Rounds rounds and returns the trajectory.
+// Run trains for Config.Rounds rounds and returns the trajectory. It is
+// RunContext with a background context.
 func (r *Runner) Run() (*RunResult, error) {
+	return r.RunContext(context.Background())
+}
+
+// RunContext trains for Config.Rounds rounds and returns the trajectory.
+// Cancelling the context stops training promptly — the check granularity is
+// one client-side local update, so a cancellation arriving mid-round
+// returns before the round finishes — and the error is ctx.Err(). All
+// worker-pool goroutines are shut down before RunContext returns.
+func (r *Runner) RunContext(ctx context.Context) (*RunResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := r.validate(); err != nil {
 		return nil, err
 	}
@@ -111,11 +129,20 @@ func (r *Runner) Run() (*RunResult, error) {
 	q := r.participationLevels()
 
 	for round := 0; round < r.Config.Rounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if r.OnRoundStart != nil {
+			r.OnRoundStart(round)
+		}
 		participants := r.Sampler.Sample(round)
 		lr := r.Config.Schedule.LR(round)
 
-		updates, err := r.localUpdates(global, participants, states, lr, pool)
+		updates, err := r.localUpdates(ctx, global, participants, states, lr, pool)
 		if err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return nil, ctxErr
+			}
 			return nil, fmt.Errorf("round %d: %w", round, err)
 		}
 		if err := r.Aggregator.Aggregate(global, updates, r.Fed.Weights, q); err != nil {
@@ -214,6 +241,7 @@ type updatePool struct {
 
 	// Per-round context: written by the training goroutine before dispatch,
 	// read-only while workers run.
+	ctx          context.Context
 	global       tensor.Vec
 	lr           float64
 	participants []int
@@ -236,7 +264,7 @@ func newUpdatePool(r *Runner, workers int) *updatePool {
 func (p *updatePool) worker() {
 	for i := range p.tasks {
 		n := p.participants[i]
-		u, err := p.r.localUpdate(p.global, n, p.states[n], p.lr)
+		u, err := p.r.localUpdate(p.ctx, p.global, n, p.states[n], p.lr)
 		if err != nil {
 			p.errs[i] = err
 		} else {
@@ -252,9 +280,10 @@ func (p *updatePool) close() { close(p.tasks) }
 // participant i (slot order is preserved, so aggregation order — and thus
 // the aggregated model — is independent of worker scheduling).
 func (p *updatePool) round(
-	global tensor.Vec, participants []int, states []*clientState, lr float64,
+	ctx context.Context, global tensor.Vec, participants []int, states []*clientState, lr float64,
 	updates []Update, errs []error,
 ) error {
+	p.ctx = ctx
 	p.global, p.lr = global, lr
 	p.participants, p.states = participants, states
 	p.updates, p.errs = updates, errs
@@ -273,7 +302,7 @@ func (p *updatePool) round(
 
 // localUpdates runs E steps of local SGD for each participant.
 func (r *Runner) localUpdates(
-	global tensor.Vec, participants []int, states []*clientState, lr float64, pool *updatePool,
+	ctx context.Context, global tensor.Vec, participants []int, states []*clientState, lr float64, pool *updatePool,
 ) ([]Update, error) {
 	if cap(r.updates) < len(participants) {
 		r.updates = make([]Update, len(participants))
@@ -308,7 +337,7 @@ func (r *Runner) localUpdates(
 
 	if pool == nil || len(participants) < 2 {
 		for i, n := range participants {
-			u, err := r.localUpdate(global, n, states[n], lr)
+			u, err := r.localUpdate(ctx, global, n, states[n], lr)
 			if err != nil {
 				return nil, err
 			}
@@ -316,7 +345,7 @@ func (r *Runner) localUpdates(
 		}
 		return updates, nil
 	}
-	if err := pool.round(global, participants, states, lr, updates, errs); err != nil {
+	if err := pool.round(ctx, global, participants, states, lr, updates, errs); err != nil {
 		return nil, err
 	}
 	return updates, nil
@@ -328,13 +357,24 @@ func (r *Runner) localUpdates(
 // run the fused step; otherwise the generic StochasticGradient + axpy path
 // applies. In steady state (buffers warm) the step performs no heap
 // allocations.
-func (r *Runner) localUpdate(global tensor.Vec, n int, st *clientState, lr float64) (Update, error) {
+func (r *Runner) localUpdate(ctx context.Context, global tensor.Vec, n int, st *clientState, lr float64) (Update, error) {
+	if err := ctx.Err(); err != nil {
+		return Update{}, err
+	}
 	shard := r.Fed.Clients[n]
 	st.ensure(len(global))
 	w := st.w
 	copy(w, global)
 	stepper, hasStep := r.Model.(model.LocalStepper)
 	for e := 0; e < r.Config.LocalSteps; e++ {
+		// Re-check cancellation every few steps so paper-scale E (100 local
+		// steps) still cancels mid-update, without putting the ctx mutex on
+		// every step of the hot path.
+		if e&7 == 7 {
+			if err := ctx.Err(); err != nil {
+				return Update{}, err
+			}
+		}
 		if hasStep {
 			sq, err := stepper.SGDStep(w, shard, r.Config.BatchSize, lr, st.rng, &st.scratch)
 			if err != nil {

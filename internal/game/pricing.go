@@ -6,30 +6,42 @@ import (
 	"math"
 )
 
-// Scheme identifies a pricing strategy for the Stage-I server decision.
+// Scheme identifies a built-in pricing strategy for the Stage-I server
+// decision.
+//
+// Deprecated: the closed enum only covers the paper's three benchmarks. New
+// code should address schemes by registry name (PricingScheme, SchemeByName,
+// RegisterScheme); the constants below remain as aliases for the built-ins.
 type Scheme int
 
 // Pricing schemes compared in Section VI.
 const (
 	// SchemeOptimal is the paper's mechanism: the Stackelberg-equilibrium
 	// customized prices from SolveKKT.
+	//
+	// Deprecated: use SchemeNameProposed with the registry.
 	SchemeOptimal Scheme = iota + 1
 	// SchemeUniform sets one common price for every client (benchmark P^u).
+	//
+	// Deprecated: use SchemeNameUniform with the registry.
 	SchemeUniform
 	// SchemeWeighted sets prices proportional to client data size
 	// (benchmark P^w).
+	//
+	// Deprecated: use SchemeNameWeighted with the registry.
 	SchemeWeighted
 )
 
-// String implements fmt.Stringer.
+// String implements fmt.Stringer; for the built-ins it returns the scheme's
+// registry name.
 func (s Scheme) String() string {
 	switch s {
 	case SchemeOptimal:
-		return "proposed"
+		return SchemeNameProposed
 	case SchemeUniform:
-		return "uniform"
+		return SchemeNameUniform
 	case SchemeWeighted:
-		return "weighted"
+		return SchemeNameWeighted
 	default:
 		return fmt.Sprintf("scheme(%d)", int(s))
 	}
@@ -38,6 +50,11 @@ func (s Scheme) String() string {
 // Outcome is a priced market state: the prices posted by the server and the
 // clients' best-response participation levels, with spend diagnostics.
 type Outcome struct {
+	// Name is the registry name of the scheme that produced this outcome.
+	Name string
+	// Scheme is the built-in enum identity, zero for third-party schemes.
+	//
+	// Deprecated: use Name.
 	Scheme Scheme
 	P      []float64
 	Q      []float64
@@ -46,50 +63,70 @@ type Outcome struct {
 	ServerObj float64
 }
 
-// SolveScheme prices the market under the given scheme and returns the
-// resulting outcome. The benchmark schemes exhaust the same budget B the
-// optimal mechanism uses (the paper compares all schemes "under the same
-// budget").
+// SolveScheme prices the market under the given built-in scheme.
+//
+// Deprecated: resolve the scheme through the registry instead:
+// SchemeByName(name).Price(p). This shim maps the enum to its registry name
+// and delegates.
 func (p *Params) SolveScheme(s Scheme) (*Outcome, error) {
+	ps, err := SchemeByName(s.String())
+	if err != nil {
+		return nil, fmt.Errorf("game: unknown scheme %v", s)
+	}
+	return ps.Price(p)
+}
+
+// solveProposed prices the market with the paper's mechanism: the
+// Stackelberg-equilibrium customized prices from SolveKKT.
+func (p *Params) solveProposed() (*Outcome, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	switch s {
-	case SchemeOptimal:
-		eq, err := p.SolveKKT()
-		if err != nil {
-			return nil, err
-		}
-		obj, err := p.ServerObjective(eq.Q)
-		if err != nil {
-			return nil, err
-		}
-		return &Outcome{Scheme: s, P: eq.P, Q: eq.Q, Spent: eq.Spent, ServerObj: obj}, nil
-	case SchemeUniform:
-		return p.solveScaled(s, func(scale float64) []float64 {
-			prices := make([]float64, p.N())
-			for i := range prices {
-				prices[i] = scale
-			}
-			return prices
-		})
-	case SchemeWeighted:
-		return p.solveScaled(s, func(scale float64) []float64 {
-			prices := make([]float64, p.N())
-			for i := range prices {
-				prices[i] = scale * p.A[i] * float64(p.N())
-			}
-			return prices
-		})
-	default:
-		return nil, fmt.Errorf("game: unknown scheme %v", s)
+	eq, err := p.SolveKKT()
+	if err != nil {
+		return nil, err
 	}
+	obj, err := p.ServerObjective(eq.Q)
+	if err != nil {
+		return nil, err
+	}
+	return &Outcome{P: eq.P, Q: eq.Q, Spent: eq.Spent, ServerObj: obj}, nil
+}
+
+// solveUniformPricing pays every client the same unit price, scaled to
+// exhaust the budget (benchmark P^u).
+func (p *Params) solveUniformPricing() (*Outcome, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p.solveScaled(func(scale float64) []float64 {
+		prices := make([]float64, p.N())
+		for i := range prices {
+			prices[i] = scale
+		}
+		return prices
+	})
+}
+
+// solveWeightedPricing pays proportionally to data size, scaled to exhaust
+// the budget (benchmark P^w).
+func (p *Params) solveWeightedPricing() (*Outcome, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p.solveScaled(func(scale float64) []float64 {
+		prices := make([]float64, p.N())
+		for i := range prices {
+			prices[i] = scale * p.A[i] * float64(p.N())
+		}
+		return prices
+	})
 }
 
 // solveScaled finds the largest nonnegative price scale whose induced spend
 // stays within budget, by bisection. Spend is nondecreasing in the scale:
 // higher prices induce (weakly) higher best responses and higher payments.
-func (p *Params) solveScaled(s Scheme, priceAt func(scale float64) []float64) (*Outcome, error) {
+func (p *Params) solveScaled(priceAt func(scale float64) []float64) (*Outcome, error) {
 	spend := func(scale float64) (float64, []float64, []float64, error) {
 		prices := priceAt(scale)
 		q, err := p.BestResponseAll(prices)
@@ -122,7 +159,7 @@ func (p *Params) solveScaled(s Scheme, priceAt func(scale float64) []float64) (*
 		}
 		if saturated {
 			// Everyone participates fully; no reason to raise prices more.
-			return p.outcomeAt(s, priceAt(hi), q)
+			return p.outcomeAt(priceAt(hi), q)
 		}
 		hi *= 4
 		if i > 200 {
@@ -152,10 +189,34 @@ func (p *Params) solveScaled(s Scheme, priceAt func(scale float64) []float64) (*
 	if total > p.B+1e-6*math.Max(1, p.B) {
 		return nil, errors.New("game: scaled pricing exceeded budget")
 	}
-	return p.outcomeAt(s, prices, q)
+	return p.outcomeAt(prices, q)
 }
 
-func (p *Params) outcomeAt(s Scheme, prices, q []float64) (*Outcome, error) {
+// OutcomeFor evaluates a posted price vector into a full Outcome — the
+// clients' best responses, the induced spend, and the Theorem-1 objective —
+// labelled with the given scheme name. It is the building block for
+// third-party PricingScheme implementations: compute prices however you
+// like, then let the game evaluate them.
+func (p *Params) OutcomeFor(name string, prices []float64) (*Outcome, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(prices) != p.N() {
+		return nil, fmt.Errorf("game: %d prices for %d clients", len(prices), p.N())
+	}
+	q, err := p.BestResponseAll(prices)
+	if err != nil {
+		return nil, err
+	}
+	out, err := p.outcomeAt(prices, q)
+	if err != nil {
+		return nil, err
+	}
+	out.Name = name
+	return out, nil
+}
+
+func (p *Params) outcomeAt(prices, q []float64) (*Outcome, error) {
 	total, err := TotalPayment(prices, q)
 	if err != nil {
 		return nil, err
@@ -176,5 +237,5 @@ func (p *Params) outcomeAt(s Scheme, prices, q []float64) (*Outcome, error) {
 			return nil, err
 		}
 	}
-	return &Outcome{Scheme: s, P: prices, Q: q, Spent: total, ServerObj: obj}, nil
+	return &Outcome{P: prices, Q: q, Spent: total, ServerObj: obj}, nil
 }

@@ -1,0 +1,131 @@
+package game
+
+import (
+	"strings"
+	"testing"
+)
+
+type fakeScheme struct{ name string }
+
+func (f fakeScheme) Name() string { return f.name }
+func (f fakeScheme) Price(p *Params) (*Outcome, error) {
+	prices := make([]float64, p.N())
+	return p.OutcomeFor(f.name, prices)
+}
+
+func TestRegistryBuiltins(t *testing.T) {
+	names := SchemeNames()
+	if len(names) < 3 {
+		t.Fatalf("names %v", names)
+	}
+	want := []string{SchemeNameProposed, SchemeNameWeighted, SchemeNameUniform}
+	for i, w := range want {
+		if names[i] != w {
+			t.Fatalf("canonical order broken: %v", names)
+		}
+	}
+	for _, w := range want {
+		if _, err := SchemeByName(w); err != nil {
+			t.Fatalf("builtin %q missing: %v", w, err)
+		}
+	}
+}
+
+func TestRegistryRegisterValidation(t *testing.T) {
+	if err := RegisterScheme(nil); err == nil {
+		t.Fatal("expected nil-scheme error")
+	}
+	if err := RegisterScheme(fakeScheme{name: ""}); err == nil {
+		t.Fatal("expected empty-name error")
+	}
+	if err := RegisterScheme(fakeScheme{name: SchemeNameProposed}); err == nil {
+		t.Fatal("expected duplicate error")
+	}
+	if err := RegisterScheme(fakeScheme{name: "reg-test"}); err != nil {
+		t.Fatal(err)
+	}
+	defer UnregisterScheme("reg-test")
+	if err := RegisterScheme(fakeScheme{name: "reg-test"}); err == nil {
+		t.Fatal("expected duplicate error on re-register")
+	}
+	if _, err := SchemeByName("reg-test"); err != nil {
+		t.Fatal(err)
+	}
+	if got := SchemeNames(); got[len(got)-1] != "reg-test" {
+		t.Fatalf("registration order: %v", got)
+	}
+}
+
+func TestRegistryUnregister(t *testing.T) {
+	if UnregisterScheme("never-registered") {
+		t.Fatal("unregistered a ghost")
+	}
+	if err := RegisterScheme(fakeScheme{name: "ephemeral"}); err != nil {
+		t.Fatal(err)
+	}
+	if !UnregisterScheme("ephemeral") {
+		t.Fatal("unregister failed")
+	}
+	if _, err := SchemeByName("ephemeral"); err == nil {
+		t.Fatal("scheme survived unregistration")
+	}
+}
+
+func TestSchemeByNameErrorListsKnown(t *testing.T) {
+	_, err := SchemeByName("nope")
+	if err == nil || !strings.Contains(err.Error(), SchemeNameProposed) {
+		t.Fatalf("error should list registered schemes: %v", err)
+	}
+}
+
+// TestEnumShimMatchesRegistry pins the deprecated enum path to the
+// registry path.
+func TestEnumShimMatchesRegistry(t *testing.T) {
+	p := testParams(t, 1, 6, 50, 4000, 200)
+	for _, s := range []Scheme{SchemeOptimal, SchemeUniform, SchemeWeighted} {
+		viaEnum, err := p.SolveScheme(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps, err := SchemeByName(s.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaRegistry, err := ps.Price(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if viaEnum.Name != s.String() || viaEnum.Scheme != s {
+			t.Fatalf("outcome identity: name=%q scheme=%v", viaEnum.Name, viaEnum.Scheme)
+		}
+		if viaEnum.Spent != viaRegistry.Spent || viaEnum.ServerObj != viaRegistry.ServerObj {
+			t.Fatalf("%v: enum and registry disagree", s)
+		}
+		for i := range viaEnum.P {
+			if viaEnum.P[i] != viaRegistry.P[i] || viaEnum.Q[i] != viaRegistry.Q[i] {
+				t.Fatalf("%v: price/response mismatch at %d", s, i)
+			}
+		}
+	}
+}
+
+func TestOutcomeFor(t *testing.T) {
+	p := testParams(t, 2, 5, 50, 4000, 200)
+	prices := make([]float64, p.N())
+	for i := range prices {
+		prices[i] = 1
+	}
+	out, err := p.OutcomeFor("custom", prices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Name != "custom" || out.Scheme != 0 {
+		t.Fatalf("identity: %q %v", out.Name, out.Scheme)
+	}
+	if len(out.Q) != p.N() || out.Spent < 0 {
+		t.Fatalf("outcome malformed: %+v", out)
+	}
+	if _, err := p.OutcomeFor("custom", prices[:2]); err == nil {
+		t.Fatal("expected length-mismatch error")
+	}
+}

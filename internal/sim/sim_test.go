@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -165,7 +166,7 @@ func TestTimedRunEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := TimedRun(runner, tm)
+	res, err := TimedRun(context.Background(), runner, tm)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,14 +186,14 @@ func TestTimedRunEndToEnd(t *testing.T) {
 	if res.Points[len(res.Points)-1].Elapsed > res.Total {
 		t.Fatal("last point beyond total duration")
 	}
-	if _, err := TimedRun(nil, tm); err == nil {
+	if _, err := TimedRun(context.Background(), nil, tm); err == nil {
 		t.Fatal("expected nil runner error")
 	}
 	wrong, err := HeterogeneousTimings(stats.NewRNG(5), DefaultTimingConfig(9))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := TimedRun(runner, wrong); err == nil {
+	if _, err := TimedRun(context.Background(), runner, wrong); err == nil {
 		t.Fatal("expected fleet-size mismatch error")
 	}
 }

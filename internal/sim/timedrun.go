@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"time"
 
@@ -15,15 +16,19 @@ type TimedResult struct {
 }
 
 // TimedRun executes the runner and stamps its trajectory with simulated
-// wall-clock time from the timing model.
-func TimedRun(runner *fl.Runner, tm *TimingModel) (*TimedResult, error) {
+// wall-clock time from the timing model. Cancelling ctx stops the
+// underlying training promptly with ctx.Err().
+func TimedRun(ctx context.Context, runner *fl.Runner, tm *TimingModel) (*TimedResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if runner == nil || tm == nil {
 		return nil, errors.New("sim: nil runner or timing model")
 	}
 	if len(tm.Clients) != runner.Fed.NumClients() {
 		return nil, errors.New("sim: timing model covers a different fleet size")
 	}
-	res, err := runner.Run()
+	res, err := runner.RunContext(ctx)
 	if err != nil {
 		return nil, err
 	}

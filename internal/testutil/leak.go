@@ -1,0 +1,41 @@
+// Package testutil holds small helpers shared by the test suites.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// GoroutineBaseline samples the current goroutine count after a settling
+// GC, for use with WaitNoLeaks around a cancellation scenario.
+func GoroutineBaseline() int {
+	runtime.GC()
+	return runtime.NumGoroutine()
+}
+
+// WaitNoLeaks polls (goleak-style) until the goroutine count returns to the
+// recorded baseline — allowing a small slack for runtime-internal
+// goroutines — and fails the test if it never does within the timeout. Call
+// it after cancelling work that spawned pools or watchers: a stuck count
+// means a leaked goroutine.
+func WaitNoLeaks(t testing.TB, baseline int, timeout time.Duration) {
+	t.Helper()
+	const slack = 2
+	deadline := time.Now().Add(timeout)
+	var last int
+	for {
+		runtime.GC()
+		last = runtime.NumGoroutine()
+		if last <= baseline+slack {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d running, baseline %d (+%d slack)\n%s",
+				last, baseline, slack, buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,169 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"unbiasedfl/internal/data"
+	"unbiasedfl/internal/fl"
+	"unbiasedfl/internal/model"
+	"unbiasedfl/internal/stats"
+)
+
+// cancelFixture is a tiny federation + model for the cancellation tests.
+type cancelFixture struct {
+	fed   *data.Federated
+	model *model.LogisticRegression
+}
+
+func buildCancelFixture(t *testing.T, clients int) cancelFixture {
+	t.Helper()
+	cfg := data.MNISTLikeConfig()
+	cfg.NumClients = clients
+	cfg.TotalSamples = 200
+	cfg.TestSamples = 60
+	cfg.Dim = 6
+	cfg.Classes = 3
+	cfg.MaxClasses = 2
+	fed, err := data.GenerateImageLike(stats.NewRNG(23), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := model.NewLogisticRegression(cfg.Dim, cfg.Classes, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cancelFixture{fed: fed, model: m}
+}
+
+// silentServer accepts one connection and never replies — the dead-peer
+// scenario the context watcher exists for.
+func silentServer(t *testing.T) (addr string, cleanup func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	var conn net.Conn
+	go func() {
+		defer close(done)
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		conn = c
+		// Hold the connection open without ever reading or writing.
+	}()
+	return ln.Addr().String(), func() {
+		_ = ln.Close()
+		<-done
+		if conn != nil {
+			_ = conn.Close()
+		}
+	}
+}
+
+// TestClientCancelUnblocksRead proves the satellite requirement: a client
+// blocked reading from a dead peer returns ctx.Err() promptly on
+// cancellation instead of hanging forever. It runs both without a protocol
+// timeout (ctx is the only bound) and with a long one (the per-operation
+// deadline reset must not erase the cancellation — a close is sticky, a
+// deadline slam would not be).
+func TestClientCancelUnblocksRead(t *testing.T) {
+	for name, timeout := range map[string]time.Duration{
+		"no-timeout":   0,
+		"long-timeout": 2 * time.Minute,
+	} {
+		t.Run(name, func(t *testing.T) {
+			addr, cleanup := silentServer(t)
+			defer cleanup()
+
+			fx := buildCancelFixture(t, 2)
+			client, err := NewClient(ClientConfig{
+				Addr: addr, ID: 0, Seed: 1, Timeout: timeout,
+			}, fx.model, fx.fed.Clients[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			ctx, cancel := context.WithCancel(context.Background())
+			errCh := make(chan error, 1)
+			go func() {
+				_, err := client.Run(ctx)
+				errCh <- err
+			}()
+			time.Sleep(50 * time.Millisecond) // let the client block in Recv
+			cancel()
+			select {
+			case err := <-errCh:
+				if !errors.Is(err, context.Canceled) {
+					t.Fatalf("want context.Canceled, got %v", err)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("client did not unblock after cancellation")
+			}
+		})
+	}
+}
+
+// TestClientDialHonorsContext covers the dial path: a cancelled context
+// aborts the dial immediately with ctx.Err(), without touching the network.
+func TestClientDialHonorsContext(t *testing.T) {
+	addr, cleanup := silentServer(t)
+	defer cleanup()
+
+	fx := buildCancelFixture(t, 2)
+	client, err := NewClient(ClientConfig{
+		Addr: addr, ID: 0, Seed: 1,
+	}, fx.model, fx.fed.Clients[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the dial starts
+	start := time.Now()
+	_, err = client.Run(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("dial cancellation took %v", elapsed)
+	}
+}
+
+// TestServerCancelUnblocksAccept proves a coordinator waiting for a fleet
+// that never arrives can be shut down via its context.
+func TestServerCancelUnblocksAccept(t *testing.T) {
+	fx := buildCancelFixture(t, 2)
+	srv, err := NewServer(ServerConfig{
+		Addr: "127.0.0.1:0", NumClients: 2,
+		Q: []float64{0.5, 0.5}, Weights: fx.fed.Weights,
+		Rounds: 5, LocalSteps: 2, BatchSize: 8,
+		Schedule: fl.ExpDecay{Eta0: 0.1, Decay: 0.996},
+	}, fx.model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := srv.Run(ctx)
+		errCh <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the server block in Accept
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not unblock after cancellation")
+	}
+}

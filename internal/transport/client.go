@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -45,10 +46,20 @@ func NewClient(cfg ClientConfig, m model.Model, shard *data.Dataset) (*Client, e
 }
 
 // Run dials the server and executes the protocol until MsgDone. It returns
-// the number of rounds in which this client participated.
-func (c *Client) Run() (int, error) {
-	conn, err := net.Dial("tcp", c.cfg.Addr)
+// the number of rounds in which this client participated. The context
+// bounds the dial and every request/response read: cancellation (or a
+// deadline) unblocks a read pending on a dead or silent peer and Run
+// returns ctx.Err() promptly.
+func (c *Client) Run(ctx context.Context) (int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var dialer net.Dialer
+	conn, err := dialer.DialContext(ctx, "tcp", c.cfg.Addr)
 	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return 0, ctxErr
+		}
 		return 0, fmt.Errorf("transport: dial: %w", err)
 	}
 	codec, err := NewCodec(conn, c.cfg.Timeout)
@@ -57,13 +68,24 @@ func (c *Client) Run() (int, error) {
 		return 0, err
 	}
 	defer func() { _ = codec.Close() }()
+	stop := watchCancel(ctx, conn)
+	defer stop()
+	// ctxify maps errors surfaced by a cancellation-slammed deadline back
+	// to the context's error, so callers see ctx.Err() rather than a
+	// net timeout.
+	ctxify := func(err error) error {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return ctxErr
+		}
+		return err
+	}
 
 	if err := codec.Send(&Message{Type: MsgHello, ClientID: c.cfg.ID}); err != nil {
-		return 0, err
+		return 0, ctxify(err)
 	}
 	welcome, err := codec.Recv()
 	if err != nil {
-		return 0, err
+		return 0, ctxify(err)
 	}
 	if welcome.Type != MsgWelcome {
 		return 0, fmt.Errorf("transport: expected welcome, got %v", welcome.Type)
@@ -80,9 +102,15 @@ func (c *Client) Run() (int, error) {
 	var gradStats stats.Welford
 	participated := 0
 	for {
+		// Proactive check: cancellation that lands while this client is
+		// busy computing (between socket operations) must not be outrun by
+		// the next successful Recv.
+		if err := ctx.Err(); err != nil {
+			return participated, err
+		}
 		msg, err := codec.Recv()
 		if err != nil {
-			return participated, err
+			return participated, ctxify(err)
 		}
 		switch msg.Type {
 		case MsgDone:
@@ -95,7 +123,7 @@ func (c *Client) Run() (int, error) {
 					Type: MsgSkip, ClientID: c.cfg.ID, Round: msg.Round,
 					GradSqNorm: gradStats.Mean(),
 				}); err != nil {
-					return participated, err
+					return participated, ctxify(err)
 				}
 				continue
 			}
@@ -118,7 +146,7 @@ func (c *Client) Run() (int, error) {
 				Type: MsgUpdate, ClientID: c.cfg.ID, Round: msg.Round,
 				Model: delta, GradSqNorm: gradStats.Mean(),
 			}); err != nil {
-				return participated, err
+				return participated, ctxify(err)
 			}
 		default:
 			return participated, fmt.Errorf("transport: unexpected message %v", msg.Type)

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"net"
 	"sync"
 	"testing"
@@ -130,7 +131,7 @@ func TestFaultToleranceSurvivesCrash(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := client.Run(); err != nil {
+			if _, err := client.Run(context.Background()); err != nil {
 				t.Errorf("healthy client: %v", err)
 			}
 		}()
@@ -142,7 +143,7 @@ func TestFaultToleranceSurvivesCrash(t *testing.T) {
 		crashingClient(t, srv.Addr(), 0, 5, m, fed.Clients[0])
 	}()
 
-	result, err := srv.Run()
+	result, err := srv.Run(context.Background())
 	wg.Wait()
 	if err != nil {
 		t.Fatalf("server did not tolerate the crash: %v", err)
@@ -195,14 +196,14 @@ func TestFaultIntoleranceAborts(t *testing.T) {
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
-		_, _ = client.Run() // will error when the server aborts; ignore
+		_, _ = client.Run(context.Background()) // will error when the server aborts; ignore
 	}()
 	go func() {
 		defer wg.Done()
 		crashingClient(t, srv.Addr(), 0, 2, m, fed.Clients[0])
 	}()
 
-	if _, err := srv.Run(); err == nil {
+	if _, err := srv.Run(context.Background()); err == nil {
 		t.Fatal("strict server should abort on client crash")
 	}
 	_ = srv.Close()

@@ -8,10 +8,12 @@
 package transport
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"net"
+	"sync"
 	"time"
 )
 
@@ -106,3 +108,26 @@ func (c *Codec) Recv() (*Message, error) {
 
 // Close closes the underlying connection.
 func (c *Codec) Close() error { return c.conn.Close() }
+
+// watchCancel closes the connection when ctx is cancelled. gob decode
+// loops otherwise block unboundedly on a dead or silent peer, and a mere
+// deadline slam would be erased by the Codec's per-operation deadline
+// resets — closing is sticky: the pending read fails immediately and every
+// later operation fails with "use of closed network connection", which
+// callers translate back into ctx.Err(). The returned stop function
+// releases the watcher; it is safe to call any number of times.
+func watchCancel(ctx context.Context, conn net.Conn) (stop func()) {
+	if ctx == nil || ctx.Done() == nil {
+		return func() {}
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		select {
+		case <-ctx.Done():
+			_ = conn.Close()
+		case <-done:
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}

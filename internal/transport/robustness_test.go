@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"net"
 	"sync"
 	"testing"
@@ -61,7 +62,7 @@ func TestServerRejectsBadHello(t *testing.T) {
 	defer func() { _ = srv.Close() }()
 	done := make(chan error, 1)
 	go func() {
-		_, err := srv.Run()
+		_, err := srv.Run(context.Background())
 		done <- err
 	}()
 	codec := rawDial(t, srv.Addr(), &Message{Type: MsgUpdate, ClientID: 0})
@@ -77,7 +78,7 @@ func TestServerRejectsOutOfRangeID(t *testing.T) {
 	defer func() { _ = srv.Close() }()
 	done := make(chan error, 1)
 	go func() {
-		_, err := srv.Run()
+		_, err := srv.Run(context.Background())
 		done <- err
 	}()
 	codec := rawDial(t, srv.Addr(), &Message{Type: MsgHello, ClientID: 5})
@@ -93,7 +94,7 @@ func TestServerRejectsDuplicateID(t *testing.T) {
 	defer func() { _ = srv.Close() }()
 	done := make(chan error, 1)
 	go func() {
-		_, err := srv.Run()
+		_, err := srv.Run(context.Background())
 		done <- err
 	}()
 	first := rawDial(t, srv.Addr(), &Message{Type: MsgHello, ClientID: 0})
@@ -153,12 +154,12 @@ func TestEndToEndTCPWithRidge(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := client.Run(); err != nil {
+			if _, err := client.Run(context.Background()); err != nil {
 				t.Error(err)
 			}
 		}()
 	}
-	result, err := srv.Run()
+	result, err := srv.Run(context.Background())
 	wg.Wait()
 	if err != nil {
 		t.Fatal(err)

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -107,8 +108,12 @@ func (s *Server) Close() error { return s.listener.Close() }
 
 // Run accepts clients, runs the training protocol to completion, and
 // returns the final global model. It closes all client connections before
-// returning.
-func (s *Server) Run() (*ServerResult, error) {
+// returning. Cancelling ctx unblocks a pending accept and every pending
+// socket read/write, and Run returns ctx.Err() promptly.
+func (s *Server) Run(ctx context.Context) (*ServerResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	codecs := make([]*Codec, s.cfg.NumClients)
 	defer func() {
 		for _, c := range codecs {
@@ -118,19 +123,56 @@ func (s *Server) Run() (*ServerResult, error) {
 		}
 	}()
 
+	// On cancellation, close the listener (unblocking Accept) and every
+	// connection accepted so far (unblocking gob reads — a deadline slam
+	// would be erased by the Codec's per-operation deadline resets, a close
+	// is sticky).
+	var connMu sync.Mutex
+	var conns []net.Conn
+	if ctx.Done() != nil {
+		watchDone := make(chan struct{})
+		defer close(watchDone)
+		go func() {
+			select {
+			case <-ctx.Done():
+				_ = s.listener.Close()
+				connMu.Lock()
+				for _, c := range conns {
+					_ = c.Close()
+				}
+				connMu.Unlock()
+			case <-watchDone:
+			}
+		}()
+	}
+	// ctxify maps errors surfaced by the cancellation watcher back to the
+	// context's error.
+	ctxify := func(err error) error {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return ctxErr
+		}
+		return err
+	}
+
 	// Accept and identify every client.
 	for i := 0; i < s.cfg.NumClients; i++ {
 		conn, err := s.listener.Accept()
 		if err != nil {
-			return nil, fmt.Errorf("transport: accept: %w", err)
+			return nil, ctxify(fmt.Errorf("transport: accept: %w", err))
 		}
+		connMu.Lock()
+		conns = append(conns, conn)
+		if ctx.Err() != nil {
+			_ = conn.Close() // raced past the watcher's sweep
+		}
+		connMu.Unlock()
 		codec, err := NewCodec(conn, s.cfg.Timeout)
 		if err != nil {
 			return nil, err
 		}
 		hello, err := codec.Recv()
 		if err != nil {
-			return nil, fmt.Errorf("transport: hello: %w", err)
+			return nil, ctxify(fmt.Errorf("transport: hello: %w", err))
 		}
 		if hello.Type != MsgHello {
 			return nil, fmt.Errorf("transport: expected hello, got %v", hello.Type)
@@ -162,6 +204,9 @@ func (s *Server) Run() (*ServerResult, error) {
 		Dropped:             make([]bool, s.cfg.NumClients),
 	}
 	for round := 0; round < s.cfg.Rounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		lr := s.cfg.Schedule.LR(round)
 		start := &Message{Type: MsgRoundStart, Round: round, Model: global, LR: lr}
 		// Broadcast concurrently; collect replies concurrently.
@@ -189,6 +234,9 @@ func (s *Server) Run() (*ServerResult, error) {
 			}()
 		}
 		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for id, err := range errs {
 			if err == nil {
 				continue

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"net"
 	"sync"
 	"testing"
@@ -157,11 +158,11 @@ func TestEndToEndTCP(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			participations[id], clientErrs[id] = client.Run()
+			participations[id], clientErrs[id] = client.Run(context.Background())
 		}()
 	}
 
-	result, err := srv.Run()
+	result, err := srv.Run(context.Background())
 	wg.Wait()
 	if err != nil {
 		t.Fatal(err)
@@ -243,12 +244,12 @@ func TestTCPParticipationRates(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := client.Run(); err != nil {
+			if _, err := client.Run(context.Background()); err != nil {
 				t.Error(err)
 			}
 		}()
 	}
-	result, err := srv.Run()
+	result, err := srv.Run(context.Background())
 	wg.Wait()
 	if err != nil {
 		t.Fatal(err)

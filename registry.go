@@ -1,0 +1,39 @@
+package unbiasedfl
+
+import (
+	"unbiasedfl/internal/game"
+)
+
+// PricingScheme is an open pricing mechanism: anything with a registry name
+// and a Price method over the game parameters. Implementations typically
+// compute a posted price vector and let GameParams.OutcomeFor evaluate it
+// into a full Outcome (best responses, spend, Theorem-1 objective).
+type PricingScheme = game.PricingScheme
+
+// Registry names of the paper's built-in schemes.
+const (
+	// SchemeNameProposed is the paper's customized equilibrium pricing.
+	SchemeNameProposed = game.SchemeNameProposed
+	// SchemeNameWeighted pays proportionally to data size.
+	SchemeNameWeighted = game.SchemeNameWeighted
+	// SchemeNameUniform pays every client the same unit price.
+	SchemeNameUniform = game.SchemeNameUniform
+)
+
+// RegisterScheme adds a pricing scheme to the global registry. Registered
+// schemes participate in CompareSchemes and (via WithSweepScheme) RunSweep
+// alongside the paper's built-ins — no changes to the game internals
+// required. It errors on a nil scheme, an empty name, or a duplicate.
+func RegisterScheme(s PricingScheme) error { return game.RegisterScheme(s) }
+
+// UnregisterScheme removes a scheme by name and reports whether it was
+// present.
+func UnregisterScheme(name string) bool { return game.UnregisterScheme(name) }
+
+// SchemeByName looks up a registered pricing scheme.
+func SchemeByName(name string) (PricingScheme, error) { return game.SchemeByName(name) }
+
+// SchemeNames lists every registered scheme in canonical comparison order:
+// the paper's trio first, then third-party registrations in registration
+// order.
+func SchemeNames() []string { return game.SchemeNames() }

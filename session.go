@@ -1,0 +1,164 @@
+package unbiasedfl
+
+import (
+	"context"
+	"errors"
+
+	"unbiasedfl/internal/experiment"
+	"unbiasedfl/internal/game"
+)
+
+// Session is the context-aware entry point to the library: one prepared
+// experimental world (data, calibration, game, timing) plus the streaming
+// and pricing configuration shared by every run launched from it. Build one
+// with NewSession, then drive it with RunScheme, CompareSchemes, RunSweep,
+// and the validation probes — every method takes a context.Context and
+// returns promptly with ctx.Err() when cancelled.
+//
+// A Session is safe for sequential reuse: the environment is read-only
+// during runs, so many experiments can be launched from the same Session
+// one after another (or concurrently, if the configured Observer is
+// concurrency-tolerant — each concurrent call gets its own serial event
+// stream).
+type Session struct {
+	env         *Environment
+	observer    Observer
+	sweepScheme string
+}
+
+// sessionConfig collects functional options before the environment is
+// built.
+type sessionConfig struct {
+	opts        Options
+	observer    Observer
+	sweepScheme string
+}
+
+// Option configures a Session at construction time.
+type Option func(*sessionConfig)
+
+// WithBaseOptions replaces the whole experiment Options struct (laptop
+// defaults otherwise). Field-level options applied after it override its
+// fields.
+func WithBaseOptions(o Options) Option { return func(c *sessionConfig) { c.opts = o } }
+
+// WithPaperScale starts from the paper's full scale (40 devices, R=1000,
+// E=100, 20 runs) instead of the laptop defaults.
+func WithPaperScale() Option { return func(c *sessionConfig) { c.opts = PaperOptions() } }
+
+// WithClients sets the number of federated clients.
+func WithClients(n int) Option { return func(c *sessionConfig) { c.opts.NumClients = n } }
+
+// WithTotalSamples sets the total training-sample count (0 = the setup's
+// default scaled by the fleet size).
+func WithTotalSamples(n int) Option { return func(c *sessionConfig) { c.opts.TotalSamples = n } }
+
+// WithRounds sets the training horizon R.
+func WithRounds(n int) Option { return func(c *sessionConfig) { c.opts.Rounds = n } }
+
+// WithLocalSteps sets E, the local SGD steps per round.
+func WithLocalSteps(n int) Option { return func(c *sessionConfig) { c.opts.LocalSteps = n } }
+
+// WithBatchSize sets the SGD mini-batch size.
+func WithBatchSize(n int) Option { return func(c *sessionConfig) { c.opts.BatchSize = n } }
+
+// WithEvalEvery sets the evaluation throttle (rounds between full
+// loss/accuracy evaluations).
+func WithEvalEvery(n int) Option { return func(c *sessionConfig) { c.opts.EvalEvery = n } }
+
+// WithCalibrationRounds sets the calibration length for the G_n estimates.
+func WithCalibrationRounds(n int) Option { return func(c *sessionConfig) { c.opts.Calibration = n } }
+
+// WithRuns sets the number of independent training repetitions averaged per
+// scheme.
+func WithRuns(n int) Option { return func(c *sessionConfig) { c.opts.Runs = n } }
+
+// WithSeed sets the root random seed.
+func WithSeed(seed uint64) Option { return func(c *sessionConfig) { c.opts.Seed = seed } }
+
+// WithObserver streams typed progress events (RoundStart, RoundEnd,
+// SchemeSolved, SchemeDone, SweepPointDone) from every run launched by the
+// session. Events arrive serially and in deterministic order; see Event.
+func WithObserver(obs Observer) Option { return func(c *sessionConfig) { c.observer = obs } }
+
+// WithSweepScheme selects the pricing scheme RunSweep retrains under, by
+// registry name (default: the paper's proposed mechanism). Any scheme
+// registered via RegisterScheme is valid.
+func WithSweepScheme(name string) Option { return func(c *sessionConfig) { c.sweepScheme = name } }
+
+// NewSession generates data, calibrates the convergence-bound constants,
+// and assembles the CPL game for one of the paper's setups, returning a
+// Session ready to launch experiments. The (training-heavy) calibration
+// phase honors ctx cancellation.
+func NewSession(ctx context.Context, id SetupID, options ...Option) (*Session, error) {
+	cfg := sessionConfig{opts: DefaultOptions(), sweepScheme: SchemeNameProposed}
+	for _, o := range options {
+		if o != nil {
+			o(&cfg)
+		}
+	}
+	if _, err := game.SchemeByName(cfg.sweepScheme); err != nil {
+		return nil, err
+	}
+	env, err := experiment.BuildSetup(ctx, id, cfg.opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{env: env, observer: cfg.observer, sweepScheme: cfg.sweepScheme}, nil
+}
+
+// Environment exposes the session's prepared world (game parameters,
+// federated data, timing model) for direct inspection and custom
+// pipelines.
+func (s *Session) Environment() *Environment { return s.env }
+
+// Options returns the experiment options the session was built with.
+func (s *Session) Options() Options { return s.env.Opts }
+
+// Equilibrium solves the paper's Stackelberg equilibrium (Theorem 2 prices
+// and best responses) on the session's game.
+func (s *Session) Equilibrium() (*Equilibrium, error) {
+	if s == nil || s.env == nil {
+		return nil, errors.New("unbiasedfl: nil session")
+	}
+	return s.env.Params.SolveKKT()
+}
+
+// RunScheme prices the market with the named registered scheme and trains
+// the model under the induced participation levels, streaming progress to
+// the session observer.
+func (s *Session) RunScheme(ctx context.Context, scheme string) (*SchemeRun, error) {
+	return experiment.RunScheme(ctx, s.env, scheme, s.observer)
+}
+
+// CompareSchemes runs every registered pricing scheme on the session's
+// environment — the paper's Fig. 4 comparison, extended to any scheme
+// added via RegisterScheme.
+func (s *Session) CompareSchemes(ctx context.Context) (*Comparison, error) {
+	return experiment.Compare(ctx, s.env, s.observer)
+}
+
+// RunSweep reruns the session's sweep scheme (with retraining) across
+// values of one parameter — the paper's Figs. 5–7. Points run concurrently;
+// SweepPointDone events still arrive in ascending index order.
+func (s *Session) RunSweep(ctx context.Context, kind SweepKind, values []float64) ([]SweepPoint, error) {
+	return experiment.SweepScheme(ctx, s.env, s.sweepScheme, kind, values, s.observer)
+}
+
+// EquilibriumSweep is RunSweep without retraining: equilibrium economics
+// only (Table V).
+func (s *Session) EquilibriumSweep(ctx context.Context, kind SweepKind, values []float64) ([]SweepPoint, error) {
+	return experiment.EquilibriumSweep(ctx, s.env, kind, values, s.observer)
+}
+
+// BoundFidelity measures how faithfully the Theorem-1 surrogate ranks real
+// training outcomes across random participation profiles (DESIGN.md X6).
+func (s *Session) BoundFidelity(ctx context.Context, profiles int) (*FidelityResult, error) {
+	return experiment.BoundFidelity(ctx, s.env, profiles, s.env.Opts.Seed+99)
+}
+
+// ConvergenceRate measures the empirical optimality gap across training
+// horizons, validating Theorem 1's O(1/R) shape (DESIGN.md X9).
+func (s *Session) ConvergenceRate(ctx context.Context, horizons []int) ([]GapPoint, error) {
+	return experiment.ConvergenceRate(ctx, s.env, horizons, s.env.Opts.Seed)
+}

@@ -1,0 +1,154 @@
+package unbiasedfl_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"unbiasedfl"
+)
+
+// premiumScheme is a third-party pricing mechanism defined entirely outside
+// internal/game: it pays a flat premium proportional to each client's
+// gradient-quality estimate and lets the game evaluate the responses.
+type premiumScheme struct{}
+
+func (premiumScheme) Name() string { return "premium" }
+
+func (premiumScheme) Price(p *unbiasedfl.GameParams) (*unbiasedfl.Outcome, error) {
+	prices := make([]float64, p.N())
+	for i := range prices {
+		prices[i] = p.B * p.G[i] / float64(p.N()) / 10
+	}
+	return p.OutcomeFor("premium", prices)
+}
+
+// TestThirdPartySchemeViaPublicAPI is the acceptance criterion end-to-end:
+// a scheme registered through the façade participates in CompareSchemes and
+// RunSweep with no internal/game changes.
+func TestThirdPartySchemeViaPublicAPI(t *testing.T) {
+	ctx := context.Background()
+	if err := unbiasedfl.RegisterScheme(premiumScheme{}); err != nil {
+		t.Fatal(err)
+	}
+	defer unbiasedfl.UnregisterScheme("premium")
+
+	sess, err := unbiasedfl.NewSession(ctx, unbiasedfl.Setup1,
+		append(tinyFacadeOptions(),
+			unbiasedfl.WithRounds(10),
+			unbiasedfl.WithSweepScheme("premium"))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cmp, err := sess.CompareSchemes(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Schemes) != 4 {
+		t.Fatalf("schemes %d, want builtin trio + premium", len(cmp.Schemes))
+	}
+	premium := cmp.Scheme("premium")
+	if premium == nil || premium.FinalLoss <= 0 {
+		t.Fatalf("premium scheme did not train: %+v", premium)
+	}
+
+	// RunSweep retrains under the session's sweep scheme — the third-party
+	// one, via WithSweepScheme.
+	points, err := sess.RunSweep(ctx, unbiasedfl.SweepB, []float64{20, 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 || points[0].FinalLoss <= 0 {
+		t.Fatalf("sweep under premium: %+v", points)
+	}
+
+	// Individual runs address it by name too.
+	run, err := sess.RunScheme(ctx, "premium")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Scheme != "premium" {
+		t.Fatalf("scheme name %q", run.Scheme)
+	}
+}
+
+// TestSessionUnknownSweepScheme rejects a bad WithSweepScheme up front.
+func TestSessionUnknownSweepScheme(t *testing.T) {
+	_, err := unbiasedfl.NewSession(context.Background(), unbiasedfl.Setup1,
+		append(tinyFacadeOptions(), unbiasedfl.WithSweepScheme("no-such"))...)
+	if err == nil {
+		t.Fatal("expected unknown-scheme error")
+	}
+}
+
+// TestSessionCancellation is the façade-level cancellation check: a running
+// comparison stops promptly with ctx.Err().
+func TestSessionCancellation(t *testing.T) {
+	sess, err := unbiasedfl.NewSession(context.Background(), unbiasedfl.Setup1,
+		append(tinyFacadeOptions(), unbiasedfl.WithRounds(100000))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := sess.CompareSchemes(ctx)
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("comparison did not stop after cancellation")
+	}
+}
+
+// TestSessionObserverStream smoke-tests the façade observer wiring and its
+// determinism across identical sessions.
+func TestSessionObserverStream(t *testing.T) {
+	ctx := context.Background()
+	stream := func() []string {
+		var events []string
+		sess, err := unbiasedfl.NewSession(ctx, unbiasedfl.Setup1,
+			append(tinyFacadeOptions(),
+				unbiasedfl.WithRounds(10),
+				unbiasedfl.WithObserver(unbiasedfl.ObserverFunc(func(e unbiasedfl.Event) {
+					switch ev := e.(type) {
+					case unbiasedfl.SchemeSolved:
+						events = append(events, "solved:"+ev.Scheme)
+					case unbiasedfl.RoundEnd:
+						events = append(events, fmt.Sprintf("round:%s:%d:%.9f", ev.Scheme, ev.Round, ev.Loss))
+					case unbiasedfl.SchemeDone:
+						events = append(events, "done:"+ev.Scheme)
+					case unbiasedfl.SweepPointDone:
+						events = append(events, fmt.Sprintf("sweep:%d:%.0f", ev.Index, ev.Value))
+					}
+				})))...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sess.RunScheme(ctx, unbiasedfl.SchemeNameProposed); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sess.EquilibriumSweep(ctx, unbiasedfl.SweepV, []float64{1000, 4000}); err != nil {
+			t.Fatal(err)
+		}
+		return events
+	}
+	a := stream()
+	if len(a) == 0 {
+		t.Fatal("no events")
+	}
+	b := stream()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("event streams differ:\n  a: %v\n  b: %v", a, b)
+	}
+}

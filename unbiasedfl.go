@@ -10,12 +10,69 @@
 // model, dataset generators, a hardware-prototype timing model, and a TCP
 // socket prototype.
 //
-// # Quick start
+// # Sessions
 //
-//	env, err := unbiasedfl.NewSetup(unbiasedfl.Setup1, unbiasedfl.DefaultOptions())
+// The primary entry point is the Session API: build one prepared world,
+// then launch cancellable, observable experiments from it.
+//
+//	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+//	defer stop()
+//
+//	sess, err := unbiasedfl.NewSession(ctx, unbiasedfl.Setup1,
+//		unbiasedfl.WithRuns(3),
+//		unbiasedfl.WithSeed(7),
+//		unbiasedfl.WithObserver(unbiasedfl.ObserverFunc(func(e unbiasedfl.Event) {
+//			if r, ok := e.(unbiasedfl.RoundEnd); ok && r.Evaluated {
+//				log.Printf("%s run %d round %d: loss %.4f", r.Scheme, r.Run, r.Round, r.Loss)
+//			}
+//		})))
 //	...
-//	eq, err := env.Params.SolveKKT()        // the paper's mechanism
-//	run, err := unbiasedfl.RunScheme(env, unbiasedfl.SchemeOptimal)
+//	eq, err := sess.Equilibrium()                            // the paper's mechanism
+//	run, err := sess.RunScheme(ctx, unbiasedfl.SchemeNameProposed)
+//	cmp, err := sess.CompareSchemes(ctx)                     // Fig. 4, over the registry
+//
+// Every long-running method takes a context.Context; cancelling it (Ctrl-C
+// via signal.NotifyContext, a deadline, or an explicit cancel) stops
+// training mid-round and sweeps mid-point, returning ctx.Err() promptly
+// with no leaked goroutines.
+//
+// # Observers
+//
+// An Observer attached with WithObserver receives typed events — RoundStart
+// and RoundEnd per training round (with loss/accuracy when evaluated),
+// SchemeSolved when a pricing stage completes, SchemeDone per finished
+// scheme, and SweepPointDone per sweep value. Events are delivered serially
+// and in deterministic order, even where the work itself runs on a
+// parallel worker pool.
+//
+// # The pricing registry
+//
+// The paper's three schemes (proposed, weighted, uniform) are built-ins of
+// an open registry. Third-party mechanisms implement PricingScheme and join
+// every comparison and sweep via RegisterScheme — no forking of the game
+// internals:
+//
+//	type flat struct{}
+//	func (flat) Name() string { return "flat" }
+//	func (flat) Price(p *unbiasedfl.GameParams) (*unbiasedfl.Outcome, error) {
+//		prices := make([]float64, p.N())
+//		for i := range prices {
+//			prices[i] = p.B / float64(p.N())
+//		}
+//		return p.OutcomeFor("flat", prices)
+//	}
+//	...
+//	unbiasedfl.RegisterScheme(flat{})
+//	cmp, err := sess.CompareSchemes(ctx) // now four schemes
+//
+// # Migration from the v0 API
+//
+// The original blocking entry points remain, now context-aware: NewSetup,
+// RunScheme, CompareSchemes, RunSweep, EquilibriumSweep, BoundFidelity, and
+// ConvergenceRate take a context.Context as their first argument. The
+// Scheme enum constants (SchemeOptimal, SchemeUniform, SchemeWeighted) are
+// deprecated aliases of the built-in registry entries; new code should
+// address schemes by name (SchemeNameProposed, ...) through a Session.
 //
 // See examples/ for runnable programs and README.md for the mapping from
 // the paper's tables and figures to the benchmark harness (bench_test.go
@@ -23,6 +80,8 @@
 package unbiasedfl
 
 import (
+	"context"
+
 	"unbiasedfl/internal/experiment"
 	"unbiasedfl/internal/fl"
 	"unbiasedfl/internal/game"
@@ -35,7 +94,10 @@ type (
 	GameParams = game.Params
 	// Equilibrium is a solved Stackelberg equilibrium (Section V).
 	Equilibrium = game.Equilibrium
-	// Scheme identifies a pricing strategy (Section VI benchmarks).
+	// Scheme identifies a built-in pricing strategy.
+	//
+	// Deprecated: address schemes by registry name (SchemeNameProposed,
+	// SchemeNameUniform, SchemeNameWeighted, or any RegisterScheme name).
 	Scheme = game.Scheme
 	// Outcome is a priced market state under some scheme.
 	Outcome = game.Outcome
@@ -53,13 +115,20 @@ type (
 	DeviceProfile = game.DeviceProfile
 )
 
-// Pricing schemes compared in the paper's evaluation.
+// Deprecated enum aliases for the built-in pricing schemes. They keep old
+// call sites compiling; the registry names are the canonical identities.
 const (
 	// SchemeOptimal is the paper's customized equilibrium pricing.
+	//
+	// Deprecated: use SchemeNameProposed.
 	SchemeOptimal = game.SchemeOptimal
 	// SchemeUniform pays every client the same unit price.
+	//
+	// Deprecated: use SchemeNameUniform.
 	SchemeUniform = game.SchemeUniform
 	// SchemeWeighted pays proportionally to data size.
+	//
+	// Deprecated: use SchemeNameWeighted.
 	SchemeWeighted = game.SchemeWeighted
 )
 
@@ -67,18 +136,23 @@ const (
 type (
 	// SetupID selects one of the paper's three experimental setups.
 	SetupID = experiment.SetupID
-	// Options scales an experiment (DefaultOptions or PaperOptions).
+	// Options scales an experiment (DefaultOptions or PaperOptions);
+	// Sessions configure it through functional options (WithRuns, ...).
 	Options = experiment.Options
 	// Environment is a fully-prepared experimental world.
 	Environment = experiment.Environment
 	// SchemeRun is a pricing scheme's full outcome: market + training.
 	SchemeRun = experiment.SchemeRun
-	// Comparison bundles all three schemes' runs on one environment.
+	// Comparison bundles every registered scheme's run on one environment.
 	Comparison = experiment.Comparison
 	// SweepKind selects a swept parameter for the Figs. 5–7 studies.
 	SweepKind = experiment.SweepKind
 	// SweepPoint is one sweep value's result.
 	SweepPoint = experiment.SweepPoint
+	// FidelityResult is BoundFidelity's rank-agreement report.
+	FidelityResult = experiment.FidelityResult
+	// GapPoint is one ConvergenceRate horizon's optimality gap.
+	GapPoint = experiment.GapPoint
 )
 
 // The paper's Table-I setups.
@@ -105,7 +179,8 @@ const (
 type (
 	// TrainConfig is the FL loop configuration.
 	TrainConfig = fl.Config
-	// Runner executes federated training.
+	// Runner executes federated training (Runner.RunContext for
+	// cancellable runs).
 	Runner = fl.Runner
 	// UnbiasedAggregator implements Lemma 1's aggregation rule.
 	UnbiasedAggregator = fl.UnbiasedAggregator
@@ -120,43 +195,47 @@ func DefaultOptions() Options { return experiment.DefaultOptions() }
 func PaperOptions() Options { return experiment.PaperOptions() }
 
 // NewSetup generates data, calibrates the convergence-bound constants, and
-// assembles the CPL game for one of the paper's setups.
-func NewSetup(id SetupID, opts Options) (*Environment, error) {
-	return experiment.BuildSetup(id, opts)
+// assembles the CPL game for one of the paper's setups. Prefer NewSession,
+// which wraps the Environment with observers and functional options.
+func NewSetup(ctx context.Context, id SetupID, opts Options) (*Environment, error) {
+	return experiment.BuildSetup(ctx, id, opts)
 }
 
-// RunScheme prices the market with the scheme and trains the model under
-// the induced participation levels.
-func RunScheme(env *Environment, s Scheme) (*SchemeRun, error) {
-	return experiment.RunScheme(env, s)
+// RunScheme prices the market with the named registered scheme and trains
+// the model under the induced participation levels. Optional observers
+// stream per-round progress.
+func RunScheme(ctx context.Context, env *Environment, scheme string, obs ...Observer) (*SchemeRun, error) {
+	return experiment.RunScheme(ctx, env, scheme, obs...)
 }
 
-// CompareSchemes runs the proposed, weighted, and uniform pricing schemes
-// on one environment — the paper's Fig. 4 comparison.
-func CompareSchemes(env *Environment) (*Comparison, error) {
-	return experiment.Compare(env)
+// CompareSchemes runs every registered pricing scheme on one environment —
+// the paper's Fig. 4 comparison (proposed, weighted, uniform) plus any
+// scheme added via RegisterScheme.
+func CompareSchemes(ctx context.Context, env *Environment, obs ...Observer) (*Comparison, error) {
+	return experiment.Compare(ctx, env, obs...)
 }
 
-// RunSweep reruns the mechanism (with retraining) across values of one
-// parameter — the paper's Figs. 5–7.
-func RunSweep(env *Environment, kind SweepKind, values []float64) ([]SweepPoint, error) {
-	return experiment.Sweep(env, kind, values)
+// RunSweep reruns the proposed mechanism (with retraining) across values of
+// one parameter — the paper's Figs. 5–7. Use Session.RunSweep with
+// WithSweepScheme to sweep under a different registered scheme.
+func RunSweep(ctx context.Context, env *Environment, kind SweepKind, values []float64, obs ...Observer) ([]SweepPoint, error) {
+	return experiment.Sweep(ctx, env, kind, values, obs...)
 }
 
 // EquilibriumSweep is RunSweep without retraining: equilibrium economics
 // only (Table V).
-func EquilibriumSweep(env *Environment, kind SweepKind, values []float64) ([]SweepPoint, error) {
-	return experiment.EquilibriumSweep(env, kind, values)
+func EquilibriumSweep(ctx context.Context, env *Environment, kind SweepKind, values []float64, obs ...Observer) ([]SweepPoint, error) {
+	return experiment.EquilibriumSweep(ctx, env, kind, values, obs...)
 }
 
 // BoundFidelity measures how faithfully the Theorem-1 surrogate ranks real
 // training outcomes across random participation profiles (DESIGN.md X6).
-func BoundFidelity(env *Environment, profiles int, seed uint64) (*experiment.FidelityResult, error) {
-	return experiment.BoundFidelity(env, profiles, seed)
+func BoundFidelity(ctx context.Context, env *Environment, profiles int, seed uint64) (*FidelityResult, error) {
+	return experiment.BoundFidelity(ctx, env, profiles, seed)
 }
 
 // ConvergenceRate measures the empirical optimality gap across training
 // horizons, validating Theorem 1's O(1/R) shape (DESIGN.md X9).
-func ConvergenceRate(env *Environment, horizons []int, seed uint64) ([]experiment.GapPoint, error) {
-	return experiment.ConvergenceRate(env, horizons, seed)
+func ConvergenceRate(ctx context.Context, env *Environment, horizons []int, seed uint64) ([]GapPoint, error) {
+	return experiment.ConvergenceRate(ctx, env, horizons, seed)
 }
