@@ -461,7 +461,10 @@ func BenchmarkExtensionAdaptiveRepricing(b *testing.B) {
 }
 
 // BenchmarkEquilibriumSolve measures the raw KKT solver across fleet sizes
-// (microbenchmark for the mechanism itself).
+// (microbenchmark for the mechanism itself): one cold solve per iteration,
+// a reused warm engine, and a batched sweep over nearby budgets. The
+// internal/game package carries the finer-grained engine benchmarks behind
+// BENCH_PR3.json.
 func BenchmarkEquilibriumSolve(b *testing.B) {
 	for _, n := range []int{10, 40, 160, 640} {
 		n := n
@@ -475,6 +478,32 @@ func BenchmarkEquilibriumSolve(b *testing.B) {
 			}
 		})
 	}
+	b.Run("warm-640-clients", func(b *testing.B) {
+		p := syntheticGame(b, 640)
+		s := unbiasedfl.NewSolver()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Solve(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("solve-many-640-clients", func(b *testing.B) {
+		base := syntheticGame(b, 640)
+		games := make([]*unbiasedfl.GameParams, 32)
+		for i := range games {
+			g := base.Clone()
+			g.B = base.B * (0.9 + 0.2*float64(i)/31)
+			games[i] = g
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := unbiasedfl.SolveMany(games, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 func syntheticGame(b *testing.B, n int) *game.Params {

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	flgame -setup 1 [-clients 12] [-budget 200] [-meanv 4000] [-seed 1] [-json]
+//	flgame -setup 1 -clients 1000 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -14,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"unbiasedfl"
 	"unbiasedfl/internal/cli"
@@ -64,8 +67,36 @@ func run(ctx context.Context) error {
 		meanV    = flag.Float64("meanv", -1, "override mean intrinsic value (-1 = Table I value)")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		jsonFlag = flag.Bool("json", false, "emit machine-readable JSON instead of tables")
+		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprof != "" {
+		defer func() {
+			f, err := os.Create(*memprof)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "flgame: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the steady-state heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "flgame: memprofile:", err)
+			}
+		}()
+	}
 
 	sess, err := unbiasedfl.NewSession(ctx, unbiasedfl.SetupID(*setup),
 		unbiasedfl.WithClients(*clients),

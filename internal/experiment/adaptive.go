@@ -60,8 +60,16 @@ func RunAdaptive(ctx context.Context, env *Environment, epochs int, seed uint64)
 		return nil, errors.New("experiment: too many epochs for the round budget")
 	}
 
-	// Static arm: one equilibrium for the whole horizon.
-	staticOutcome, err := env.Params.SolveScheme(game.SchemeOptimal)
+	proposed, err := game.SchemeByName(game.SchemeNameProposed)
+	if err != nil {
+		return nil, err
+	}
+
+	// Static arm: one equilibrium for the whole horizon. Pricing flows
+	// through the environment's memo-cache: the static solve and the
+	// adaptive arm's epoch-0 solve share one game fingerprint, so the
+	// engine runs once for both.
+	staticOutcome, err := env.priceScheme(proposed, env.Params)
 	if err != nil {
 		return nil, err
 	}
@@ -75,7 +83,7 @@ func RunAdaptive(ctx context.Context, env *Environment, epochs int, seed uint64)
 	var adaptiveLoss float64
 	adaptiveSeed := seed + 101
 	for e := 0; e < epochs; e++ {
-		outcome, err := params.SolveScheme(game.SchemeOptimal)
+		outcome, err := env.priceScheme(proposed, params)
 		if err != nil {
 			return nil, fmt.Errorf("adaptive epoch %d pricing: %w", e, err)
 		}
@@ -104,7 +112,7 @@ func RunAdaptive(ctx context.Context, env *Environment, epochs int, seed uint64)
 		return nil, err
 	}
 
-	informed, err := final.SolveScheme(game.SchemeOptimal)
+	informed, err := env.priceScheme(proposed, final)
 	if err != nil {
 		return nil, err
 	}

@@ -52,9 +52,12 @@ func RunScheme(ctx context.Context, env *Environment, scheme string, obs ...Obse
 	return runRegistered(ctx, env, ps, combineObservers(obs))
 }
 
-// runRegistered solves and trains one resolved scheme.
+// runRegistered solves and trains one resolved scheme. Pricing flows
+// through the environment's equilibrium memo-cache, so re-running a scheme
+// on the same environment (repeated Compare calls, RunScheme after
+// Compare) prices once.
 func runRegistered(ctx context.Context, env *Environment, ps game.PricingScheme, obs Observer) (*SchemeRun, error) {
-	outcome, err := ps.Price(env.Params)
+	outcome, err := env.priceScheme(ps, env.Params)
 	if err != nil {
 		return nil, fmt.Errorf("%v pricing: %w", ps.Name(), err)
 	}

@@ -135,6 +135,30 @@ type Environment struct {
 	// MeanC and MeanV are the Table-I means actually used (exposed so the
 	// parameter sweeps of Figs. 5–7 can rescale them).
 	MeanC, MeanV float64
+	// Cache memoizes equilibrium solves and scheme pricings on this
+	// environment's games, so repeated queries (the same scheme re-priced
+	// inside Compare, repeated Session.Equilibrium calls, adaptive
+	// repricing epochs with unchanged estimates) solve once. Nil disables
+	// memoization.
+	Cache *game.Cache
+}
+
+// Equilibrium solves (or returns the memoized) Stackelberg equilibrium of
+// the environment's game.
+func (e *Environment) Equilibrium() (*game.Equilibrium, error) {
+	if e.Cache == nil {
+		return e.Params.SolveKKT()
+	}
+	return e.Cache.Solve(e.Params)
+}
+
+// priceScheme prices params under ps through the environment's memo-cache
+// when one is attached.
+func (e *Environment) priceScheme(ps game.PricingScheme, params *game.Params) (*game.Outcome, error) {
+	if e.Cache == nil {
+		return ps.Price(params)
+	}
+	return e.Cache.Price(ps, params)
 }
 
 // regularization used across all setups (the convex multinomial logistic
@@ -198,6 +222,7 @@ func BuildSetup(ctx context.Context, id SetupID, opts Options) (*Environment, er
 	return &Environment{
 		ID: id, Opts: opts, Fed: fed, Model: m, Cal: cal,
 		Params: params, Timing: timing, MeanC: meanC, MeanV: meanV,
+		Cache: game.NewCache(0),
 	}, nil
 }
 

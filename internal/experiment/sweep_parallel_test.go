@@ -50,6 +50,60 @@ func TestSweepDeterministicAcrossParallelism(t *testing.T) {
 	}
 }
 
+// TestEquilibriumSweepMatchesColdSolves pins the batched, warm-started
+// equilibrium sweep to the per-point cold reference: game.SolveMany's
+// engine must not change a single bit of the reported economics, and the
+// SweepPointDone events must arrive in ascending index order.
+func TestEquilibriumSweepMatchesColdSolves(t *testing.T) {
+	env, err := BuildSetup(context.Background(), Setup1, tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := []float64{0, 500, 2000, 4000, 16000, 80000}
+	var got []int
+	obs := ObserverFunc(func(e Event) {
+		if d, ok := e.(SweepPointDone); ok {
+			got = append(got, d.Index)
+		}
+	})
+	points, err := EquilibriumSweep(context.Background(), env, SweepV, values, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, val := range values {
+		params, err := perturbedParams(env, SweepV, val)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eq, err := params.SolveKKT()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var meanQ float64
+		for _, q := range eq.Q {
+			meanQ += q / float64(len(eq.Q))
+		}
+		want := SweepPoint{
+			Value:            val,
+			ServerObj:        eq.ServerObj,
+			MeanQ:            meanQ,
+			NegativePayments: eq.NegativePayments(),
+		}
+		if points[i] != want {
+			t.Fatalf("point %d drifted from cold solve:\nbatch: %+v\ncold:  %+v", i, points[i], want)
+		}
+		if i >= len(got) || got[i] != i {
+			t.Fatalf("SweepPointDone order broken: %v", got)
+		}
+	}
+
+	// A failing point reports its sweep value, as the sequential code did.
+	_, err = EquilibriumSweep(context.Background(), env, SweepC, []float64{10, -5}, nil)
+	if err == nil || !strings.Contains(err.Error(), "non-positive mean cost") {
+		t.Fatalf("expected the originating point error, got: %v", err)
+	}
+}
+
 // TestSweepParallelPropagatesError ensures a failing point surfaces from the
 // concurrent path too, and that the originating error wins over the
 // context.Canceled artifacts the internal fail-fast abort induces in points

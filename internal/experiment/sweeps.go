@@ -174,7 +174,7 @@ func sweepPoint(
 	if err != nil {
 		return SweepPoint{}, err
 	}
-	outcome, err := ps.Price(params)
+	outcome, err := env.priceScheme(ps, params)
 	if err != nil {
 		return SweepPoint{}, fmt.Errorf("%v=%v: %w", kind, val, err)
 	}
@@ -207,8 +207,11 @@ func sweepPoint(
 
 // EquilibriumSweep is Sweep without the training step: it reports the
 // economics (server bound, mean q, negative payments) only, which is what
-// Table V needs and is orders of magnitude faster. Observers receive
-// SweepPointDone events in order.
+// Table V needs and is orders of magnitude faster. The points are
+// batch-solved through the equilibrium engine (game.SolveMany): a
+// fixed-order worker pool with per-worker scratch and warm-started
+// multiplier brackets, bit-identical to solving each point cold. Observers
+// receive SweepPointDone events in ascending index order.
 func EquilibriumSweep(
 	ctx context.Context, env *Environment, kind SweepKind, values []float64, obs ...Observer,
 ) ([]SweepPoint, error) {
@@ -222,31 +225,51 @@ func EquilibriumSweep(
 		return nil, errors.New("experiment: empty sweep")
 	}
 	o := combineObservers(obs)
-	out := make([]SweepPoint, 0, len(values))
+	games := make([]*game.Params, len(values))
 	for i, val := range values {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
 		params, err := perturbedParams(env, kind, val)
 		if err != nil {
 			return nil, err
 		}
-		eq, err := params.SolveKKT()
+		games[i] = params
+	}
+	// Solve in bounded chunks rather than one monolithic batch, so
+	// observers keep receiving incremental SweepPointDone progress on
+	// fleet-scale sweeps instead of one burst at the end. Chunks are solved
+	// in index order, so events stay in ascending index order.
+	chunk := 4 * runtime.GOMAXPROCS(0)
+	if chunk < 16 {
+		chunk = 16
+	}
+	out := make([]SweepPoint, 0, len(values))
+	for start := 0; start < len(values); start += chunk {
+		end := start + chunk
+		if end > len(values) {
+			end = len(values)
+		}
+		eqs, err := game.SolveManyContext(ctx, games[start:end], 0)
 		if err != nil {
-			return nil, fmt.Errorf("%v=%v: %w", kind, val, err)
+			var be *game.BatchError
+			if errors.As(err, &be) {
+				return nil, fmt.Errorf("%v=%v: %w", kind, values[start+be.Index], be.Err)
+			}
+			return nil, err
 		}
-		var meanQ float64
-		for _, q := range eq.Q {
-			meanQ += q / float64(len(eq.Q))
+		for j, eq := range eqs {
+			i := start + j
+			var meanQ float64
+			for _, q := range eq.Q {
+				meanQ += q / float64(len(eq.Q))
+			}
+			p := SweepPoint{
+				Value:            values[i],
+				ServerObj:        eq.ServerObj,
+				MeanQ:            meanQ,
+				NegativePayments: eq.NegativePayments(),
+			}
+			out = append(out, p)
+			emit(o, SweepPointDone{Kind: kind, Index: i, Value: values[i], Point: p})
 		}
-		p := SweepPoint{
-			Value:            val,
-			ServerObj:        eq.ServerObj,
-			MeanQ:            meanQ,
-			NegativePayments: eq.NegativePayments(),
-		}
-		out = append(out, p)
-		emit(o, SweepPointDone{Kind: kind, Index: i, Value: val, Point: p})
 	}
 	return out, nil
 }

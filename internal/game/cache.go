@@ -1,0 +1,165 @@
+package game
+
+import (
+	"math"
+	"sync"
+)
+
+// Fingerprint returns a 64-bit FNV-1a hash over every field of the game,
+// position-sensitive and exact on the raw float bits. Two games with equal
+// fingerprints are (up to hash collisions, which the Cache re-verifies with
+// a full comparison) the same game and therefore have the same equilibrium.
+func (p *Params) Fingerprint() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= x & 0xFF
+			h *= prime
+			x >>= 8
+		}
+	}
+	mix(uint64(p.N()))
+	for _, s := range [][]float64{p.A, p.G, p.C, p.V} {
+		for _, x := range s {
+			mix(math.Float64bits(x))
+		}
+	}
+	for _, x := range []float64{p.Alpha, p.Beta, p.R, p.B, p.QMax, p.QMin} {
+		mix(math.Float64bits(x))
+	}
+	return h
+}
+
+// Equal reports whether two games are identical field-for-field (exact
+// float equality).
+func (p *Params) Equal(o *Params) bool {
+	if p == nil || o == nil {
+		return p == o
+	}
+	if p.N() != o.N() || p.Alpha != o.Alpha || p.Beta != o.Beta ||
+		p.R != o.R || p.B != o.B || p.QMax != o.QMax || p.QMin != o.QMin {
+		return false
+	}
+	for i := 0; i < p.N(); i++ {
+		if p.A[i] != o.A[i] || p.G[i] != o.G[i] || p.C[i] != o.C[i] || p.V[i] != o.V[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// cacheKey identifies one solved question: a pricing scheme (empty for the
+// raw KKT equilibrium) on one game fingerprint.
+type cacheKey struct {
+	scheme string
+	fp     uint64
+}
+
+type cacheEntry struct {
+	params *Params // cloned at insert; guards against fingerprint collisions
+	eq     *Equilibrium
+	out    *Outcome
+}
+
+// Cache memoizes equilibrium solves and scheme pricings by game
+// fingerprint, so repeated Session queries on the same world (the same
+// scheme re-priced inside Compare, repeated Equilibrium calls, adaptive
+// repricing epochs with unchanged estimates) solve once.
+//
+// Cached values are shared between callers and must be treated as
+// read-only, the same contract every solver result in this package already
+// carries. Pricing schemes routed through Price must be deterministic —
+// true of the built-ins and of anything derived from Params.OutcomeFor.
+// Eviction is FIFO at the configured capacity. A Cache is safe for
+// concurrent use.
+type Cache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[cacheKey]*cacheEntry
+	order   []cacheKey
+	hits    uint64
+	misses  uint64
+}
+
+// NewCache returns a cache holding at most max solved games (max <= 0
+// selects a default of 256).
+func NewCache(max int) *Cache {
+	if max <= 0 {
+		max = 256
+	}
+	return &Cache{max: max, entries: make(map[cacheKey]*cacheEntry)}
+}
+
+// Solve returns the memoized Stackelberg equilibrium of p, solving it via
+// SolveKKT on first sight. Hits return a value equal to a fresh solve —
+// the solver is deterministic — without re-running the bisection.
+func (c *Cache) Solve(p *Params) (*Equilibrium, error) {
+	key := cacheKey{fp: p.Fingerprint()}
+	if e := c.lookup(key, p); e != nil {
+		return e.eq, nil
+	}
+	eq, err := p.SolveKKT()
+	if err != nil {
+		return nil, err
+	}
+	c.store(key, p, &cacheEntry{eq: eq})
+	return eq, nil
+}
+
+// Price returns the memoized priced outcome of scheme ps on p.
+func (c *Cache) Price(ps PricingScheme, p *Params) (*Outcome, error) {
+	key := cacheKey{scheme: ps.Name(), fp: p.Fingerprint()}
+	if e := c.lookup(key, p); e != nil {
+		return e.out, nil
+	}
+	out, err := ps.Price(p)
+	if err != nil {
+		return nil, err
+	}
+	c.store(key, p, &cacheEntry{out: out})
+	return out, nil
+}
+
+// Stats reports the hit/miss counters.
+func (c *Cache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len reports the number of cached solves.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+func (c *Cache) lookup(key cacheKey, p *Params) *cacheEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if ok && e.params.Equal(p) {
+		c.hits++
+		return e
+	}
+	c.misses++
+	return nil
+}
+
+func (c *Cache) store(key cacheKey, p *Params, e *cacheEntry) {
+	e.params = p.Clone()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.entries[key]; !exists {
+		for len(c.entries) >= c.max && len(c.order) > 0 {
+			delete(c.entries, c.order[0])
+			c.order = c.order[1:]
+		}
+		c.order = append(c.order, key)
+	}
+	c.entries[key] = e
+}

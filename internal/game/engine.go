@@ -1,0 +1,373 @@
+package game
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the fleet-scale equilibrium engine: a reusable Solver with
+// caller-owned scratch arenas (zero heap allocations per solve in steady
+// state), warm-started multiplier brackets for sequences of nearby games,
+// and a fixed-order worker pool for batch solves.
+//
+// Determinism contract: every bisection in the engine runs on the IEEE-754
+// bit lattice until it pins the unique adjacent-float boundary pair
+// (lo, hi) with pred(lo) && !pred(hi). Because the pair is a property of
+// the predicate alone — not of the starting bracket or the midpoint
+// sequence — a warm-started solve is bit-identical to a cold one, and
+// SolveMany is bit-identical to a sequential loop for any worker count.
+
+// lambdaBracket is a saved boundary pair from a previous bisection, used to
+// seed the next solve's bracket.
+type lambdaBracket struct {
+	lo, hi float64
+	ok     bool
+}
+
+// Solver is a reusable equilibrium engine. It owns scratch buffers for the
+// bisection iterations and remembers the multiplier brackets of the
+// previous solve, so a sequence of nearby games (sweep points, sensitivity
+// probes, repriced epochs) skips most of the bracket search. A Solver is
+// not safe for concurrent use; SolveMany gives each worker its own.
+//
+// Results are bit-identical to Params.SolveKKT regardless of what the
+// Solver solved before (see the determinism contract above).
+type Solver struct {
+	q    []float64 // participation scratch, written by every spend probe
+	coef []float64 // per-client cbrt coefficient α a²G² / (4 R c)
+	gain []float64 // per-client intrinsic gain K_n = v_n (α/R) a²G²
+
+	warmLambda lambdaBracket // λ boundary pair from the previous solve
+
+	// M-search state: inner-problem scratch and the ψ/θ multiplier pairs
+	// carried across grid steps (see SolveMSearch).
+	msQ       []float64
+	msBest    []float64
+	warmPsi   lambdaBracket
+	warmTheta lambdaBracket
+}
+
+// NewSolver returns an engine with empty scratch; buffers grow on first use
+// and are reused afterwards.
+func NewSolver() *Solver { return &Solver{} }
+
+// Solve computes the Stackelberg equilibrium of p into a freshly allocated,
+// caller-owned Equilibrium. It is bit-identical to p.SolveKKT().
+func (s *Solver) Solve(p *Params) (*Equilibrium, error) {
+	eq := new(Equilibrium)
+	if err := s.SolveInto(p, eq); err != nil {
+		return nil, err
+	}
+	return eq, nil
+}
+
+// SolveInto solves into a caller-owned Equilibrium, reusing eq.Q and eq.P
+// when their capacity allows. With warm buffers it performs zero heap
+// allocations, which keeps fleet-scale sweeps out of the garbage collector
+// entirely.
+func (s *Solver) SolveInto(p *Params, eq *Equilibrium) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	n := p.N()
+	s.q = growFloats(s.q, n)
+	s.coef = growFloats(s.coef, n)
+	s.gain = growFloats(s.gain, n)
+	for i := 0; i < n; i++ {
+		d := p.DataQuality(i)
+		s.coef[i] = p.Alpha * d / (4 * p.R * p.C[i])
+		s.gain[i] = p.V[i] * p.Alpha / p.R * d
+	}
+
+	// Budget slack case: paying everyone to the ceiling is affordable.
+	if spent := s.spendOfLambda(p, 0); spent <= p.B {
+		return s.finishInto(p, eq, 0, false)
+	}
+
+	f := func(lambda float64) float64 { return s.spendOfLambda(p, lambda) - p.B }
+	lo, hi, flo, fhi, ok := seekBracket(s.warmLambda, f, math.MaxFloat64)
+	if !ok {
+		return errors.New("game: failed to bracket budget multiplier")
+	}
+	lo, hi = crossingPair(lo, hi, flo, fhi, f)
+	s.warmLambda = lambdaBracket{lo: lo, hi: hi, ok: true}
+	// The multiplier is the feasible endpoint: the smallest representable λ
+	// with spend(λ) <= B.
+	s.spendOfLambda(p, hi)
+	return s.finishInto(p, eq, hi, true)
+}
+
+// spendOfLambda writes the KKT stationarity solution q(λ) (eq. 22) into
+// the scratch vector and returns the induced spend Σ P_n(q_n) q_n at the
+// eq.-17 prices, in one allocation-free pass. Interior optima satisfy
+// 1/λ = (4R/α)·c_n q³/(a_n²G_n²) + v_n, i.e.
+// q_n(λ) = cbrt( (α a_n²G_n² / (4R c_n)) · (1/λ − v_n) ), clamped to the
+// box; the precomputed coef/gain arrays hold the per-client constants.
+func (s *Solver) spendOfLambda(p *Params, lambda float64) float64 {
+	var spend float64
+	q := s.q
+	for i := range q {
+		var qi float64
+		switch {
+		case lambda <= 0:
+			qi = p.QMax
+		default:
+			slack := 1/lambda - p.V[i]
+			if slack <= 0 {
+				qi = p.QMin
+			} else {
+				qi = clamp(cbrt(s.coef[i]*slack), p.QMin, p.QMax)
+			}
+		}
+		q[i] = qi
+		spend += (2*p.C[i]*qi - s.gain[i]/(qi*qi)) * qi
+	}
+	return spend
+}
+
+// seekBracket establishes f(lo) > 0 >= f(hi) for a function that is
+// positive below its crossing and nonpositive above it. A previous
+// boundary pair seeds the search when available — still valid it is reused
+// verbatim; invalidated it is galloped outward ×4 — and a cold start grows
+// the bracket geometrically from [0, 1], like the historical solvers. hi
+// is capped at limit: an f still positive there returns ok=false with
+// hi=limit, letting each caller decide whether saturation is an error. An
+// f that is nonpositive all the way down to 0 also reports ok=false.
+func seekBracket(warm lambdaBracket, f func(float64) float64, limit float64) (lo, hi, flo, fhi float64, ok bool) {
+	if warm.ok {
+		lo, hi = warm.lo, warm.hi
+		fhi = f(hi)
+		switch {
+		case fhi > 0: // the crossing moved above the pair
+			lo, flo = hi, fhi
+			for {
+				hi *= 4
+				if hi > limit || math.IsInf(hi, 1) {
+					return lo, limit, flo, 0, false
+				}
+				if fhi = f(hi); fhi <= 0 {
+					return lo, hi, flo, fhi, true
+				}
+				lo, flo = hi, fhi
+			}
+		default:
+			if flo = f(lo); flo > 0 { // the pair still brackets the crossing
+				return lo, hi, flo, fhi, true
+			}
+			// The crossing moved below the pair.
+			hi, fhi = lo, flo
+			for {
+				lo /= 4
+				if lo < math.SmallestNonzeroFloat64 {
+					lo = 0
+				}
+				if flo = f(lo); flo > 0 {
+					return lo, hi, flo, fhi, true
+				}
+				if lo == 0 {
+					return 0, hi, 0, fhi, false
+				}
+				hi, fhi = lo, flo
+			}
+		}
+	}
+	lo, hi = 0, 1
+	for {
+		if fhi = f(hi); fhi <= 0 {
+			return lo, hi, flo, fhi, true
+		}
+		lo, flo = hi, fhi
+		hi *= 4
+		if hi > limit || math.IsInf(hi, 1) {
+			return lo, limit, flo, 0, false
+		}
+	}
+}
+
+// finishInto derives prices and diagnostics from the scratch q vector.
+func (s *Solver) finishInto(p *Params, eq *Equilibrium, lambda float64, tight bool) error {
+	n := p.N()
+	eq.Q = growFloats(eq.Q, n)
+	eq.P = growFloats(eq.P, n)
+	copy(eq.Q, s.q)
+	var spent float64
+	for i := 0; i < n; i++ {
+		qi := eq.Q[i]
+		price := 2*p.C[i]*qi - s.gain[i]/(qi*qi)
+		eq.P[i] = price
+		spent += price * qi
+	}
+	obj, err := p.ServerObjective(eq.Q)
+	if err != nil {
+		return err
+	}
+	eq.Lambda = lambda
+	eq.Spent = spent
+	eq.ServerObj = obj
+	eq.BudgetTight = tight
+	return nil
+}
+
+// crossingPair narrows a valid bracket (f(lo) > 0 >= f(hi), flo/fhi the
+// values at its ends) to the unique adjacent pair of nonnegative floats
+// straddling f's sign crossing. Candidates come from linear interpolation
+// (regula falsi), which converges superlinearly on the narrow brackets a
+// warm start produces; every step that fails to halve the bracket's
+// bit-lattice width forces the next candidate onto the lattice midpoint —
+// a geometric probe that crosses hundreds of orders of magnitude in a few
+// steps — so the search is never worse than twice a pure lattice
+// bisection (~63 probes) and is typically an order of magnitude cheaper.
+//
+// The returned pair is a property of f alone, not of the starting bracket
+// or the candidate sequence: as long as f crosses zero once, any valid
+// bracket converges to the same two floats. That bracket-independence is
+// what makes warm-started solves bit-identical to cold ones.
+func crossingPair(lo, hi, flo, fhi float64, f func(float64) float64) (float64, float64) {
+	blo, bhi := math.Float64bits(lo), math.Float64bits(hi)
+	forceLattice := false
+	for bhi-blo > 1 {
+		width := bhi - blo
+		var mid float64
+		ok := false
+		if !forceLattice {
+			t := flo / (flo - fhi)
+			mid = lo + t*(hi-lo)
+			ok = mid > lo && mid < hi // also rejects NaN and degenerate t
+		}
+		if !ok {
+			mid = math.Float64frombits(blo + width/2)
+		}
+		if fm := f(mid); fm > 0 {
+			lo, flo, blo = mid, fm, math.Float64bits(mid)
+		} else {
+			hi, fhi, bhi = mid, fm, math.Float64bits(mid)
+		}
+		forceLattice = bhi-blo > width/2
+	}
+	return math.Float64frombits(blo), math.Float64frombits(bhi)
+}
+
+// growFloats returns s resized to n, reusing its backing array when the
+// capacity allows.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// BatchError reports which game of a SolveMany batch failed.
+type BatchError struct {
+	Index int
+	Err   error
+}
+
+func (e *BatchError) Error() string {
+	return fmt.Sprintf("game: batch solve %d: %v", e.Index, e.Err)
+}
+
+// Unwrap exposes the underlying solver error to errors.Is/As.
+func (e *BatchError) Unwrap() error { return e.Err }
+
+// SolveMany solves a batch of games across a fixed-order worker pool with
+// per-worker scratch, warm-starting along each worker's index stream.
+// results[i] is games[i]'s equilibrium, bit-identical to a sequential
+// p.SolveKKT() loop for any worker count (workers <= 0 means GOMAXPROCS).
+// On failure it returns the lowest-index error wrapped in a *BatchError.
+func SolveMany(games []*Params, workers int) ([]*Equilibrium, error) {
+	return SolveManyContext(context.Background(), games, workers)
+}
+
+// SolveManyContext is SolveMany with cancellation: games not yet started
+// when ctx is cancelled are abandoned and ctx.Err() is returned.
+func SolveManyContext(ctx context.Context, games []*Params, workers int) ([]*Equilibrium, error) {
+	n := len(games)
+	if n == 0 {
+		return nil, errors.New("game: empty batch")
+	}
+	for i, g := range games {
+		if g == nil {
+			return nil, &BatchError{Index: i, Err: errors.New("game: nil params")}
+		}
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]*Equilibrium, n)
+	errs := make([]error, n)
+	if workers == 1 {
+		s := NewSolver()
+		for i, g := range games {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			out[i], errs[i] = s.Solve(g)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				s := NewSolver()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n || ctx.Err() != nil {
+						return
+					}
+					out[i], errs[i] = s.Solve(games[i])
+				}
+			}()
+		}
+		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, &BatchError{Index: i, Err: err}
+		}
+	}
+	return out, nil
+}
+
+// parallelFor runs fn(i) for every i in [0, n) across at most workers
+// goroutines (1 means inline). fn must touch only index-i state; callers
+// reduce results in index order to stay bit-identical for any worker count.
+func parallelFor(n, workers int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

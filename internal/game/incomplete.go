@@ -3,6 +3,7 @@ package game
 import (
 	"errors"
 	"fmt"
+	"runtime"
 
 	"unbiasedfl/internal/stats"
 )
@@ -55,29 +56,13 @@ type BayesianOutcome struct {
 
 // bestResponseScenario solves eq. 13 for arbitrary (c, v) instead of the
 // stored parameters: the unique root of price + vαD/(R q²) − 2cq on
-// (0, QMax], clamped to the box.
+// (0, QMax], clamped to the box. It shares BestResponse's Newton solver.
 func (p *Params) bestResponseScenario(n int, price, c, v float64) float64 {
 	k := v * p.Alpha / p.R * p.DataQuality(n)
 	if k == 0 {
 		return clamp(price/(2*c), 0, p.QMax)
 	}
-	f := func(q float64) float64 { return price + k/(q*q) - 2*c*q }
-	if f(p.QMax) >= 0 {
-		return p.QMax
-	}
-	lo, hi := 0.0, p.QMax
-	for i := 0; i < 120; i++ {
-		mid := 0.5 * (lo + hi)
-		if mid == lo || mid == hi {
-			break
-		}
-		if f(mid) > 0 {
-			lo = mid
-		} else {
-			hi = mid
-		}
-	}
-	return 0.5 * (lo + hi)
+	return positiveRoot(price, k, 2*c, p.QMax)
 }
 
 // expectedResponse estimates E[q_n(P_n)] and E[P_n q_n(P_n)] over the prior
@@ -94,8 +79,20 @@ func (p *Params) expectedResponse(n int, price float64, cs, vs []float64) (meanQ
 
 // SolveBayesian designs posted prices knowing only the prior over (c, v).
 // scenarios controls the Monte-Carlo resolution; rng provides the scenario
-// draws (common across the calibration search for stability).
+// draws (common across the calibration search for stability). The
+// Monte-Carlo expectations are evaluated across GOMAXPROCS workers; see
+// SolveBayesianParallel for the determinism guarantee.
 func (p *Params) SolveBayesian(prior Prior, scenarios int, rng *stats.RNG) (*BayesianOutcome, error) {
+	return p.SolveBayesianParallel(prior, scenarios, rng, 0)
+}
+
+// SolveBayesianParallel is SolveBayesian with an explicit worker count
+// (<= 0 means GOMAXPROCS). The output is bit-identical for any worker
+// count: all scenario draws are generated up front from rng in client order
+// (common random numbers), each worker evaluates whole per-client
+// expectations into index-addressed slots, and every reduction sums in
+// client order.
+func (p *Params) SolveBayesianParallel(prior Prior, scenarios int, rng *stats.RNG, workers int) (*BayesianOutcome, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -120,7 +117,8 @@ func (p *Params) SolveBayesian(prior Prior, scenarios int, rng *stats.RNG) (*Bay
 		return nil, fmt.Errorf("certainty-equivalent design: %w", err)
 	}
 
-	// Shared scenario draws per client.
+	// Shared scenario draws per client (common random numbers): generated
+	// sequentially up front so the draw order never depends on scheduling.
 	n := p.N()
 	cs := make([][]float64, n)
 	vs := make([][]float64, n)
@@ -139,23 +137,42 @@ func (p *Params) SolveBayesian(prior Prior, scenarios int, rng *stats.RNG) (*Bay
 		cs[i], vs[i] = ci, vi
 	}
 
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// Per-client expectation slots: each worker owns whole clients, so the
+	// scenario loop inside expectedResponse keeps its sequential summation
+	// order and the cross-client reduction below is in index order.
+	qMeans := make([]float64, n)
+	pays := make([]float64, n)
+	evalAll := func(scale float64) {
+		parallelFor(n, workers, func(i int) {
+			qMeans[i], pays[i] = p.expectedResponse(i, scale*ceEq.P[i], cs[i], vs[i])
+		})
+	}
 	expSpend := func(scale float64) float64 {
+		evalAll(scale)
 		var total float64
 		for i := 0; i < n; i++ {
-			_, pay := p.expectedResponse(i, scale*ceEq.P[i], cs[i], vs[i])
-			total += pay
+			total += pays[i]
 		}
 		return total
 	}
 
 	// Step 2: calibrate the scale so expected spend meets the budget.
 	// Expected spend is nondecreasing in the scale (each client's expected
-	// payment is nondecreasing in its own price), so bisection applies.
+	// payment is nondecreasing in its own price), so bisection applies. The
+	// bisections stop at floating-point resolution instead of burning their
+	// full iteration budget: once mid collides with an endpoint the bracket
+	// can never move again.
 	scale := 1.0
 	if expSpend(1) > p.B {
 		lo, hi := 0.0, 1.0
 		for i := 0; i < 100; i++ {
 			mid := 0.5 * (lo + hi)
+			if mid == lo || mid == hi {
+				break
+			}
 			if expSpend(mid) > p.B {
 				hi = mid
 			} else {
@@ -175,6 +192,9 @@ func (p *Params) SolveBayesian(prior Prior, scenarios int, rng *stats.RNG) (*Bay
 		if expSpend(hi) > p.B {
 			for i := 0; i < 100; i++ {
 				mid := 0.5 * (lo + hi)
+				if mid == lo || mid == hi {
+					break
+				}
 				if expSpend(mid) > p.B {
 					hi = mid
 				} else {
@@ -190,14 +210,15 @@ func (p *Params) SolveBayesian(prior Prior, scenarios int, rng *stats.RNG) (*Bay
 		ExpectedQ: make([]float64, n),
 		Scenarios: scenarios,
 	}
+	evalAll(scale)
 	for i := 0; i < n; i++ {
 		out.P[i] = scale * ceEq.P[i]
-		q, pay := p.expectedResponse(i, out.P[i], cs[i], vs[i])
+		q := qMeans[i]
 		if q < p.QMin {
 			q = p.QMin
 		}
 		out.ExpectedQ[i] = q
-		out.ExpectedSpend += pay
+		out.ExpectedSpend += pays[i]
 	}
 	obj, err := p.ServerObjective(out.ExpectedQ)
 	if err != nil {

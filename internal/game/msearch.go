@@ -20,6 +20,10 @@ func DefaultMSearchOptions() MSearchOptions {
 	return MSearchOptions{GridSteps: 64, Refine: 3}
 }
 
+// msearchMultiplierCap mirrors the historical 1e18 ceiling on the inner
+// multipliers: beyond it the box constraints have long since saturated.
+const msearchMultiplierCap = 1e18
+
 // SolveMSearch reproduces the paper's solution method for Problem P1″: for
 // each candidate M it solves the inner convex problem
 //
@@ -29,55 +33,72 @@ func DefaultMSearchOptions() MSearchOptions {
 // exactly via its KKT system (nested bisection over the two multipliers),
 // then line-searches M and prices the winner via eq. 17. The paper invokes
 // CVX for the inner solve; the closed-form KKT structure makes a dedicated
-// solver both exact and dependency-free. SolveMSearch exists primarily as an
-// independent cross-check of SolveKKT.
+// solver both exact and dependency-free. SolveMSearch exists primarily as
+// an independent cross-check of SolveKKT. It delegates to a fresh Solver;
+// see Solver.SolveMSearch for the warm-started engine form.
 func (p *Params) SolveMSearch(opts MSearchOptions) (*Equilibrium, error) {
+	var s Solver
+	return s.SolveMSearch(p, opts)
+}
+
+// SolveMSearch is the engine form of Params.SolveMSearch: the inner-problem
+// participation vectors live in the Solver's scratch arena, and the ψ/θ
+// multiplier boundary pairs are warm-started across the line-search grid
+// steps (consecutive M values have nearby multipliers, so most inner
+// bisections collapse to a handful of probes). Results are bit-identical to
+// a cold solve: every bisection pins the bracket-independent boundary pair
+// on the float lattice, exactly like SolveInto.
+func (s *Solver) SolveMSearch(p *Params, opts MSearchOptions) (*Equilibrium, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	if opts.GridSteps < 2 || opts.Refine < 0 {
 		return nil, errors.New("game: invalid M-search options")
 	}
+	n := p.N()
+	s.msQ = growFloats(s.msQ, n)
+	s.msBest = growFloats(s.msBest, n)
 
 	mLo, mHi := 0.0, 0.0
-	for n := 0; n < p.N(); n++ {
-		mLo += p.C[n] * p.QMin * p.QMin
-		mHi += p.C[n] * p.QMax * p.QMax
+	for i := 0; i < n; i++ {
+		mLo += p.C[i] * p.QMin * p.QMin
+		mHi += p.C[i] * p.QMax * p.QMax
 	}
 
-	evaluate := func(m float64) ([]float64, float64, bool) {
-		q, ok := p.innerSolve(m)
-		if !ok {
-			return nil, math.Inf(1), false
+	// evaluate scores one M candidate, leaving its q vector in s.msQ.
+	evaluate := func(m float64) (float64, bool) {
+		if !s.innerSolve(p, m) {
+			return math.Inf(1), false
 		}
-		spent, err := p.spendAt(q)
+		spent, err := p.spendAt(s.msQ)
 		if err != nil || spent > p.B*(1+1e-9)+1e-9 {
-			return nil, math.Inf(1), false
+			return math.Inf(1), false
 		}
-		obj, err := p.ServerObjective(q)
+		obj, err := p.ServerObjective(s.msQ)
 		if err != nil {
-			return nil, math.Inf(1), false
+			return math.Inf(1), false
 		}
-		return q, obj, true
+		return obj, true
 	}
 
 	lo, hi := mLo, mHi
-	var bestQ []float64
+	found := false
 	bestObj := math.Inf(1)
 	for pass := 0; pass <= opts.Refine; pass++ {
 		var bestM float64
-		found := false
+		improved := false
 		for step := 0; step <= opts.GridSteps; step++ {
 			m := lo + (hi-lo)*float64(step)/float64(opts.GridSteps)
-			q, obj, ok := evaluate(m)
+			obj, ok := evaluate(m)
 			if ok && obj < bestObj {
 				bestObj = obj
-				bestQ = q
+				copy(s.msBest, s.msQ)
 				bestM = m
+				improved = true
 				found = true
 			}
 		}
-		if !found {
+		if !improved {
 			break
 		}
 		// Zoom into the neighbourhood of the winner for the next pass.
@@ -85,78 +106,66 @@ func (p *Params) SolveMSearch(opts MSearchOptions) (*Equilibrium, error) {
 		lo = math.Max(mLo, bestM-2*width)
 		hi = math.Min(mHi, bestM+2*width)
 	}
-	if bestQ == nil {
+	if !found {
 		return nil, errors.New("game: M-search found no feasible point")
 	}
-	spent, err := p.spendAt(bestQ)
+	spent, err := p.spendAt(s.msBest)
 	if err != nil {
 		return nil, err
 	}
 	tight := math.Abs(spent-p.B) < 0.05*math.Max(1, math.Abs(p.B))
-	return p.finishEquilibrium(bestQ, 0, tight)
+	return p.finishEquilibrium(append([]float64(nil), s.msBest...), 0, tight)
+}
+
+// innerQ writes the inner problem's stationarity point for multipliers
+// (θ, ψ) into q and returns its cost Σ c_n q_n² in the same pass:
+// q_i³ = D_i (1 − θ (α/R) v_i) / (2 ψ c_i), clamped to the box.
+func (p *Params) innerQ(theta, psi float64, q []float64) float64 {
+	var cost float64
+	for i := range q {
+		numer := p.DataQuality(i) * (1 - theta*p.Alpha/p.R*p.V[i])
+		var qi float64
+		if numer <= 0 || psi <= 0 {
+			if numer <= 0 {
+				qi = p.QMin
+			} else {
+				qi = p.QMax
+			}
+		} else {
+			qi = clamp(cbrt(numer/(2*psi*p.C[i])), p.QMin, p.QMax)
+		}
+		q[i] = qi
+		cost += p.C[i] * qi * qi
+	}
+	return cost
 }
 
 // innerSolve solves the fixed-M inner problem exactly through its KKT
-// system. Stationarity gives q_i³ = D_i (1 − θ (α/R) v_i) / (2 ψ c_i) with
-// θ ≥ 0 the budget multiplier and ψ ≥ 0 the multiplier of the equality
-// Σ c q² = M. For fixed θ, Σ c q(θ,ψ)² is strictly decreasing in ψ, so ψ is
-// found by bisection; the budget slack is then monotone decreasing in θ, so
-// θ is found by an outer bisection. Returns ok=false when no feasible point
-// exists for this M.
-func (p *Params) innerSolve(m float64) ([]float64, bool) {
-	n := p.N()
+// system, leaving the solution in s.msQ. For fixed θ, Σ c q(θ,ψ)² is
+// nonincreasing in ψ, so ψ is pinned by a lattice bisection; the budget
+// slack is then monotone in θ, so θ is pinned by an outer lattice
+// bisection. Both bisections seed their brackets from the previous call's
+// boundary pairs. Reports false when no feasible point exists for this M.
+func (s *Solver) innerSolve(p *Params, m float64) bool {
+	q := s.msQ
 
-	qAt := func(theta, psi float64) []float64 {
-		q := make([]float64, n)
-		for i := 0; i < n; i++ {
-			numer := p.DataQuality(i) * (1 - theta*p.Alpha/p.R*p.V[i])
-			if numer <= 0 || psi <= 0 {
-				if numer <= 0 {
-					q[i] = p.QMin
-				} else {
-					q[i] = p.QMax
-				}
-				continue
-			}
-			q[i] = clamp(cbrt(numer/(2*psi*p.C[i])), p.QMin, p.QMax)
-		}
-		return q
-	}
-	costAt := func(q []float64) float64 {
-		var s float64
-		for i, qi := range q {
-			s += p.C[i] * qi * qi
-		}
-		return s
-	}
-	// solvePsi finds psi achieving Σ c q² = M for the given theta.
-	solvePsi := func(theta float64) []float64 {
-		if costAt(qAt(theta, 0)) <= m {
+	// solvePsi pins ψ achieving Σ c q² = M for the given θ, leaving the
+	// participation vector in q.
+	solvePsi := func(theta float64) {
+		if p.innerQ(theta, 0, q) <= m {
 			// Even the ceiling cannot reach M (possible after clamping
-			// high-v clients to QMin); return the closest achievable point.
-			return qAt(theta, 0)
+			// high-v clients to QMin); keep the closest achievable point.
+			return
 		}
-		loPsi, hiPsi := 0.0, 1.0
-		for costAt(qAt(theta, hiPsi)) > m {
-			hiPsi *= 4
-			if hiPsi > 1e18 {
-				break
-			}
+		f := func(psi float64) float64 { return p.innerQ(theta, psi, q) - m }
+		lo, hi, flo, fhi, ok := seekBracket(s.warmPsi, f, msearchMultiplierCap)
+		if ok {
+			lo, hi = crossingPair(lo, hi, flo, fhi, f)
+			s.warmPsi = lambdaBracket{lo: lo, hi: hi, ok: true}
 		}
-		for it := 0; it < 120; it++ {
-			mid := 0.5 * (loPsi + hiPsi)
-			if mid == loPsi || mid == hiPsi {
-				break
-			}
-			if costAt(qAt(theta, mid)) > m {
-				loPsi = mid
-			} else {
-				hiPsi = mid
-			}
-		}
-		return qAt(theta, 0.5*(loPsi+hiPsi))
+		p.innerQ(theta, hi, q)
 	}
-	budgetSlack := func(q []float64) float64 {
+	budgetSlack := func() float64 {
 		var intr float64
 		for i, qi := range q {
 			intr += p.V[i] * p.DataQuality(i) / qi
@@ -164,9 +173,9 @@ func (p *Params) innerSolve(m float64) ([]float64, bool) {
 		return p.B - (2*m - p.Alpha/p.R*intr)
 	}
 
-	q0 := solvePsi(0)
-	if budgetSlack(q0) >= 0 {
-		return q0, true
+	solvePsi(0)
+	if budgetSlack() >= 0 {
+		return true
 	}
 	// Need θ > 0. Raising θ suppresses high-v clients, raising Σ v D / q and
 	// restoring feasibility — unless no v is positive, in which case this M
@@ -179,25 +188,18 @@ func (p *Params) innerSolve(m float64) ([]float64, bool) {
 		}
 	}
 	if !anyV {
-		return nil, false
+		return false
 	}
-	loTh, hiTh := 0.0, 1.0
-	for budgetSlack(solvePsi(hiTh)) < 0 {
-		hiTh *= 4
-		if hiTh > 1e18 {
-			return nil, false
-		}
+	fTheta := func(theta float64) float64 {
+		solvePsi(theta)
+		return -budgetSlack()
 	}
-	for it := 0; it < 120; it++ {
-		mid := 0.5 * (loTh + hiTh)
-		if mid == loTh || mid == hiTh {
-			break
-		}
-		if budgetSlack(solvePsi(mid)) < 0 {
-			loTh = mid
-		} else {
-			hiTh = mid
-		}
+	lo, hi, flo, fhi, ok := seekBracket(s.warmTheta, fTheta, msearchMultiplierCap)
+	if !ok {
+		return false
 	}
-	return solvePsi(hiTh), true
+	lo, hi = crossingPair(lo, hi, flo, fhi, fTheta)
+	s.warmTheta = lambdaBracket{lo: lo, hi: hi, ok: true}
+	solvePsi(hi)
+	return true
 }

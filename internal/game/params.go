@@ -15,6 +15,35 @@
 // two-step solver for Problem P1” as a cross-check, the uniform and
 // weighted (data-size proportional) pricing baselines of Section VI, and the
 // equilibrium properties of Theorems 2–3 and Corollary 1.
+//
+// # The equilibrium engine
+//
+// Params.SolveKKT solves one game cold. Fleet-scale workloads — parameter
+// sweeps, sensitivity probes, Monte-Carlo scenario batches, repeated
+// Session queries — go through the engine layer instead:
+//
+//   - Solver owns scratch arenas and solves repeatedly with zero heap
+//     allocations in steady state (Solver.SolveInto), warm-starting each
+//     solve's multiplier bracket from the previous one.
+//   - SolveMany batch-solves a slice of games across a fixed-order worker
+//     pool with per-worker Solvers.
+//   - SolveBayesianParallel evaluates the incomplete-information design's
+//     Monte-Carlo expectations across a worker pool.
+//   - Cache memoizes equilibria and priced outcomes by Params.Fingerprint,
+//     so re-asking an unchanged question never re-runs the solver.
+//
+// # Determinism guarantees
+//
+// Every engine path is bit-identical to its cold sequential counterpart.
+// The mechanism: each multiplier search terminates at the unique adjacent
+// pair of floats straddling its monotone predicate's sign crossing — a
+// property of the game alone, not of the search's starting bracket or
+// probe sequence. Hence a warm-started Solver equals a cold SolveKKT no
+// matter what it solved before, SolveMany equals a sequential loop for any
+// worker count, and SolveBayesianParallel (common random numbers drawn up
+// front, per-client slots, index-ordered reductions) equals its
+// single-worker run for any GOMAXPROCS. Cache hits return values equal to
+// fresh solves because the solver itself is deterministic.
 package game
 
 import (

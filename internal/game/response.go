@@ -26,24 +26,37 @@ func (p *Params) BestResponse(n int, price float64) (float64, error) {
 		q := price / (2 * p.C[n])
 		return clamp(q, 0, p.QMax), nil
 	}
+	return positiveRoot(price, k, 2*p.C[n], p.QMax), nil
+}
+
+// positiveRoot solves the Stage-II first-order condition
+// price + k/q² − 2cq = 0 (k > 0) on (0, qMax], i.e. the unique positive
+// root of the cubic h(q) = 2c q³ − price q² − k. h is increasing and convex
+// to the right of its inflection point and the root lies in that region, so
+// Newton iteration from qMax decreases monotonically onto the root without
+// ever crossing it — guaranteed quadratic convergence in a handful of
+// evaluations, replacing the historical ~55-probe bisection on the FL
+// pricing hot path (best responses run once per client per scale probe in
+// every scaled-pricing and Monte-Carlo calibration loop).
+func positiveRoot(price, k, twoC, qMax float64) float64 {
 	// f(0+) = +∞ and f is strictly decreasing, so a unique positive root
-	// exists. If f(QMax) >= 0 the client saturates at the ceiling.
-	if p.marginalUtility(n, price, p.QMax) >= 0 {
-		return p.QMax, nil
+	// exists. If f(qMax) >= 0 the client saturates at the ceiling.
+	if price+k/(qMax*qMax)-twoC*qMax >= 0 {
+		return qMax
 	}
-	lo, hi := 0.0, p.QMax // f(lo+) > 0, f(hi) < 0
-	for i := 0; i < 200; i++ {
-		mid := 0.5 * (lo + hi)
-		if mid == lo || mid == hi {
+	q, prev := qMax, math.Inf(1)
+	for i := 0; i < 80; i++ {
+		h := (twoC*q-price)*q*q - k
+		d := q * (3*twoC*q - 2*price)
+		next := q - h/d
+		// Monotone convergence means a repeated or cycling iterate is the
+		// floating-point fixed point.
+		if next == q || next == prev {
 			break
 		}
-		if p.marginalUtility(n, price, mid) > 0 {
-			lo = mid
-		} else {
-			hi = mid
-		}
+		prev, q = q, next
 	}
-	return 0.5 * (lo + hi), nil
+	return q
 }
 
 // BestResponseAll evaluates every client's best response to a price vector.

@@ -36,7 +36,11 @@ type SensitivityOptions struct {
 	RelStep float64
 }
 
-// AnalyzeSensitivity computes the equilibrium's comparative statics.
+// AnalyzeSensitivity computes the equilibrium's comparative statics. The
+// 2 + 4N finite-difference probes are batch-solved through the equilibrium
+// engine (SolveMany): per-worker scratch, and warm-started brackets that
+// collapse most of each ±h probe's multiplier search, with results
+// bit-identical to sequential SolveKKT calls.
 func (p *Params) AnalyzeSensitivity(opts SensitivityOptions) (*Sensitivity, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -54,69 +58,85 @@ func (p *Params) AnalyzeSensitivity(opts SensitivityOptions) (*Sensitivity, erro
 		DPDC:      make([]float64, n),
 	}
 
-	// Budget derivative.
+	// Budget pair.
 	db := h * maxAbs(p.B, 1)
-	lo := p.Clone()
-	lo.B -= db
-	hi := p.Clone()
-	hi.B += db
-	eqLo, err := lo.SolveKKT()
+	bLo := p.Clone()
+	bLo.B -= db
+	bHi := p.Clone()
+	bHi.B += db
+	beqs, err := SolveMany([]*Params{bLo, bHi}, 0)
 	if err != nil {
-		return nil, fmt.Errorf("budget probe: %w", err)
-	}
-	eqHi, err := hi.SolveKKT()
-	if err != nil {
+		var be *BatchError
+		if errors.As(err, &be) {
+			err = be.Err
+		}
 		return nil, fmt.Errorf("budget probe: %w", err)
 	}
 	for i := 0; i < n; i++ {
-		out.DQDBudget[i] = (eqHi.Q[i] - eqLo.Q[i]) / (2 * db)
+		out.DQDBudget[i] = (beqs[1].Q[i] - beqs[0].Q[i]) / (2 * db)
 	}
-	out.DBoundDBudget = (eqHi.ServerObj - eqLo.ServerObj) / (2 * db)
+	out.DBoundDBudget = (beqs[1].ServerObj - beqs[0].ServerObj) / (2 * db)
 
-	// Per-client own-parameter derivatives.
-	for i := 0; i < n; i++ {
-		dv := h * maxAbs(p.V[i], 1)
-		lo := p.Clone()
-		lo.V[i] -= dv
-		if lo.V[i] < 0 {
-			lo.V[i] = 0
-			dv = p.V[i] // forward-ish difference at the boundary
-			if dv == 0 {
-				dv = h
-				lo = p.Clone()
+	// Per-client (value-lo, value-hi, cost-lo, cost-hi) quadruples, batched
+	// in client chunks so the probe clones stay O(chunk·N) rather than
+	// O(N²) at fleet scale.
+	const chunkClients = 128
+	for start := 0; start < n; start += chunkClients {
+		end := start + chunkClients
+		if end > n {
+			end = n
+		}
+		probes := make([]*Params, 0, 4*(end-start))
+		dvs := make([]float64, 0, end-start)
+		dcs := make([]float64, 0, end-start)
+		for i := start; i < end; i++ {
+			dv := h * maxAbs(p.V[i], 1)
+			lo := p.Clone()
+			lo.V[i] -= dv
+			if lo.V[i] < 0 {
+				lo.V[i] = 0
+				dv = p.V[i] // forward-ish difference at the boundary
+				if dv == 0 {
+					dv = h
+					lo = p.Clone()
+				}
 			}
-		}
-		hi := p.Clone()
-		hi.V[i] += dv
-		eqLo, err := lo.SolveKKT()
-		if err != nil {
-			return nil, fmt.Errorf("value probe %d: %w", i, err)
-		}
-		eqHi, err := hi.SolveKKT()
-		if err != nil {
-			return nil, fmt.Errorf("value probe %d: %w", i, err)
-		}
-		out.DQDV[i] = (eqHi.Q[i] - eqLo.Q[i]) / (2 * dv)
-		out.DPDV[i] = (eqHi.P[i] - eqLo.P[i]) / (2 * dv)
+			hi := p.Clone()
+			hi.V[i] += dv
 
-		dc := h * maxAbs(p.C[i], 1)
-		loC := p.Clone()
-		loC.C[i] -= dc
-		if loC.C[i] <= 0 {
-			return nil, errors.New("game: cost too small for sensitivity probe")
+			dc := h * maxAbs(p.C[i], 1)
+			loC := p.Clone()
+			loC.C[i] -= dc
+			if loC.C[i] <= 0 {
+				return nil, errors.New("game: cost too small for sensitivity probe")
+			}
+			hiC := p.Clone()
+			hiC.C[i] += dc
+
+			probes = append(probes, lo, hi, loC, hiC)
+			dvs = append(dvs, dv)
+			dcs = append(dcs, dc)
 		}
-		hiC := p.Clone()
-		hiC.C[i] += dc
-		eqLoC, err := loC.SolveKKT()
+		eqs, err := SolveMany(probes, 0)
 		if err != nil {
-			return nil, fmt.Errorf("cost probe %d: %w", i, err)
+			var be *BatchError
+			if errors.As(err, &be) {
+				i := start + be.Index/4
+				kind := "value"
+				if be.Index%4 >= 2 {
+					kind = "cost"
+				}
+				return nil, fmt.Errorf("%s probe %d: %w", kind, i, be.Err)
+			}
+			return nil, err
 		}
-		eqHiC, err := hiC.SolveKKT()
-		if err != nil {
-			return nil, fmt.Errorf("cost probe %d: %w", i, err)
+		for j, i := 0, start; i < end; j, i = j+1, i+1 {
+			vLo, vHi, cLo, cHi := eqs[4*j], eqs[4*j+1], eqs[4*j+2], eqs[4*j+3]
+			out.DQDV[i] = (vHi.Q[i] - vLo.Q[i]) / (2 * dvs[j])
+			out.DPDV[i] = (vHi.P[i] - vLo.P[i]) / (2 * dvs[j])
+			out.DQDC[i] = (cHi.Q[i] - cLo.Q[i]) / (2 * dcs[j])
+			out.DPDC[i] = (cHi.P[i] - cLo.P[i]) / (2 * dcs[j])
 		}
-		out.DQDC[i] = (eqHiC.Q[i] - eqLoC.Q[i]) / (2 * dc)
-		out.DPDC[i] = (eqHiC.P[i] - eqLoC.P[i]) / (2 * dc)
 	}
 	return out, nil
 }

@@ -43,21 +43,6 @@ func (e *Equilibrium) NegativePayments() int {
 	return count
 }
 
-// qOfLambda evaluates the KKT stationarity condition (eq. 22) for client n:
-// interior optima satisfy 1/λ = (4R/α)·c_n q³/(a_n²G_n²) + v_n, i.e.
-// q_n(λ) = cbrt( (α a_n²G_n² / (4R c_n)) · (1/λ − v_n) ), clamped to the box.
-func (p *Params) qOfLambda(n int, lambda float64) float64 {
-	if lambda <= 0 {
-		return p.QMax
-	}
-	slack := 1/lambda - p.V[n]
-	if slack <= 0 {
-		return p.QMin
-	}
-	q := cbrt(p.Alpha * p.DataQuality(n) / (4 * p.R * p.C[n]) * slack)
-	return clamp(q, p.QMin, p.QMax)
-}
-
 // spendAt computes the total payment Σ P_n(q_n) q_n when every client is
 // held at its eq.-17 price for the given q vector.
 func (p *Params) spendAt(q []float64) (float64, error) {
@@ -72,68 +57,20 @@ func (p *Params) spendAt(q []float64) (float64, error) {
 	return s, nil
 }
 
-// qVecOfLambda evaluates qOfLambda for all clients.
-func (p *Params) qVecOfLambda(lambda float64) []float64 {
-	q := make([]float64, p.N())
-	for n := range q {
-		q[n] = p.qOfLambda(n, lambda)
-	}
-	return q
-}
-
 // SolveKKT computes the Stackelberg equilibrium by bisecting the budget
 // multiplier λ in the KKT system of Problem P1′. Client payments
 // P_n(q) q = 2 c_n q² − (α/R) v_n a_n²G_n²/q are strictly increasing in q
 // and q_n(λ) is nonincreasing in λ, so total spend is monotone in λ and the
-// bisection is exact up to floating-point resolution.
+// bisection is exact up to floating-point resolution: λ* is the smallest
+// representable multiplier whose induced spend fits the budget.
+//
+// SolveKKT is the cold entry point; it delegates to a fresh Solver. Callers
+// solving many games (sweeps, sensitivity probes, Monte-Carlo scenarios)
+// should reuse a Solver or use SolveMany, which skip per-solve allocations
+// and warm-start the multiplier bracket with bit-identical results.
 func (p *Params) SolveKKT() (*Equilibrium, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	// Budget slack case: paying everyone to the ceiling is affordable.
-	qMaxVec := p.qVecOfLambda(0)
-	spentMax, err := p.spendAt(qMaxVec)
-	if err != nil {
-		return nil, err
-	}
-	if spentMax <= p.B {
-		return p.finishEquilibrium(qMaxVec, 0, false)
-	}
-
-	// Bracket λ: spend(λ→0) = spentMax > B; grow λ until spend <= B.
-	lo := 0.0
-	hi := 1.0
-	for i := 0; ; i++ {
-		spent, err := p.spendAt(p.qVecOfLambda(hi))
-		if err != nil {
-			return nil, err
-		}
-		if spent <= p.B {
-			break
-		}
-		lo = hi
-		hi *= 4
-		if i > 200 {
-			return nil, errors.New("game: failed to bracket budget multiplier")
-		}
-	}
-	for i := 0; i < 200; i++ {
-		mid := 0.5 * (lo + hi)
-		if mid == lo || mid == hi {
-			break
-		}
-		spent, err := p.spendAt(p.qVecOfLambda(mid))
-		if err != nil {
-			return nil, err
-		}
-		if spent > p.B {
-			lo = mid
-		} else {
-			hi = mid
-		}
-	}
-	lambda := 0.5 * (lo + hi)
-	return p.finishEquilibrium(p.qVecOfLambda(lambda), lambda, true)
+	var s Solver
+	return s.Solve(p)
 }
 
 // finishEquilibrium derives prices and diagnostics from a solved q vector.

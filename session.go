@@ -116,12 +116,14 @@ func (s *Session) Environment() *Environment { return s.env }
 func (s *Session) Options() Options { return s.env.Opts }
 
 // Equilibrium solves the paper's Stackelberg equilibrium (Theorem 2 prices
-// and best responses) on the session's game.
+// and best responses) on the session's game. The result is memoized in the
+// session environment's equilibrium cache: repeated calls (and any scheme
+// run that prices the same game) solve once. Treat it as read-only.
 func (s *Session) Equilibrium() (*Equilibrium, error) {
 	if s == nil || s.env == nil {
 		return nil, errors.New("unbiasedfl: nil session")
 	}
-	return s.env.Params.SolveKKT()
+	return s.env.Equilibrium()
 }
 
 // RunScheme prices the market with the named registered scheme and trains

@@ -113,7 +113,31 @@ type (
 	CostComponents = game.CostComponents
 	// DeviceProfile is a device's measured per-round resource usage.
 	DeviceProfile = game.DeviceProfile
+	// Solver is the reusable fleet-scale equilibrium engine: caller-owned
+	// scratch (zero allocations per solve in steady state) and warm-started
+	// multiplier brackets, bit-identical to cold SolveKKT solves.
+	Solver = game.Solver
+	// EquilibriumCache memoizes equilibrium solves and scheme pricings by
+	// game fingerprint; every Session environment carries one.
+	EquilibriumCache = game.Cache
+	// BatchError reports which game of a SolveMany batch failed.
+	BatchError = game.BatchError
 )
+
+// NewSolver returns a reusable equilibrium engine; see Solver.
+func NewSolver() *Solver { return game.NewSolver() }
+
+// NewEquilibriumCache returns an equilibrium memo-cache holding at most max
+// solved games (max <= 0 selects the default capacity).
+func NewEquilibriumCache(max int) *EquilibriumCache { return game.NewCache(max) }
+
+// SolveMany batch-solves a slice of games across a fixed-order worker pool
+// with per-worker scratch and warm starts (workers <= 0 means GOMAXPROCS).
+// Results are bit-identical to a sequential SolveKKT loop for any worker
+// count.
+func SolveMany(games []*GameParams, workers int) ([]*Equilibrium, error) {
+	return game.SolveMany(games, workers)
+}
 
 // Deprecated enum aliases for the built-in pricing schemes. They keep old
 // call sites compiling; the registry names are the canonical identities.
