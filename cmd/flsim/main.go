@@ -3,9 +3,15 @@
 // curve of the paper's Fig. 4. Any scheme registered in the pricing
 // registry is accepted; Ctrl-C cancels mid-round.
 //
+// With -scenario it instead replays a named scenario from the library —
+// fleet, faults, economics and all — and prints its canonical trace
+// (-scenario list enumerates the library).
+//
 // Usage:
 //
 //	flsim -setup 2 -scheme proposed [-rounds 120] [-clients 12] [-runs 3] [-json] [-progress]
+//	flsim -scenario straggler-heavy [-json]
+//	flsim -scenario list
 package main
 
 import (
@@ -13,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"unbiasedfl"
 	"unbiasedfl/internal/cli"
@@ -52,6 +59,7 @@ func run(ctx context.Context) error {
 	var (
 		setup    = flag.Int("setup", 1, "experimental setup (1, 2, or 3)")
 		scheme   = flag.String("scheme", "proposed", "pricing scheme (any registered name; built-ins: proposed, uniform, weighted)")
+		scenario = flag.String("scenario", "", "replay a named scenario instead of a plain run ('list' enumerates the library)")
 		clients  = flag.Int("clients", 12, "number of clients")
 		rounds   = flag.Int("rounds", 120, "training rounds R")
 		steps    = flag.Int("steps", 10, "local SGD steps E")
@@ -62,6 +70,25 @@ func run(ctx context.Context) error {
 		progress = flag.Bool("progress", false, "stream per-round progress to stderr while training")
 	)
 	flag.Parse()
+
+	if *scenario != "" {
+		// A scenario is a complete world: the plain-run flags don't apply,
+		// and silently ignoring them would make the user believe their
+		// overrides took effect.
+		var conflicting []string
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "scenario", "json":
+			default:
+				conflicting = append(conflicting, "-"+f.Name)
+			}
+		})
+		if len(conflicting) > 0 {
+			return fmt.Errorf("-scenario replays a self-contained world; %s do(es) not apply (only -json combines)",
+				strings.Join(conflicting, ", "))
+		}
+		return runScenario(ctx, *scenario, *jsonFlag)
+	}
 
 	name := *scheme
 	if name == "optimal" { // historical alias for the proposed mechanism
@@ -133,5 +160,53 @@ func run(ctx context.Context) error {
 	}
 	fmt.Printf("\nfinal: loss %.4f, accuracy %.4f; total client utility %.2f; negative payments %d\n",
 		run.FinalLoss, run.FinalAccuracy, run.TotalClientUtility, run.NegativePayments)
+	return nil
+}
+
+// runScenario replays one named scenario and prints its canonical trace.
+func runScenario(ctx context.Context, name string, jsonOut bool) error {
+	if name == "list" {
+		if jsonOut {
+			type entry struct {
+				Name        string `json:"name"`
+				Description string `json:"description"`
+			}
+			var out []entry
+			for _, sc := range unbiasedfl.Scenarios() {
+				out = append(out, entry{sc.Name, sc.Description})
+			}
+			return cli.WriteJSON(os.Stdout, out)
+		}
+		for _, sc := range unbiasedfl.Scenarios() {
+			fmt.Printf("%-20s %s\n", sc.Name, sc.Description)
+		}
+		return nil
+	}
+	sc, err := unbiasedfl.ScenarioByName(name)
+	if err != nil {
+		return err
+	}
+	trace, err := unbiasedfl.RunScenario(ctx, sc)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		return cli.WriteJSON(os.Stdout, trace)
+	}
+	fmt.Printf("scenario %q (%s) under %s pricing: %d clients, %d rounds\n",
+		trace.Scenario, trace.Setup, trace.Scheme, trace.Clients, trace.Rounds)
+	fmt.Printf("spent %.2f; simulated wall clock %.1fs\n\n", trace.Equilibrium.Spent, trace.SimTimeS)
+	fmt.Println("client |  priced q | empirical q | joined | dropped at")
+	fmt.Println("-------+-----------+-------------+--------+-----------")
+	for n := range trace.Participation {
+		droppedAt := "-"
+		if trace.DroppedAt[n] >= 0 {
+			droppedAt = fmt.Sprintf("%d", trace.DroppedAt[n])
+		}
+		fmt.Printf("%6d | %9.4f | %11.4f | %6d | %s\n",
+			n, trace.Equilibrium.Q[n], trace.EmpiricalQ[n], trace.Participation[n], droppedAt)
+	}
+	fmt.Printf("\nfinal: loss %.4f, accuracy %.4f; total client utility %.2f; negative payments %d\n",
+		trace.FinalLoss, trace.FinalAccuracy, trace.TotalClientUtility, trace.NegativePayments)
 	return nil
 }

@@ -1,0 +1,75 @@
+package cli
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestWriteJSONShape(t *testing.T) {
+	type payload struct {
+		Name   string    `json:"name"`
+		Values []float64 `json:"values"`
+		Count  int       `json:"count"`
+	}
+	var buf bytes.Buffer
+	in := payload{Name: "run", Values: []float64{1.5, 0.25}, Count: 2}
+	if err := WriteJSON(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	// The contract every binary's -json flag relies on: two-space indent,
+	// struct field order, one trailing newline.
+	want := "{\n  \"name\": \"run\",\n  \"values\": [\n    1.5,\n    0.25\n  ],\n  \"count\": 2\n}\n"
+	if out != want {
+		t.Fatalf("WriteJSON shape drifted:\ngot  %q\nwant %q", out, want)
+	}
+	if !strings.HasSuffix(out, "\n") || strings.HasSuffix(out, "\n\n") {
+		t.Fatalf("output must end in exactly one newline: %q", out)
+	}
+
+	// And it must round-trip.
+	var back payload
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if back.Name != in.Name || back.Count != in.Count || len(back.Values) != 2 {
+		t.Fatalf("round-trip mangled payload: %+v", back)
+	}
+}
+
+func TestWriteJSONError(t *testing.T) {
+	err := WriteJSON(&bytes.Buffer{}, make(chan int))
+	if err == nil {
+		t.Fatal("unencodable value must error")
+	}
+	if !strings.Contains(err.Error(), "cli: encode json") {
+		t.Fatalf("error must carry the package prefix, got %v", err)
+	}
+}
+
+// failWriter errors on the first write, exercising the encoder's I/O error
+// path.
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) {
+	return 0, errShort
+}
+
+var errShort = &shortErr{}
+
+type shortErr struct{}
+
+func (*shortErr) Error() string { return "short write" }
+
+func TestWriteJSONWriterFailure(t *testing.T) {
+	err := WriteJSON(failWriter{}, map[string]int{"a": 1})
+	if err == nil {
+		t.Fatal("writer failure must surface")
+	}
+	if !strings.Contains(err.Error(), "short write") {
+		t.Fatalf("underlying write error lost: %v", err)
+	}
+}

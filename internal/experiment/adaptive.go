@@ -133,7 +133,7 @@ func RunAdaptive(ctx context.Context, env *Environment, epochs int, seed uint64)
 // over equal-length segments, the regime where the bound's variance term
 // dominates.
 func trainWithQ(ctx context.Context, env *Environment, q []float64, rounds int, seed uint64) (*fl.RunResult, error) {
-	qc := clampVec(q, env.Params.QMin, env.Params.QMax)
+	qc := env.Params.ClampQ(q)
 	sampler, err := fl.NewBernoulliSampler(qc, stats.NewRNG(seed))
 	if err != nil {
 		return nil, err
@@ -153,10 +153,3 @@ func trainWithQ(ctx context.Context, env *Environment, q []float64, rounds int, 
 	return runner.RunContext(ctx)
 }
 
-func clampVec(q []float64, lo, hi float64) []float64 {
-	out := make([]float64, len(q))
-	for i, v := range q {
-		out[i] = clampQ(v, lo, hi)
-	}
-	return out
-}

@@ -81,16 +81,7 @@ func runPricedParallel(
 ) (*SchemeRun, error) {
 	// The unbiased estimator needs q > 0; clamp priced-out clients to the
 	// game's floor (they almost never participate but remain reachable).
-	q := make([]float64, len(outcome.Q))
-	for i, qi := range outcome.Q {
-		if qi < env.Params.QMin {
-			qi = env.Params.QMin
-		}
-		if qi > env.Params.QMax {
-			qi = env.Params.QMax
-		}
-		q[i] = qi
-	}
+	q := env.Params.ClampQ(outcome.Q)
 
 	var (
 		times  [][]float64

@@ -75,6 +75,12 @@ type Options struct {
 	Calibration  int // calibration rounds for G_n estimation
 	Seed         uint64
 	Runs         int // independent repetitions to average
+	// MaxClientClasses caps the number of distinct labels a client shard may
+	// hold in the image-like setups (2 and 3), sharpening the non-IID label
+	// skew beyond the setup defaults. 0 keeps the setup's default range;
+	// Setup 1's synthetic generator has its own structural skew and ignores
+	// the cap.
+	MaxClientClasses int
 }
 
 // DefaultOptions is the laptop-scale configuration used by tests, examples,
@@ -119,6 +125,8 @@ func (o Options) validate() error {
 		return errors.New("experiment: need calibration rounds")
 	case o.Runs <= 0:
 		return errors.New("experiment: need at least one run")
+	case o.MaxClientClasses < 0:
+		return errors.New("experiment: negative class cap")
 	}
 	return nil
 }
@@ -245,6 +253,7 @@ func generateData(id SetupID, opts Options, r *stats.RNG) (*data.Federated, erro
 			cfg.TotalSamples = int(14463 * scale)
 		}
 		cfg.TestSamples = 100 * opts.NumClients / 2
+		applyClassCap(&cfg, opts.MaxClientClasses)
 		return data.GenerateImageLike(r, cfg)
 	case Setup3:
 		cfg := data.EMNISTLikeConfig()
@@ -254,9 +263,24 @@ func generateData(id SetupID, opts Options, r *stats.RNG) (*data.Federated, erro
 			cfg.TotalSamples = int(35155 * scale)
 		}
 		cfg.TestSamples = 100 * opts.NumClients / 2
+		applyClassCap(&cfg, opts.MaxClientClasses)
 		return data.GenerateImageLike(r, cfg)
 	default:
 		return nil, fmt.Errorf("experiment: unknown setup %d", int(id))
+	}
+}
+
+// applyClassCap tightens an image-like config's per-client label range to at
+// most cap classes (0 = leave the setup default alone). It only ever
+// narrows: a cap above the setup default is a no-op, so the knob can
+// sharpen skew but never accidentally relax it.
+func applyClassCap(cfg *data.ImageLikeConfig, cap int) {
+	if cap <= 0 || cap >= cfg.MaxClasses {
+		return
+	}
+	cfg.MaxClasses = cap
+	if cfg.MinClasses > cfg.MaxClasses {
+		cfg.MinClasses = cfg.MaxClasses
 	}
 }
 

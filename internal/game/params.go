@@ -122,6 +122,25 @@ func (p *Params) intrinsicGain(n int) float64 {
 	return p.V[n] * p.Alpha / p.R * p.DataQuality(n)
 }
 
+// ClampQ returns a copy of q with every level clamped into [QMin, QMax]:
+// the unbiased estimator needs q > 0, so priced-out clients sit at the floor
+// (almost never participating but remaining reachable). Every layer that
+// turns a priced outcome into a participation vector goes through this one
+// helper.
+func (p *Params) ClampQ(q []float64) []float64 {
+	out := make([]float64, len(q))
+	for i, v := range q {
+		if v < p.QMin {
+			v = p.QMin
+		}
+		if v > p.QMax {
+			v = p.QMax
+		}
+		out[i] = v
+	}
+	return out
+}
+
 // Clone returns a deep copy of p, useful for parameter sweeps.
 func (p *Params) Clone() *Params {
 	cp := *p

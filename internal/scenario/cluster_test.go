@@ -1,0 +1,129 @@
+package scenario
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"unbiasedfl/internal/experiment"
+	"unbiasedfl/internal/testutil"
+	"unbiasedfl/internal/transport"
+)
+
+// clusterScenario is a 3-node fleet small enough for a TCP round trip suite
+// under -race.
+func clusterScenario(faults []ClientFault) Scenario {
+	return Scenario{
+		Name:        "cluster-smoke",
+		Description: "3-node loopback federation for the cluster harness tests",
+		Setup:       experiment.Setup2,
+		Clients:     3, TotalSamples: 240,
+		Rounds: 6, LocalSteps: 2, BatchSize: 6,
+		Seed:   77,
+		Faults: faults,
+	}
+}
+
+// TestClusterFaultedThreeNode boots a real TCP server plus three clients
+// with a scheduled mid-run dropout, a straggler, and a flaky device, and
+// verifies the federation finishes, marks the dropout, and leaks nothing.
+func TestClusterFaultedThreeNode(t *testing.T) {
+	baseline := testutil.GoroutineBaseline()
+	sc := clusterScenario([]ClientFault{
+		{Client: 0, Kind: FaultStraggler, DelayFactor: 3},
+		{Client: 1, Kind: FaultFlaky, Availability: 0.5},
+		{Client: 2, Kind: FaultDropout, Round: 2},
+	})
+	res, err := RunCluster(context.Background(), sc, ClusterConfig{
+		Timeout:       20 * time.Second,
+		StragglerUnit: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Server == nil {
+		t.Fatal("no server result")
+	}
+	if !res.Server.Dropped[2] {
+		t.Fatal("scheduled dropout client not marked dropped by the coordinator")
+	}
+	if !errors.Is(res.ClientErrs[2], transport.ErrInjectedCrash) {
+		t.Fatalf("dropout client error = %v, want ErrInjectedCrash", res.ClientErrs[2])
+	}
+	for _, n := range []int{0, 1} {
+		if res.ClientErrs[n] != nil {
+			t.Fatalf("surviving client %d errored: %v", n, res.ClientErrs[n])
+		}
+		if res.Server.Dropped[n] {
+			t.Fatalf("surviving client %d marked dropped", n)
+		}
+	}
+	if len(res.Server.FinalModel) == 0 || !res.Server.FinalModel.IsFinite() {
+		t.Fatal("faulted federation produced no usable model")
+	}
+	// The dropped client can contribute only to rounds before its crash.
+	if res.Server.ParticipationCounts[2] > 2 {
+		t.Fatalf("dropped client counted in %d rounds, crashed at round 2",
+			res.Server.ParticipationCounts[2])
+	}
+	testutil.WaitNoLeaks(t, baseline, 10*time.Second)
+}
+
+// TestClusterCleanAgreesWithClients runs a fault-free 3-node federation and
+// cross-checks the coordinator's participation ledger against each client's
+// own count — the two sides of the wire must agree exactly.
+func TestClusterCleanAgreesWithClients(t *testing.T) {
+	baseline := testutil.GoroutineBaseline()
+	res, err := RunCluster(context.Background(), clusterScenario(nil), ClusterConfig{
+		Timeout: 20 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := range res.ClientRounds {
+		if res.ClientErrs[n] != nil {
+			t.Fatalf("client %d: %v", n, res.ClientErrs[n])
+		}
+		if res.ClientRounds[n] != res.Server.ParticipationCounts[n] {
+			t.Fatalf("client %d reports %d rounds, server counted %d",
+				n, res.ClientRounds[n], res.Server.ParticipationCounts[n])
+		}
+		if res.Server.Dropped[n] {
+			t.Fatalf("clean run marked client %d dropped", n)
+		}
+	}
+	testutil.WaitNoLeaks(t, baseline, 10*time.Second)
+}
+
+// TestClusterHonorsCancellation cancels mid-run and requires prompt unwind
+// with no leaked goroutines or sockets.
+func TestClusterHonorsCancellation(t *testing.T) {
+	baseline := testutil.GoroutineBaseline()
+	ctx, cancel := context.WithCancel(context.Background())
+	// A real 40ms-per-round straggler stall keeps the 50-round run alive for
+	// seconds, guaranteeing the cancellation lands mid-run.
+	sc := clusterScenario([]ClientFault{
+		{Client: 0, Kind: FaultStraggler, DelayFactor: 2},
+	})
+	sc.Rounds = 50
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunCluster(ctx, sc, ClusterConfig{
+			Timeout:       20 * time.Second,
+			StragglerUnit: 20 * time.Millisecond,
+		})
+		done <- err
+	}()
+	time.Sleep(150 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled cluster returned %v, want context.Canceled", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("cluster did not unwind after cancellation")
+	}
+	testutil.WaitNoLeaks(t, baseline, 10*time.Second)
+}

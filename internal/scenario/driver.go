@@ -1,0 +1,192 @@
+package scenario
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+
+	"unbiasedfl/internal/experiment"
+	"unbiasedfl/internal/fl"
+	"unbiasedfl/internal/game"
+	"unbiasedfl/internal/stats"
+)
+
+// Run compiles the scenario and executes it in-process through the full
+// pipeline — data generation, bound calibration, game assembly, pricing via
+// the scheme registry, fault-composed participation sampling, the parallel
+// fl.Runner, and the sim timing model — returning the canonical Trace.
+// Everything derives from Scenario.Seed: two Runs of the same scenario are
+// bit-identical, for any GOMAXPROCS. Cancelling ctx aborts promptly with
+// ctx.Err().
+func Run(ctx context.Context, sc Scenario) (*Trace, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	sc = sc.withDefaults()
+	env, outcome, q, sch, err := prepare(ctx, sc)
+	if err != nil {
+		return nil, err
+	}
+	for n, factor := range sch.delay {
+		if factor == 1 {
+			continue
+		}
+		if err := env.Timing.Scale(n, factor); err != nil {
+			return nil, err
+		}
+	}
+
+	// One root stream feeds the sampler and the runner so the whole run is a
+	// pure function of the scenario seed.
+	root := stats.NewRNG(sc.Seed ^ 0x9E3779B97F4A7C15)
+	sampler := newFaultSampler(q, sch, root.Split(), root.Split())
+	runner := &fl.Runner{
+		Model: env.Model,
+		Fed:   env.Fed,
+		Config: fl.Config{
+			Rounds:     sc.Rounds,
+			LocalSteps: sc.LocalSteps,
+			BatchSize:  sc.BatchSize,
+			Schedule:   fl.ExpDecay{Eta0: 0.1, Decay: 0.996},
+			EvalEvery:  sc.EvalEvery,
+			Seed:       root.Uint64(),
+		},
+		Sampler:    sampler,
+		Aggregator: fl.UnbiasedAggregator{},
+		Parallel:   true,
+	}
+	res, err := runner.RunContext(ctx)
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
+		return nil, fmt.Errorf("scenario %q: %w", sc.Name, err)
+	}
+
+	return assembleTrace(sc, env, outcome, q, sch, res)
+}
+
+// prepare compiles a defaulted scenario into its priced world: the built
+// environment (with economics skew applied), the scheme's outcome, the
+// clamped participation vector, and the compiled fault schedule. Both
+// execution substrates (Run, RunCluster) go through this single path, so
+// the in-process trace and the cluster always price the same market for
+// the same Scenario.
+func prepare(ctx context.Context, sc Scenario) (
+	*experiment.Environment, *game.Outcome, []float64, schedule, error,
+) {
+	if err := sc.Validate(); err != nil {
+		return nil, nil, nil, schedule{}, err
+	}
+	ps, err := game.SchemeByName(sc.Scheme)
+	if err != nil {
+		return nil, nil, nil, schedule{}, err
+	}
+	env, err := experiment.BuildSetup(ctx, sc.Setup, sc.options())
+	if err != nil {
+		return nil, nil, nil, schedule{}, err
+	}
+	if err := applyEconomics(env.Params, sc); err != nil {
+		return nil, nil, nil, schedule{}, err
+	}
+	outcome, err := priceThrough(env, ps)
+	if err != nil {
+		return nil, nil, nil, schedule{}, fmt.Errorf("scenario %q pricing: %w", sc.Name, err)
+	}
+	return env, outcome, env.Params.ClampQ(outcome.Q), compileSchedule(sc.Clients, sc.Faults), nil
+}
+
+// priceThrough resolves the outcome through the environment's memo-cache
+// when one is attached.
+func priceThrough(env *experiment.Environment, ps game.PricingScheme) (*game.Outcome, error) {
+	if env.Cache != nil {
+		return env.Cache.Price(ps, env.Params)
+	}
+	return ps.Price(env.Params)
+}
+
+// applyEconomics rescales the generated cost/valuation draws and the budget
+// per the scenario's skew knobs, then re-validates the game.
+func applyEconomics(p *game.Params, sc Scenario) error {
+	n := p.N()
+	if n != sc.Clients {
+		return errors.New("scenario: game size does not match fleet size")
+	}
+	for i := 0; i < n; i++ {
+		ramp := 1.0
+		if sc.CostSpread > 0 && n > 1 {
+			ramp = math.Exp(sc.CostSpread * (2*float64(i)/float64(n-1) - 1))
+		}
+		p.C[i] *= sc.CostScale * ramp
+		p.V[i] *= sc.ValueScale
+	}
+	p.B *= sc.BudgetScale
+	return p.Validate()
+}
+
+// assembleTrace folds the run into the canonical trace shape.
+func assembleTrace(
+	sc Scenario, env *experiment.Environment, outcome *game.Outcome,
+	q []float64, sch schedule, res *fl.RunResult,
+) (*Trace, error) {
+	counts := make([]int, sc.Clients)
+	roundTrace := make([]TraceRound, 0, len(res.History))
+	var clock float64
+	for _, m := range res.History {
+		d, err := env.Timing.RoundDuration(m.ParticipantIDs, sc.LocalSteps)
+		if err != nil {
+			return nil, err
+		}
+		clock += d.Seconds()
+		for _, n := range m.ParticipantIDs {
+			counts[n]++
+		}
+		roundTrace = append(roundTrace, TraceRound{
+			Round:        m.Round,
+			Participants: m.Participants,
+			TimeS:        clock,
+			Evaluated:    m.Evaluated,
+			Loss:         m.GlobalLoss,
+			Accuracy:     m.TestAccuracy,
+		})
+	}
+	empirical := make([]float64, sc.Clients)
+	for n, c := range counts {
+		empirical[n] = float64(c) / float64(sc.Rounds)
+	}
+	utility, err := env.Params.TotalClientUtility(outcome.P, q, nil)
+	if err != nil {
+		return nil, err
+	}
+	negative := 0
+	for _, p := range outcome.P {
+		if p < 0 {
+			negative++
+		}
+	}
+	return &Trace{
+		Scenario:    sc.Name,
+		Description: sc.Description,
+		Setup:       env.ID.String(),
+		Scheme:      sc.Scheme,
+		Clients:     sc.Clients,
+		Rounds:      sc.Rounds,
+		Seed:        sc.Seed,
+		Equilibrium: TraceEquilibrium{
+			P:         append([]float64(nil), outcome.P...),
+			Q:         q,
+			Spent:     outcome.Spent,
+			ServerObj: outcome.ServerObj,
+		},
+		Participation:      counts,
+		EmpiricalQ:         empirical,
+		DroppedAt:          append([]int(nil), sch.dropRound...),
+		RoundTrace:         roundTrace,
+		FinalLoss:          res.FinalLoss,
+		FinalAccuracy:      res.FinalAcc,
+		TotalClientUtility: utility,
+		NegativePayments:   negative,
+		SimTimeS:           clock,
+	}, nil
+}

@@ -1,0 +1,132 @@
+package scenario
+
+import (
+	"fmt"
+
+	"unbiasedfl/internal/experiment"
+	"unbiasedfl/internal/game"
+)
+
+// The named scenario library. Scales are deliberately small — each entry
+// replays in well under a second — because the library doubles as the
+// golden-trace regression corpus: every future PR replays all of it
+// bit-for-bit. The regimes, not the magnitudes, are what each entry pins.
+func library() []Scenario {
+	return []Scenario{
+		{
+			Name:        "baseline",
+			Description: "clean homogeneous fleet, no faults: the control every other scenario is read against",
+			Setup:       experiment.Setup2,
+			Clients:     6, TotalSamples: 600,
+			Rounds: 16, LocalSteps: 4, BatchSize: 8,
+			Seed: 11,
+		},
+		{
+			Name:        "straggler-heavy",
+			Description: "half the fleet is 4-8x slower; economics unchanged, wall-clock stretched",
+			Setup:       experiment.Setup2,
+			Clients:     6, TotalSamples: 600,
+			Rounds: 16, LocalSteps: 4, BatchSize: 8,
+			Seed: 12,
+			Faults: []ClientFault{
+				{Client: 1, Kind: FaultStraggler, DelayFactor: 6},
+				{Client: 3, Kind: FaultStraggler, DelayFactor: 4},
+				{Client: 5, Kind: FaultStraggler, DelayFactor: 8},
+			},
+		},
+		{
+			Name:        "churn",
+			Description: "most of the fleet is only intermittently reachable (availability 0.45-0.7)",
+			Setup:       experiment.Setup2,
+			Clients:     6, TotalSamples: 600,
+			Rounds: 20, LocalSteps: 4, BatchSize: 8,
+			Seed: 13,
+			Faults: []ClientFault{
+				{Client: 0, Kind: FaultFlaky, Availability: 0.6},
+				{Client: 2, Kind: FaultFlaky, Availability: 0.45},
+				{Client: 3, Kind: FaultFlaky, Availability: 0.7},
+				{Client: 5, Kind: FaultFlaky, Availability: 0.5},
+			},
+		},
+		{
+			Name:        "adversarial-dropout",
+			Description: "the largest-weight clients leave permanently mid-run, the worst case for the server's priced belief",
+			Setup:       experiment.Setup1,
+			Clients:     6, TotalSamples: 600,
+			Rounds: 16, LocalSteps: 4, BatchSize: 8,
+			Seed: 14,
+			Faults: []ClientFault{
+				{Client: 0, Kind: FaultDropout, Round: 5},
+				{Client: 1, Kind: FaultDropout, Round: 9},
+			},
+		},
+		{
+			Name:        "cost-skew",
+			Description: "deterministic 11x end-to-end cost ratio across the fleet on top of the exponential draws",
+			Setup:       experiment.Setup1,
+			Clients:     6, TotalSamples: 600,
+			Rounds: 16, LocalSteps: 4, BatchSize: 8,
+			Seed:       15,
+			CostSpread: 1.2,
+		},
+		{
+			Name:        "budget-crunch",
+			Description: "server budget cut to a quarter: scarcity regime where pricing schemes separate hardest",
+			Setup:       experiment.Setup2,
+			Clients:     6, TotalSamples: 600,
+			Rounds: 16, LocalSteps: 4, BatchSize: 8,
+			Seed:        16,
+			BudgetScale: 0.25,
+		},
+		{
+			Name:        "large-fleet",
+			Description: "20-client EMNIST-like fleet, the scale stressor for the batched pipeline",
+			Setup:       experiment.Setup3,
+			Clients:     20, TotalSamples: 1600,
+			Rounds: 10, LocalSteps: 3, BatchSize: 8,
+			EvalEvery: 5,
+			Seed:      17,
+		},
+		{
+			Name:        "mixed",
+			Description: "the storm: stragglers, a mid-run dropout, churn, sharpened label skew, and a squeezed budget under weighted pricing",
+			Setup:       experiment.Setup2,
+			Scheme:      game.SchemeNameWeighted,
+			Clients:     6, TotalSamples: 600,
+			Rounds: 20, LocalSteps: 4, BatchSize: 8,
+			Seed:             18,
+			BudgetScale:      0.6,
+			MaxClientClasses: 2,
+			Faults: []ClientFault{
+				{Client: 1, Kind: FaultStraggler, DelayFactor: 5},
+				{Client: 2, Kind: FaultDropout, Round: 8},
+				{Client: 4, Kind: FaultFlaky, Availability: 0.55},
+				{Client: 5, Kind: FaultStraggler, DelayFactor: 3},
+				{Client: 5, Kind: FaultFlaky, Availability: 0.7},
+			},
+		},
+	}
+}
+
+// Names lists the library scenarios in canonical order.
+func Names() []string {
+	lib := library()
+	names := make([]string, len(lib))
+	for i, sc := range lib {
+		names[i] = sc.Name
+	}
+	return names
+}
+
+// All returns a fresh copy of every library scenario.
+func All() []Scenario { return library() }
+
+// ByName returns the named library scenario.
+func ByName(name string) (Scenario, error) {
+	for _, sc := range library() {
+		if sc.Name == name {
+			return sc, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("scenario: unknown scenario %q (known: %v)", name, Names())
+}

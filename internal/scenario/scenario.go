@@ -1,0 +1,224 @@
+// Package scenario turns the reproduction into a workload generator: a
+// declarative Scenario describes a whole experimental world — fleet size,
+// heterogeneous cost/valuation distributions, non-IID data skew, and a
+// per-client fault schedule (stragglers, mid-run dropouts, flaky
+// availability) — and a deterministic seeded driver compiles it into one run
+// of the full data → calibration → game → pricing → fl.Runner pipeline,
+// emitting a canonical Trace.
+//
+// Two execution substrates share every Scenario:
+//
+//   - Run executes in-process through fl.Runner and the sim timing model,
+//     producing a bit-reproducible Trace for the golden-trace regression
+//     suite (testdata/golden). Replays are bit-identical for any
+//     GOMAXPROCS because every layer underneath (kernels, runner pool,
+//     equilibrium engine) is order-fixed by construction.
+//   - RunCluster boots a real transport.Server plus N flnode-style TCP
+//     clients over loopback and injects the same fault schedule at the
+//     socket layer — the standing multi-node integration harness.
+//
+// The named library (Names, ByName) covers the regimes the paper's claims
+// must survive: clean baselines, straggler-heavy fleets, churn, adversarial
+// dropouts, cost skew, budget scarcity, larger fleets, and a mixed storm.
+package scenario
+
+import (
+	"errors"
+	"fmt"
+
+	"unbiasedfl/internal/experiment"
+	"unbiasedfl/internal/game"
+)
+
+// FaultKind discriminates the per-client fault behaviours a schedule can
+// inject.
+type FaultKind int
+
+const (
+	// FaultStraggler multiplies the client's compute and communication
+	// times by DelayFactor (in-process: the sim timing model; cluster: a
+	// real pre-reply delay).
+	FaultStraggler FaultKind = iota + 1
+	// FaultDropout removes the client permanently from round Round onward —
+	// in-process it silently stops participating; in the cluster it severs
+	// its TCP connection mid-round.
+	FaultDropout
+	// FaultFlaky makes the client exogenously available only with
+	// probability Availability each round, independent of its strategic
+	// participation coin.
+	FaultFlaky
+)
+
+// String implements fmt.Stringer.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultStraggler:
+		return "straggler"
+	case FaultDropout:
+		return "dropout"
+	case FaultFlaky:
+		return "flaky"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", int(k))
+	}
+}
+
+// ClientFault is one entry of a scenario's fault schedule.
+type ClientFault struct {
+	// Client is the index of the afflicted device.
+	Client int
+	Kind   FaultKind
+	// Round is the dropout round (FaultDropout).
+	Round int
+	// DelayFactor multiplies the client's latency (FaultStraggler, > 1 for
+	// a straggler).
+	DelayFactor float64
+	// Availability is the per-round probability the client is reachable at
+	// all (FaultFlaky, in (0,1)).
+	Availability float64
+}
+
+func (f ClientFault) validate(numClients int) error {
+	if f.Client < 0 || f.Client >= numClients {
+		return fmt.Errorf("scenario: fault client %d out of range [0,%d)", f.Client, numClients)
+	}
+	switch f.Kind {
+	case FaultStraggler:
+		if f.DelayFactor <= 0 {
+			return fmt.Errorf("scenario: straggler client %d needs a positive delay factor", f.Client)
+		}
+	case FaultDropout:
+		if f.Round < 0 {
+			return fmt.Errorf("scenario: dropout client %d needs a non-negative round", f.Client)
+		}
+	case FaultFlaky:
+		if f.Availability <= 0 || f.Availability >= 1 {
+			return fmt.Errorf("scenario: flaky client %d needs availability in (0,1)", f.Client)
+		}
+	default:
+		return fmt.Errorf("scenario: client %d has unknown fault kind %d", f.Client, int(f.Kind))
+	}
+	return nil
+}
+
+// Scenario declaratively describes one experimental world. The zero value is
+// invalid; start from a library entry (ByName) or fill the fields and let
+// Validate check them. All randomness derives from Seed, so a Scenario is a
+// complete, replayable description of its run.
+type Scenario struct {
+	// Name identifies the scenario in traces and golden files.
+	Name string
+	// Description says what regime the scenario exercises.
+	Description string
+
+	// Setup selects the paper setup whose data/economics shape the world.
+	Setup experiment.SetupID
+	// Scheme is the registry name of the pricing scheme driving
+	// participation ("" = the paper's proposed mechanism).
+	Scheme string
+
+	// Fleet and training scale.
+	Clients      int
+	TotalSamples int // 0 = setup default scaled by fleet size
+	Rounds       int
+	LocalSteps   int
+	BatchSize    int
+	EvalEvery    int
+	Calibration  int
+	Seed         uint64
+
+	// CostScale multiplies every client's cost parameter c_n (0 = 1).
+	CostScale float64
+	// CostSpread adds deterministic multiplicative skew on top: client n's
+	// cost is scaled by exp(CostSpread·(2n/(N−1) − 1)), so the fleet spans
+	// a e^(2·CostSpread) cost ratio end to end (0 = homogeneous).
+	CostSpread float64
+	// ValueScale multiplies every client's intrinsic valuation v_n (0 = 1).
+	ValueScale float64
+	// BudgetScale multiplies the server budget B (0 = 1); < 1 models a
+	// budget crunch.
+	BudgetScale float64
+	// MaxClientClasses caps labels per client in the image-like setups,
+	// sharpening non-IID skew (0 = setup default).
+	MaxClientClasses int
+
+	// Faults is the per-client fault schedule.
+	Faults []ClientFault
+}
+
+// withDefaults fills zero-valued scale knobs with their neutral defaults.
+func (s Scenario) withDefaults() Scenario {
+	if s.Scheme == "" {
+		s.Scheme = game.SchemeNameProposed
+	}
+	if s.CostScale == 0 {
+		s.CostScale = 1
+	}
+	if s.ValueScale == 0 {
+		s.ValueScale = 1
+	}
+	if s.BudgetScale == 0 {
+		s.BudgetScale = 1
+	}
+	if s.EvalEvery == 0 {
+		s.EvalEvery = 4
+	}
+	if s.Calibration == 0 {
+		s.Calibration = 2
+	}
+	return s
+}
+
+// Validate checks the scenario after defaulting. It resolves the pricing
+// scheme through the registry, so a third-party scheme registered via
+// game.RegisterScheme is as runnable as the built-ins.
+func (s Scenario) Validate() error {
+	s = s.withDefaults()
+	switch {
+	case s.Name == "":
+		return errors.New("scenario: empty name")
+	case s.Clients <= 1:
+		return errors.New("scenario: need at least two clients")
+	case s.Rounds <= 0 || s.LocalSteps <= 0 || s.BatchSize <= 0:
+		return errors.New("scenario: invalid training scale")
+	case s.CostScale <= 0 || s.ValueScale < 0 || s.BudgetScale <= 0:
+		return errors.New("scenario: non-positive economics scale")
+	case s.CostSpread < 0:
+		return errors.New("scenario: negative cost spread")
+	}
+	if _, err := game.SchemeByName(s.Scheme); err != nil {
+		return err
+	}
+	type faultKey struct {
+		client int
+		kind   FaultKind
+	}
+	seen := make(map[faultKey]bool, len(s.Faults))
+	for _, f := range s.Faults {
+		if err := f.validate(s.Clients); err != nil {
+			return err
+		}
+		key := faultKey{f.Client, f.Kind}
+		if seen[key] {
+			return fmt.Errorf("scenario: client %d has duplicate %v faults", f.Client, f.Kind)
+		}
+		seen[key] = true
+	}
+	return nil
+}
+
+// options compiles the scenario's scale knobs into experiment Options.
+func (s Scenario) options() experiment.Options {
+	return experiment.Options{
+		NumClients:       s.Clients,
+		TotalSamples:     s.TotalSamples,
+		Rounds:           s.Rounds,
+		LocalSteps:       s.LocalSteps,
+		BatchSize:        s.BatchSize,
+		EvalEvery:        s.EvalEvery,
+		Calibration:      s.Calibration,
+		Seed:             s.Seed,
+		Runs:             1,
+		MaxClientClasses: s.MaxClientClasses,
+	}
+}

@@ -1,0 +1,90 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// TraceEquilibrium is the priced market state a scenario ran under.
+type TraceEquilibrium struct {
+	// P and Q are the posted prices and induced participation levels, after
+	// the runner's [QMin, QMax] clamp.
+	P []float64 `json:"p"`
+	Q []float64 `json:"q"`
+	// Spent is Σ P_n q_n; ServerObj is the Theorem-1 bound term attained.
+	Spent     float64 `json:"spent"`
+	ServerObj float64 `json:"server_obj"`
+}
+
+// TraceRound is one training round of the trace. Loss and Accuracy are
+// meaningful only when Evaluated.
+type TraceRound struct {
+	Round        int     `json:"round"`
+	Participants int     `json:"participants"`
+	TimeS        float64 `json:"time_s"`
+	Evaluated    bool    `json:"evaluated,omitempty"`
+	Loss         float64 `json:"loss,omitempty"`
+	Accuracy     float64 `json:"accuracy,omitempty"`
+}
+
+// Trace is the canonical record of one scenario run: the priced equilibrium,
+// the per-round trajectory, and the participation accounting that exposes
+// how far the fault process pushed the realized participation away from the
+// server's priced belief. Its Canonical JSON form is what the golden-trace
+// regression suite pins: every field is filled deterministically from the
+// scenario seed, so a byte-level diff against a committed golden file is a
+// meaningful regression signal.
+type Trace struct {
+	Scenario    string `json:"scenario"`
+	Description string `json:"description,omitempty"`
+	Setup       string `json:"setup"`
+	Scheme      string `json:"scheme"`
+	Clients     int    `json:"clients"`
+	Rounds      int    `json:"rounds"`
+	Seed        uint64 `json:"seed"`
+
+	Equilibrium TraceEquilibrium `json:"equilibrium"`
+
+	// Participation[n] counts the rounds client n actually joined;
+	// EmpiricalQ[n] = Participation[n] / Rounds. Under faults EmpiricalQ
+	// drifts below Equilibrium.Q — the bias pressure the unbiased
+	// aggregation rule has to survive.
+	Participation []int     `json:"participation"`
+	EmpiricalQ    []float64 `json:"empirical_q"`
+	// DroppedAt[n] is the round client n permanently left, or -1.
+	DroppedAt []int `json:"dropped_at"`
+
+	RoundTrace []TraceRound `json:"round_trace"`
+
+	FinalLoss          float64 `json:"final_loss"`
+	FinalAccuracy      float64 `json:"final_accuracy"`
+	TotalClientUtility float64 `json:"total_client_utility"`
+	NegativePayments   int     `json:"negative_payments"`
+	// SimTimeS is the simulated wall-clock length of the whole run, the
+	// quantity the straggler schedule stretches.
+	SimTimeS float64 `json:"sim_time_s"`
+}
+
+// Canonical renders the trace in its golden on-disk form: two-space
+// indented JSON with a trailing newline, fields in struct order, floats in
+// Go's shortest round-trip representation — byte-stable as long as the run
+// itself is bit-reproducible.
+func (t *Trace) Canonical() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(t); err != nil {
+		return nil, fmt.Errorf("scenario: encode trace: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// ParseTrace decodes a canonical trace, e.g. a committed golden file.
+func ParseTrace(b []byte) (*Trace, error) {
+	var t Trace
+	if err := json.Unmarshal(b, &t); err != nil {
+		return nil, fmt.Errorf("scenario: decode trace: %w", err)
+	}
+	return &t, nil
+}

@@ -87,6 +87,22 @@ func HeterogeneousTimings(r *stats.RNG, cfg TimingConfig) (*TimingModel, error) 
 	return tm, nil
 }
 
+// Scale multiplies client n's compute and communication times by factor —
+// the seam fault schedules use to turn a device into a straggler (factor > 1)
+// or a fast node (factor < 1) without redrawing the fleet.
+func (t *TimingModel) Scale(n int, factor float64) error {
+	if n < 0 || n >= len(t.Clients) {
+		return fmt.Errorf("sim: client %d out of range", n)
+	}
+	if factor <= 0 {
+		return errors.New("sim: scale factor must be positive")
+	}
+	ct := &t.Clients[n]
+	ct.ComputePerStep = time.Duration(float64(ct.ComputePerStep) * factor)
+	ct.CommPerRound = time.Duration(float64(ct.CommPerRound) * factor)
+	return nil
+}
+
 // RoundDuration returns the wall-clock length of a round with the given
 // participants, each running localSteps SGD iterations: the slowest
 // participant's compute+comm time plus the server overhead. An empty round

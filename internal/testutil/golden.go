@@ -1,0 +1,84 @@
+package testutil
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Update is the conventional -update flag: when set, Golden rewrites the
+// expected files instead of diffing against them. Importing test packages
+// share the single registration; pass *testutil.Update to Golden.
+var Update = flag.Bool("update", false, "rewrite golden files instead of diffing against them")
+
+// Golden compares got against the committed file testdata/golden/<name>
+// (relative to the calling test's package directory). With update set it
+// (re)writes the file and returns. On a mismatch it fails the test with the
+// first differing line and writes the actual bytes next to the golden file
+// as <name>.got — an artifact CI can upload so a failing trace diff is
+// inspectable without rerunning locally. A passing run removes any stale
+// .got file.
+func Golden(t testing.TB, name string, got []byte, update bool) {
+	t.Helper()
+	if update {
+		t.Logf("golden: updating testdata/golden/%s (%d bytes)", name, len(got))
+	}
+	if err := golden(name, got, update); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// golden is the testable core of Golden: it returns an error instead of
+// failing a test.
+func golden(name string, got []byte, update bool) error {
+	path := filepath.Join("testdata", "golden", name)
+	gotPath := path + ".got"
+	if update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			return fmt.Errorf("golden: mkdir: %w", err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			return fmt.Errorf("golden: write: %w", err)
+		}
+		_ = os.Remove(gotPath)
+		return nil
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("golden: read %s: %w (run go test with -update to record it)", path, err)
+	}
+	if bytes.Equal(got, want) {
+		_ = os.Remove(gotPath)
+		return nil
+	}
+	if err := os.WriteFile(gotPath, got, 0o644); err != nil {
+		return fmt.Errorf("golden: write diff artifact: %w", err)
+	}
+	line, wantLine, gotLine := firstDiffLine(want, got)
+	return fmt.Errorf("golden: %s differs from recorded file at line %d:\n  want: %s\n  got:  %s\nactual bytes written to %s (rerun with -update to accept)",
+		name, line, wantLine, gotLine, gotPath)
+}
+
+// firstDiffLine locates the first line where want and got diverge. A length
+// mismatch after an equal prefix (e.g. only a trailing newline differs)
+// reports the divergence at the shorter input's end as <EOF>.
+func firstDiffLine(want, got []byte) (line int, wantLine, gotLine string) {
+	w := bytes.Split(want, []byte("\n"))
+	g := bytes.Split(got, []byte("\n"))
+	for i := 0; i < len(w) || i < len(g); i++ {
+		if i >= len(w) || i >= len(g) || !bytes.Equal(w[i], g[i]) {
+			return i + 1, lineOrEOF(i, w), lineOrEOF(i, g)
+		}
+	}
+	return 0, "", "" // unreachable: equal line splits imply equal inputs
+}
+
+func lineOrEOF(i int, lines [][]byte) string {
+	if i >= len(lines) {
+		return "<EOF>"
+	}
+	return fmt.Sprintf("%q", lines[i])
+}

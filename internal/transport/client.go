@@ -13,12 +13,42 @@ import (
 	"unbiasedfl/internal/tensor"
 )
 
+// RoundFault describes a fault injected into one round of a client's run —
+// the socket-layer counterpart of a scenario fault schedule. The zero value
+// is a healthy round.
+type RoundFault struct {
+	// Delay stalls the client before it acts on the round (a straggler).
+	Delay time.Duration
+	// Skip makes the client report MsgSkip regardless of its participation
+	// coin (an exogenously unavailable device).
+	Skip bool
+	// Crash severs the connection before replying; Run returns
+	// ErrInjectedCrash.
+	Crash bool
+}
+
+// ErrInjectedCrash is returned by Client.Run when a FaultFunc ordered the
+// connection severed mid-round. Harnesses treat it as the expected outcome
+// of a scheduled dropout rather than a failure.
+var ErrInjectedCrash = errors.New("transport: injected crash")
+
 // ClientConfig configures one device node.
 type ClientConfig struct {
 	Addr    string // server address to dial
 	ID      int    // client identity, also its index in the server's tables
 	Seed    uint64 // private randomness for participation and SGD
 	Timeout time.Duration
+	// FaultFunc, when non-nil, is consulted at every round start with the
+	// announced round number and may inject a straggler delay, a forced
+	// skip, or a mid-round crash. It runs on the client goroutine.
+	FaultFunc func(round int) RoundFault
+	// SGDRNG, when non-nil, supplies the stochastic-gradient randomness as
+	// a stream separate from the participation coins (which stay derived
+	// from Seed). This is the seam the byte-identity tests use to align a
+	// TCP client's arithmetic with the in-process runner's per-client
+	// streams. Nil keeps the historical behaviour: one Seed-derived stream
+	// for both.
+	SGDRNG *stats.RNG
 }
 
 // Client is one device in the prototype: it owns a local shard, dials the
@@ -98,6 +128,10 @@ func (c *Client) Run(ctx context.Context) (int, error) {
 	}
 
 	rng := stats.NewRNG(c.cfg.Seed)
+	sgd := rng // historical default: coins and gradients share one stream
+	if c.cfg.SGDRNG != nil {
+		sgd = c.cfg.SGDRNG
+	}
 	grad := c.model.ZeroParams()
 	var gradStats stats.Welford
 	participated := 0
@@ -116,9 +150,30 @@ func (c *Client) Run(ctx context.Context) (int, error) {
 		case MsgDone:
 			return participated, nil
 		case MsgRoundStart:
+			var fault RoundFault
+			if c.cfg.FaultFunc != nil {
+				fault = c.cfg.FaultFunc(msg.Round)
+			}
+			if fault.Crash {
+				return participated, ErrInjectedCrash
+			}
+			if fault.Delay > 0 {
+				timer := time.NewTimer(fault.Delay)
+				select {
+				case <-timer.C:
+				case <-ctx.Done():
+					timer.Stop()
+					return participated, ctx.Err()
+				}
+			}
 			// The client decides participation on its own — the essence of
-			// the paper's randomized independent participation.
-			if !rng.Bernoulli(q) {
+			// the paper's randomized independent participation. The coin is
+			// drawn before the fault gate so an injected skip displaces
+			// nothing: the willingness stream stays identical with and
+			// without the fault schedule, matching the in-process sampler's
+			// discipline.
+			willing := rng.Bernoulli(q)
+			if fault.Skip || !willing {
 				if err := codec.Send(&Message{
 					Type: MsgSkip, ClientID: c.cfg.ID, Round: msg.Round,
 					GradSqNorm: gradStats.Mean(),
@@ -129,7 +184,7 @@ func (c *Client) Run(ctx context.Context) (int, error) {
 			}
 			w := tensor.Vec(msg.Model).Clone()
 			for e := 0; e < localSteps; e++ {
-				if err := c.model.StochasticGradient(w, c.shard, batch, rng, grad); err != nil {
+				if err := c.model.StochasticGradient(w, c.shard, batch, sgd, grad); err != nil {
 					return participated, err
 				}
 				gradStats.Add(grad.SqNorm())

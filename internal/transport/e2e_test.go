@@ -1,0 +1,157 @@
+package transport
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"unbiasedfl/internal/data"
+	"unbiasedfl/internal/fl"
+	"unbiasedfl/internal/model"
+	"unbiasedfl/internal/stats"
+	"unbiasedfl/internal/testutil"
+)
+
+// genericOnly hides a model's optional fast-path interfaces (LocalStepper),
+// forcing the in-process runner down the same StochasticGradient + AddScaled
+// arithmetic the TCP client executes — the precondition for byte-level
+// equality between the two substrates.
+type genericOnly struct{ model.Model }
+
+// TestEndToEndTCPMatchesInProcessRunner runs a full multi-client FL round
+// sequence twice — once over real TCP loopback (server + 3 client
+// goroutines) and once through the in-process fl.Runner — with aligned
+// randomness, and requires the final global models to be byte-identical.
+// The alignment: full participation on both sides, and each TCP client's
+// SGD stream injected as the n-th Split of the run seed, exactly how the
+// runner derives its per-client streams.
+func TestEndToEndTCPMatchesInProcessRunner(t *testing.T) {
+	baseline := testutil.GoroutineBaseline()
+	const (
+		numClients = 3
+		rounds     = 5
+		localSteps = 3
+		batchSize  = 8
+		runSeed    = 424242
+	)
+	cfg := data.MNISTLikeConfig()
+	cfg.NumClients = numClients
+	cfg.TotalSamples = 300
+	cfg.TestSamples = 60
+	cfg.Dim = 6
+	cfg.Classes = 3
+	cfg.MaxClasses = 2
+	fed, err := data.GenerateImageLike(stats.NewRNG(99), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr, err := model.NewLogisticRegression(cfg.Dim, cfg.Classes, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := genericOnly{lr}
+	schedule := fl.ExpDecay{Eta0: 0.05, Decay: 0.996}
+	q := []float64{1, 1, 1}
+
+	// In-process reference run.
+	full, err := fl.NewFullSampler(numClients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := &fl.Runner{
+		Model: m,
+		Fed:   fed,
+		Config: fl.Config{
+			Rounds:     rounds,
+			LocalSteps: localSteps,
+			BatchSize:  batchSize,
+			Schedule:   schedule,
+			EvalEvery:  rounds,
+			Seed:       runSeed,
+		},
+		Sampler:    full,
+		Aggregator: fl.UnbiasedAggregator{},
+	}
+	ref, err := runner.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// TCP run: same arithmetic, real sockets.
+	srv, err := NewServer(ServerConfig{
+		Addr:       "127.0.0.1:0",
+		NumClients: numClients,
+		Q:          q,
+		Weights:    fed.Weights,
+		Rounds:     rounds,
+		LocalSteps: localSteps,
+		BatchSize:  batchSize,
+		Schedule:   schedule,
+		Timeout:    20 * time.Second,
+	}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+
+	// The runner derives client n's SGD stream as the n-th Split of the run
+	// seed; hand each TCP client exactly that stream.
+	root := stats.NewRNG(runSeed)
+	var wg sync.WaitGroup
+	clientErrs := make([]error, numClients)
+	for n := 0; n < numClients; n++ {
+		node, err := NewClient(ClientConfig{
+			Addr:    srv.Addr(),
+			ID:      n,
+			Seed:    1000 + uint64(n), // participation coins only; q=1 joins always
+			Timeout: 20 * time.Second,
+			SGDRNG:  root.Split(),
+		}, m, fed.Clients[n])
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(n int, node *Client) {
+			defer wg.Done()
+			_, clientErrs[n] = node.Run(context.Background())
+		}(n, node)
+	}
+	res, err := srv.Run(context.Background())
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n, cerr := range clientErrs {
+		if cerr != nil {
+			t.Fatalf("client %d: %v", n, cerr)
+		}
+	}
+
+	if len(res.FinalModel) != len(ref.FinalModel) {
+		t.Fatalf("model length %d over TCP, %d in-process", len(res.FinalModel), len(ref.FinalModel))
+	}
+	for j := range res.FinalModel {
+		tcpBits := math.Float64bits(res.FinalModel[j])
+		refBits := math.Float64bits(ref.FinalModel[j])
+		if tcpBits != refBits {
+			t.Fatalf("model[%d]: TCP %x (%v) vs in-process %x (%v) — the wire changed the arithmetic",
+				j, tcpBits, res.FinalModel[j], refBits, ref.FinalModel[j])
+		}
+	}
+	// The self-reported gradient statistics must agree bit-for-bit too:
+	// both sides run the same Welford accumulation over the same stream.
+	for n := range res.GradSqNorm {
+		if math.Float64bits(res.GradSqNorm[n]) != math.Float64bits(ref.GradSqNorm[n]) {
+			t.Fatalf("client %d GradSqNorm: TCP %v vs in-process %v",
+				n, res.GradSqNorm[n], ref.GradSqNorm[n])
+		}
+	}
+	for n, cnt := range res.ParticipationCounts {
+		if cnt != rounds {
+			t.Fatalf("client %d participated %d/%d rounds under q=1", n, cnt, rounds)
+		}
+	}
+	testutil.WaitNoLeaks(t, baseline, 10*time.Second)
+}

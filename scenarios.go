@@ -1,0 +1,69 @@
+package unbiasedfl
+
+import (
+	"context"
+
+	"unbiasedfl/internal/scenario"
+)
+
+// Scenario-engine façade: declarative experimental worlds with fault
+// schedules, a deterministic driver, and the named library backing the
+// golden-trace regression suite. See the internal/scenario package doc for
+// the full model.
+type (
+	// Scenario declaratively describes one experimental world: fleet and
+	// training scale, economics skew, data skew, and a per-client fault
+	// schedule. Build one by hand or fetch a library entry via
+	// ScenarioByName.
+	Scenario = scenario.Scenario
+	// ClientFault is one entry of a scenario's fault schedule.
+	ClientFault = scenario.ClientFault
+	// FaultKind discriminates straggler, dropout, and flaky faults.
+	FaultKind = scenario.FaultKind
+	// Trace is the canonical, byte-reproducible record of a scenario run.
+	Trace = scenario.Trace
+	// TraceRound is one training round within a Trace.
+	TraceRound = scenario.TraceRound
+	// TraceEquilibrium is the priced market state a trace ran under.
+	TraceEquilibrium = scenario.TraceEquilibrium
+	// ClusterConfig tunes the multi-node loopback harness.
+	ClusterConfig = scenario.ClusterConfig
+	// ClusterResult is the multi-node harness's view of a finished run.
+	ClusterResult = scenario.ClusterResult
+)
+
+// The fault kinds a schedule can inject.
+const (
+	// FaultStraggler multiplies a client's latency by its DelayFactor.
+	FaultStraggler = scenario.FaultStraggler
+	// FaultDropout removes a client permanently from round Round onward.
+	FaultDropout = scenario.FaultDropout
+	// FaultFlaky makes a client reachable only with probability
+	// Availability each round.
+	FaultFlaky = scenario.FaultFlaky
+)
+
+// RunScenario compiles and executes the scenario in-process through the
+// full data → calibration → game → pricing → training pipeline and returns
+// its canonical trace. Replays of the same scenario are bit-identical for
+// any GOMAXPROCS; cancelling ctx aborts promptly with ctx.Err().
+func RunScenario(ctx context.Context, sc Scenario) (*Trace, error) {
+	return scenario.Run(ctx, sc)
+}
+
+// RunScenarioCluster executes the scenario as a real multi-node federation:
+// a TCP coordinator plus one socket client per device on loopback, with the
+// fault schedule injected at the transport layer.
+func RunScenarioCluster(ctx context.Context, sc Scenario, cfg ClusterConfig) (*ClusterResult, error) {
+	return scenario.RunCluster(ctx, sc, cfg)
+}
+
+// ScenarioNames lists the named scenario library in canonical order.
+func ScenarioNames() []string { return scenario.Names() }
+
+// Scenarios returns a fresh copy of every library scenario.
+func Scenarios() []Scenario { return scenario.All() }
+
+// ScenarioByName fetches a library scenario, e.g. "baseline" or
+// "straggler-heavy".
+func ScenarioByName(name string) (Scenario, error) { return scenario.ByName(name) }
