@@ -9,8 +9,8 @@
 //
 // Usage:
 //
-//	flsim -setup 2 -scheme proposed [-rounds 120] [-clients 12] [-runs 3] [-json] [-progress]
-//	flsim -scenario straggler-heavy [-json]
+//	flsim -setup 2 -scheme proposed [-rounds 120] [-clients 12] [-runs 3] [-backend local|cluster] [-json] [-progress]
+//	flsim -scenario straggler-heavy [-backend local|cluster] [-json]
 //	flsim -scenario list
 package main
 
@@ -65,11 +65,17 @@ func run(ctx context.Context) error {
 		steps    = flag.Int("steps", 10, "local SGD steps E")
 		runs     = flag.Int("runs", 3, "independent runs to average")
 		seed     = flag.Uint64("seed", 1, "random seed")
+		backend  = flag.String("backend", "local", "execution backend: local (in-process pool) or cluster (one TCP socket node per client on loopback)")
 		csv      = flag.Bool("csv", false, "emit CSV instead of a table")
 		jsonFlag = flag.Bool("json", false, "emit machine-readable JSON instead of a table")
 		progress = flag.Bool("progress", false, "stream per-round progress to stderr while training")
 	)
 	flag.Parse()
+
+	exec, err := unbiasedfl.ParseBackend(*backend)
+	if err != nil {
+		return err
+	}
 
 	if *scenario != "" {
 		// A scenario is a complete world: the plain-run flags don't apply,
@@ -78,16 +84,16 @@ func run(ctx context.Context) error {
 		var conflicting []string
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "scenario", "json":
+			case "scenario", "json", "backend":
 			default:
 				conflicting = append(conflicting, "-"+f.Name)
 			}
 		})
 		if len(conflicting) > 0 {
-			return fmt.Errorf("-scenario replays a self-contained world; %s do(es) not apply (only -json combines)",
+			return fmt.Errorf("-scenario replays a self-contained world; %s do(es) not apply (only -json and -backend combine)",
 				strings.Join(conflicting, ", "))
 		}
-		return runScenario(ctx, *scenario, *jsonFlag)
+		return runScenario(ctx, *scenario, exec, *jsonFlag)
 	}
 
 	name := *scheme
@@ -104,6 +110,7 @@ func run(ctx context.Context) error {
 		unbiasedfl.WithLocalSteps(*steps),
 		unbiasedfl.WithRuns(*runs),
 		unbiasedfl.WithSeed(*seed),
+		unbiasedfl.WithBackend(exec),
 	}
 	if *progress {
 		options = append(options, unbiasedfl.WithObserver(
@@ -163,8 +170,9 @@ func run(ctx context.Context) error {
 	return nil
 }
 
-// runScenario replays one named scenario and prints its canonical trace.
-func runScenario(ctx context.Context, name string, jsonOut bool) error {
+// runScenario replays one named scenario on the chosen backend and prints
+// its canonical trace (identical whichever backend carried it).
+func runScenario(ctx context.Context, name string, exec unbiasedfl.Backend, jsonOut bool) error {
 	if name == "list" {
 		if jsonOut {
 			type entry struct {
@@ -186,7 +194,7 @@ func runScenario(ctx context.Context, name string, jsonOut bool) error {
 	if err != nil {
 		return err
 	}
-	trace, err := unbiasedfl.RunScenario(ctx, sc)
+	trace, err := unbiasedfl.RunScenarioWith(ctx, sc, unbiasedfl.ScenarioRunConfig{Backend: exec})
 	if err != nil {
 		return err
 	}

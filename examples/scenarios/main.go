@@ -80,9 +80,10 @@ func run() error {
 	fmt.Printf("\ncustom %q: spent %.2f, sim clock %.1fs, final loss %.4f\n",
 		trace.Scenario, trace.Equilibrium.Spent, trace.SimTimeS, trace.FinalLoss)
 
-	// 4. The same world as a real federation: a TCP coordinator and five
-	// socket clients on loopback, with the dropout severing its connection
-	// mid-round and the server tolerating the fault.
+	// 4. The same world as a real federation: the unified engine points the
+	// identical orchestrated run at its cluster backend — a TCP coordinator
+	// and five socket nodes on loopback — and the resulting trace is
+	// byte-identical to the in-process one.
 	res, err := unbiasedfl.RunScenarioCluster(ctx, custom, unbiasedfl.ClusterConfig{
 		Timeout: 30 * time.Second,
 	})
@@ -90,12 +91,21 @@ func run() error {
 		return err
 	}
 	fmt.Println("\nsame scenario over TCP loopback:")
-	for n, cnt := range res.Server.ParticipationCounts {
+	for n, cnt := range res.Participation {
 		status := "ok"
-		if res.Server.Dropped[n] {
-			status = "dropped mid-run"
+		if res.DroppedAt[n] >= 0 {
+			status = fmt.Sprintf("dropped at round %d", res.DroppedAt[n])
 		}
 		fmt.Printf("  client %d: joined %2d rounds (%s)\n", n, cnt, status)
 	}
+	inb, err := trace.Canonical()
+	if err != nil {
+		return err
+	}
+	clb, err := res.Canonical()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cluster trace identical to in-process trace: %v\n", string(inb) == string(clb))
 	return nil
 }

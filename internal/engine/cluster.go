@@ -1,0 +1,386 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"unbiasedfl/internal/tensor"
+	"unbiasedfl/internal/transport"
+)
+
+// ClusterOptions tunes the multi-node TCP backend.
+type ClusterOptions struct {
+	// Addr is the coordinator's listen address (default "127.0.0.1:0").
+	Addr string
+	// Timeout bounds every coordinator-side socket operation (default 30s).
+	Timeout time.Duration
+	// HandshakeTimeout bounds each node's version handshake + hello on the
+	// accept path (0 = transport.DefaultHandshakeTimeout).
+	HandshakeTimeout time.Duration
+	// NodeDelay, when non-nil, returns a real wall-clock stall a node
+	// applies before computing each dispatched update — straggler realism
+	// at the socket layer. It changes reply arrival order and wall time,
+	// never the result: aggregation order is fixed by the orchestrator.
+	NodeDelay func(client int) time.Duration
+}
+
+// ClusterBackend executes local updates as a real multi-node federation: a
+// TCP coordinator plus one socket node per client on loopback, speaking the
+// versioned framed protocol of internal/transport. It absorbs the round
+// dispatch previously split between transport.Server and
+// scenario.RunCluster.
+//
+// Participation is decided centrally by the orchestrator (the session is
+// marked Coordinated in the welcome): a round start is itself the
+// invitation, so a node never draws willingness coins. Each node owns the
+// same clientExec — fused local steps, private RNG as the n-th Split of the
+// spec seed — that LocalBackend uses in-process, and gob transports float64
+// slices bit-exactly, so a cluster run's trace is byte-identical to the
+// local backend's.
+type ClusterBackend struct {
+	opts ClusterOptions
+
+	spec     *Spec
+	listener net.Listener
+	codecs   []*transport.Codec
+	conns    []net.Conn
+	connMu   sync.Mutex
+
+	nodeWG   sync.WaitGroup
+	nodeErrs []error
+	lnOnce   sync.Once
+
+	watchDone chan struct{}
+
+	// Per-round buffers, reused across dispatches.
+	updates []ClientUpdate
+	errs    []error
+}
+
+// NewClusterBackend constructs an unopened cluster backend.
+func NewClusterBackend(opts ClusterOptions) *ClusterBackend {
+	if opts.Addr == "" {
+		opts.Addr = "127.0.0.1:0"
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 30 * time.Second
+	}
+	if opts.HandshakeTimeout <= 0 {
+		opts.HandshakeTimeout = transport.DefaultHandshakeTimeout
+	}
+	return &ClusterBackend{opts: opts}
+}
+
+// Open implements ExecutionBackend: it binds the coordinator's listener,
+// boots one node goroutine per client, and completes the handshake/hello
+// phase for the whole fleet.
+func (b *ClusterBackend) Open(ctx context.Context, spec *Spec) error {
+	if b.spec != nil {
+		return errors.New("engine: cluster backend already open")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	nClients := spec.Fed.NumClients()
+	ln, err := net.Listen("tcp", b.opts.Addr)
+	if err != nil {
+		return fmt.Errorf("engine: cluster listen: %w", err)
+	}
+	b.spec = spec
+	b.listener = ln
+	b.codecs = make([]*transport.Codec, nClients)
+	b.nodeErrs = make([]error, nClients)
+
+	// On cancellation, close the listener and every connection: reads fail
+	// immediately and stay failed, which both the dispatch path and the node
+	// loops translate into a prompt unwind.
+	if ctx.Done() != nil {
+		b.watchDone = make(chan struct{})
+		go func() {
+			select {
+			case <-ctx.Done():
+				b.closeConns()
+			case <-b.watchDone:
+			}
+		}()
+	}
+
+	// Boot the fleet. Executors are derived exactly like LocalBackend's —
+	// client n's RNG is the n-th Split of the spec seed.
+	states := newClientExecs(spec.Seed, nClients)
+	for n := 0; n < nClients; n++ {
+		b.nodeWG.Add(1)
+		go func(n int) {
+			defer b.nodeWG.Done()
+			if err := b.runNode(ctx, n, states[n]); err != nil {
+				b.nodeErrs[n] = err
+				// A node that dies while Open is still accepting would
+				// otherwise strand the accept loop waiting for a connection
+				// that will never arrive; closing the listener (unused after
+				// Open) unblocks it.
+				b.lnOnce.Do(func() { _ = b.listener.Close() })
+			}
+		}(n)
+	}
+
+	// Accept and identify every node.
+	for i := 0; i < nClients; i++ {
+		conn, err := ln.Accept()
+		if err != nil {
+			b.teardown()
+			if nodeErr := errors.Join(nonNil(b.nodeErrs)...); nodeErr != nil {
+				return ctxErrOr(ctx, fmt.Errorf("engine: cluster boot: %w", nodeErr))
+			}
+			return ctxErrOr(ctx, fmt.Errorf("engine: cluster accept: %w", err))
+		}
+		b.connMu.Lock()
+		b.conns = append(b.conns, conn)
+		if ctx.Err() != nil {
+			_ = conn.Close() // raced past the watcher's sweep
+		}
+		b.connMu.Unlock()
+		hsDeadline := time.Now().Add(b.opts.HandshakeTimeout)
+		_ = conn.SetDeadline(hsDeadline)
+		if err := transport.Handshake(conn); err != nil {
+			b.teardown()
+			return ctxErrOr(ctx, err)
+		}
+		codec, err := transport.NewCodec(conn, b.opts.Timeout)
+		if err != nil {
+			b.teardown()
+			return err
+		}
+		hello, err := codec.RecvDeadline(hsDeadline)
+		if err != nil {
+			b.teardown()
+			return ctxErrOr(ctx, fmt.Errorf("engine: cluster hello: %w", err))
+		}
+		_ = conn.SetDeadline(time.Time{})
+		if hello.Type != transport.MsgHello || hello.ClientID < 0 ||
+			hello.ClientID >= nClients || b.codecs[hello.ClientID] != nil {
+			b.teardown()
+			return fmt.Errorf("engine: cluster got invalid hello (type %v, id %d)", hello.Type, hello.ClientID)
+		}
+		id := hello.ClientID
+		b.codecs[id] = codec
+		if err := codec.Send(&transport.Message{
+			Type:        transport.MsgWelcome,
+			ClientID:    id,
+			Q:           1, // participation is decided centrally
+			Coordinated: true,
+			LocalSteps:  spec.LocalSteps,
+			BatchSize:   spec.BatchSize,
+			Rounds:      spec.Rounds,
+		}); err != nil {
+			b.teardown()
+			return ctxErrOr(ctx, err)
+		}
+	}
+	return nil
+}
+
+// Dispatch implements ExecutionBackend: it ships each task's round start to
+// its node concurrently, collects the replies, and fills updates in task
+// order so aggregation matches the local backend exactly.
+func (b *ClusterBackend) Dispatch(
+	ctx context.Context, round int, global tensor.Vec, tasks []ClientTask,
+) ([]ClientUpdate, error) {
+	if b.spec == nil {
+		return nil, errors.New("engine: cluster backend not open")
+	}
+	if cap(b.updates) < len(tasks) {
+		b.updates = make([]ClientUpdate, len(tasks))
+		b.errs = make([]error, len(tasks))
+	}
+	updates := b.updates[:len(tasks)]
+	errs := b.errs[:len(tasks)]
+	var wg sync.WaitGroup
+	for i, task := range tasks {
+		i, task := i, task
+		errs[i] = nil
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			codec := b.codecs[task.Client]
+			if err := codec.Send(&transport.Message{
+				Type: transport.MsgRoundStart, Round: round, Model: global, LR: task.LR,
+			}); err != nil {
+				errs[i] = fmt.Errorf("node %d: %w", task.Client, err)
+				return
+			}
+			reply, err := codec.Recv()
+			if err != nil {
+				errs[i] = fmt.Errorf("node %d: %w", task.Client, err)
+				return
+			}
+			if reply.Type != transport.MsgUpdate || reply.ClientID != task.Client || reply.Round != round {
+				errs[i] = fmt.Errorf("node %d: unexpected reply (type %v, id %d, round %d)",
+					task.Client, reply.Type, reply.ClientID, reply.Round)
+				return
+			}
+			updates[i] = ClientUpdate{
+				Client:     task.Client,
+				Delta:      tensor.Vec(reply.Model),
+				GradSqNorm: reply.GradSqNorm,
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, ctxErrOr(ctx, err)
+		}
+	}
+	return updates, nil
+}
+
+// Close implements ExecutionBackend: it ends the session (MsgDone to every
+// node), waits for the fleet to exit, tears down every socket, and reports
+// any node that died for a reason other than the shutdown itself.
+func (b *ClusterBackend) Close() error {
+	if b.spec == nil {
+		return nil
+	}
+	for _, codec := range b.codecs {
+		if codec != nil {
+			_ = codec.Send(&transport.Message{Type: transport.MsgDone})
+		}
+	}
+	b.teardown()
+	var errs []error
+	for n, err := range b.nodeErrs {
+		if err != nil {
+			errs = append(errs, fmt.Errorf("engine: cluster node %d: %w", n, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// teardown closes every socket, stops the watcher, and waits for the node
+// goroutines. Safe to call more than once.
+func (b *ClusterBackend) teardown() {
+	b.closeConns()
+	if b.watchDone != nil {
+		close(b.watchDone)
+		b.watchDone = nil
+	}
+	b.nodeWG.Wait()
+	b.spec = nil
+}
+
+func (b *ClusterBackend) closeConns() {
+	if b.listener != nil {
+		_ = b.listener.Close()
+	}
+	b.connMu.Lock()
+	for _, c := range b.conns {
+		_ = c.Close()
+	}
+	b.connMu.Unlock()
+}
+
+// runNode is one device of the cluster: it dials the coordinator, completes
+// the handshake, and serves coordinated round starts with the shared
+// client executor until MsgDone.
+func (b *ClusterBackend) runNode(ctx context.Context, n int, st *clientExec) error {
+	spec := b.spec
+	conn, err := net.DialTimeout("tcp", b.listener.Addr().String(), b.opts.Timeout)
+	if err != nil {
+		return ctxErrOr(ctx, fmt.Errorf("dial: %w", err))
+	}
+	// The node's reads are unbounded by design — an unselected node simply
+	// waits for its next invitation — so shutdown runs through connection
+	// closes: the coordinator's teardown (or the ctx watcher) severs the
+	// socket and the pending read fails immediately.
+	defer func() { _ = conn.Close() }()
+	_ = conn.SetDeadline(time.Now().Add(b.opts.HandshakeTimeout))
+	if err := transport.Handshake(conn); err != nil {
+		return ctxErrOr(ctx, err)
+	}
+	_ = conn.SetDeadline(time.Time{})
+	codec, err := transport.NewCodec(conn, 0)
+	if err != nil {
+		return err
+	}
+	if err := codec.Send(&transport.Message{Type: transport.MsgHello, ClientID: n}); err != nil {
+		return ctxErrOr(ctx, err)
+	}
+	welcome, err := codec.Recv()
+	if err != nil {
+		return ctxErrOr(ctx, err)
+	}
+	if welcome.Type != transport.MsgWelcome || !welcome.Coordinated {
+		return fmt.Errorf("expected coordinated welcome, got %v", welcome.Type)
+	}
+
+	var delay time.Duration
+	if b.opts.NodeDelay != nil {
+		delay = b.opts.NodeDelay(n)
+	}
+	for {
+		msg, err := codec.Recv()
+		if err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return ctxErr
+			}
+			// A severed socket after Close started is the normal end of an
+			// errored run; report it so Close can surface real failures.
+			return err
+		}
+		switch msg.Type {
+		case transport.MsgDone:
+			return nil
+		case transport.MsgRoundStart:
+			if delay > 0 {
+				timer := time.NewTimer(delay)
+				select {
+				case <-timer.C:
+				case <-ctx.Done():
+					timer.Stop()
+					return ctx.Err()
+				}
+			}
+			delta, err := st.localUpdate(
+				ctx, spec.Model, spec.Fed.Clients[n], n,
+				tensor.Vec(msg.Model), spec.LocalSteps, spec.BatchSize, msg.LR,
+			)
+			if err != nil {
+				return err
+			}
+			if err := codec.Send(&transport.Message{
+				Type: transport.MsgUpdate, ClientID: n, Round: msg.Round,
+				Model: delta, GradSqNorm: st.sqNorms.Mean(),
+			}); err != nil {
+				return ctxErrOr(ctx, err)
+			}
+		default:
+			return fmt.Errorf("unexpected message %v", msg.Type)
+		}
+	}
+}
+
+// nonNil filters the non-nil entries of an error slice.
+func nonNil(errs []error) []error {
+	var out []error
+	for _, err := range errs {
+		if err != nil {
+			out = append(out, err)
+		}
+	}
+	return out
+}
+
+// ctxErrOr maps an error surfaced by a cancellation-severed socket back to
+// the context's error.
+func ctxErrOr(ctx context.Context, err error) error {
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return ctxErr
+	}
+	return err
+}
+
+var _ ExecutionBackend = (*ClusterBackend)(nil)

@@ -1,0 +1,199 @@
+// Package engine is the unified federation engine: one backend-agnostic
+// round orchestrator behind pluggable execution backends.
+//
+// The paper's unbiasedness guarantee is a property of the round protocol —
+// sample participants by priced q, run E local SGD steps on each, aggregate
+// with inverse-probability weights — not of any particular execution
+// substrate. This package owns that protocol exactly once:
+//
+//	spec (what to train) ──► Orchestrator (the canonical round loop)
+//	                              │
+//	                              ▼ Dispatch(ctx, round, global, tasks)
+//	                    ExecutionBackend (where updates run)
+//	                    ├── LocalBackend    in-process worker pool,
+//	                    │                   zero-alloc scratch arenas
+//	                    └── ClusterBackend  real TCP coordinator + one
+//	                                        socket node per client
+//
+// The Orchestrator owns everything that determines the result: willingness
+// and availability sampling on separate RNG streams, per-round learning
+// rates, deterministic index-ordered aggregation, divergence checks, and
+// evaluation. A backend owns only the execution of local updates. Both
+// built-in backends derive client n's private SGD stream as the n-th Split
+// of the spec seed and run the same fused local-update code, so a run is
+// bit-identical across backends and for any GOMAXPROCS — the property the
+// golden-trace backend-equivalence matrix in internal/scenario pins.
+//
+// Layers above compile into a Spec and pick a backend: internal/fl.Runner
+// is a thin compatibility shim over Orchestrator+LocalBackend, and
+// internal/experiment and internal/scenario select backends through the
+// same seam.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"unbiasedfl/internal/data"
+	"unbiasedfl/internal/model"
+	"unbiasedfl/internal/tensor"
+)
+
+// Schedule produces the learning rate for a given round.
+type Schedule interface {
+	LR(round int) float64
+}
+
+// Sampler decides which clients take part in a round. Implementations must
+// return indices in ascending order without duplicates; the orchestrator
+// aggregates in the returned order, so this is what makes the global model
+// independent of backend scheduling.
+type Sampler interface {
+	// Sample returns the indices of participating clients for the round.
+	Sample(round int) []int
+	// NumClients reports the total client population.
+	NumClients() int
+}
+
+// LevelsSampler is implemented by samplers that expose per-client marginal
+// participation probabilities for the unbiased aggregation rule.
+type LevelsSampler interface {
+	EffectiveQ() []float64
+}
+
+// ClientTask is one unit of dispatched work: run LocalSteps mini-batch SGD
+// steps for Client starting from the round's global model at learning rate
+// LR.
+type ClientTask struct {
+	Client int
+	LR     float64
+}
+
+// ClientUpdate is one participant's contribution to a round.
+type ClientUpdate struct {
+	Client int
+	// Delta is the model delta w_n^{r+1} − w^r produced by the client's
+	// local SGD steps. Backends may reuse the backing array across rounds;
+	// the orchestrator consumes it before the next Dispatch.
+	Delta tensor.Vec
+	// GradSqNorm is the client's running mean squared stochastic gradient
+	// norm after this update — the paper's G_n estimation channel.
+	GradSqNorm float64
+}
+
+// Aggregator folds participant updates into the global model in place.
+type Aggregator interface {
+	// Aggregate applies the participants' deltas to global. weights are the
+	// data weights a_n and q the participation levels q_n, both indexed by
+	// client over the full population.
+	Aggregate(global tensor.Vec, updates []ClientUpdate, weights, q []float64) error
+}
+
+// ExecutionBackend executes one round's local updates. The orchestrator
+// calls Open once before the first round, Dispatch once per round, and
+// Close exactly once when the run ends (normally or not).
+//
+// Dispatch must fill one ClientUpdate per task, in task order — the
+// orchestrator's aggregation order — and must produce updates that depend
+// only on the spec and the task sequence, never on scheduling. The returned
+// slice is valid until the next Dispatch call.
+type ExecutionBackend interface {
+	Open(ctx context.Context, spec *Spec) error
+	Dispatch(ctx context.Context, round int, global tensor.Vec, tasks []ClientTask) ([]ClientUpdate, error)
+	Close() error
+}
+
+// RoundMetrics records the state of one training round. Loss and accuracy
+// are populated only when Evaluated is true (evaluation is throttled via
+// Spec.EvalEvery because a full-train-set evaluation dominates runtime).
+type RoundMetrics struct {
+	Round        int
+	Participants int
+	// ParticipantIDs lists the clients that joined this round; the timing
+	// model consumes it to compute per-round wall-clock durations.
+	ParticipantIDs []int
+	Evaluated      bool
+	GlobalLoss     float64
+	TestAccuracy   float64
+}
+
+// RunResult bundles the full training trajectory with the final model and
+// the per-client mean squared stochastic gradient norms observed along the
+// way (the empirical basis for the G_n estimates of Section IV-A).
+type RunResult struct {
+	History    []RoundMetrics
+	FinalModel tensor.Vec
+	GradSqNorm []float64 // mean ||stochastic gradient||² per client
+	FinalLoss  float64
+	FinalAcc   float64
+}
+
+// Spec describes one federated run: the model and data, the training scale,
+// and the sampling/aggregation policy. It is what every layer above
+// compiles its configuration down to.
+type Spec struct {
+	Model model.Model
+	Fed   *data.Federated
+
+	Rounds     int      // R
+	LocalSteps int      // E local SGD iterations per round
+	BatchSize  int      // SGD mini-batch size
+	Schedule   Schedule // learning-rate schedule
+	EvalEvery  int      // evaluate global loss/accuracy every this many rounds
+	Seed       uint64   // run seed; every client derives a private stream (the n-th Split)
+
+	Sampler    Sampler
+	Aggregator Aggregator
+
+	// OnRoundStart, when non-nil, is invoked before every round's local
+	// updates begin — the streaming-observer entry hook. It runs on the
+	// orchestration goroutine; keep it fast.
+	OnRoundStart func(round int)
+	// OnRound, when non-nil, is invoked after every round with that round's
+	// metrics — a progress hook for long paper-scale runs. It runs on the
+	// orchestration goroutine; keep it fast.
+	OnRound func(RoundMetrics)
+}
+
+// Validate checks the spec before a run.
+func (s Spec) Validate() error {
+	switch {
+	case s.Model == nil:
+		return errors.New("engine: nil model")
+	case s.Fed == nil || s.Fed.NumClients() == 0:
+		return errors.New("engine: nil or empty federation")
+	case s.Sampler == nil:
+		return errors.New("engine: nil sampler")
+	case s.Aggregator == nil:
+		return errors.New("engine: nil aggregator")
+	case s.Sampler.NumClients() != s.Fed.NumClients():
+		return fmt.Errorf("engine: sampler covers %d clients, federation has %d",
+			s.Sampler.NumClients(), s.Fed.NumClients())
+	case s.Rounds <= 0:
+		return errors.New("engine: rounds must be positive")
+	case s.LocalSteps <= 0:
+		return errors.New("engine: local steps must be positive")
+	case s.BatchSize <= 0:
+		return errors.New("engine: batch size must be positive")
+	case s.Schedule == nil:
+		return errors.New("engine: nil schedule")
+	case s.EvalEvery <= 0:
+		return errors.New("engine: eval interval must be positive")
+	}
+	return nil
+}
+
+// participationLevels exposes q to the aggregator. Samplers without explicit
+// levels (full or fixed-subset participation) report q = 1 for every client,
+// under which the unbiased rule reduces to plain weighted averaging.
+func (s *Spec) participationLevels() []float64 {
+	if ls, ok := s.Sampler.(LevelsSampler); ok {
+		return ls.EffectiveQ()
+	}
+	q := make([]float64, s.Fed.NumClients())
+	for i := range q {
+		q[i] = 1
+	}
+	return q
+}

@@ -1,0 +1,322 @@
+package engine
+
+import (
+	"context"
+	"math"
+	"runtime"
+	"testing"
+	"time"
+
+	"unbiasedfl/internal/data"
+	"unbiasedfl/internal/model"
+	"unbiasedfl/internal/stats"
+	"unbiasedfl/internal/tensor"
+	"unbiasedfl/internal/testutil"
+)
+
+func testFederation(t testing.TB, seed uint64, clients int) *data.Federated {
+	t.Helper()
+	cfg := data.MNISTLikeConfig()
+	cfg.NumClients = clients
+	cfg.TotalSamples = clients * 120
+	cfg.TestSamples = 200
+	cfg.Dim = 8
+	cfg.Classes = 4
+	cfg.MaxClasses = 3
+	fed, err := data.GenerateImageLike(stats.NewRNG(seed), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fed
+}
+
+func testModel(t testing.TB, fed *data.Federated) *model.LogisticRegression {
+	t.Helper()
+	m, err := model.NewLogisticRegression(fed.Train.Dim, fed.Train.Classes, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// fullSampler includes every client in every round.
+type fullSampler struct{ n int }
+
+func (s fullSampler) Sample(int) []int {
+	out := make([]int, s.n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+func (s fullSampler) NumClients() int { return s.n }
+
+// bernoulliSampler mirrors fl.BernoulliSampler for the engine tests.
+type bernoulliSampler struct {
+	q   []float64
+	rng *stats.RNG
+}
+
+func (s *bernoulliSampler) Sample(int) []int {
+	var out []int
+	for n, qn := range s.q {
+		if s.rng.Bernoulli(qn) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+func (s *bernoulliSampler) NumClients() int       { return len(s.q) }
+func (s *bernoulliSampler) EffectiveQ() []float64 { return append([]float64(nil), s.q...) }
+
+func testSpec(t testing.TB, fed *data.Federated, m model.Model, rounds int, sampler Sampler) Spec {
+	t.Helper()
+	return Spec{
+		Model: m, Fed: fed,
+		Rounds: rounds, LocalSteps: 4, BatchSize: 8,
+		Schedule: ExpDecay{Eta0: 0.1, Decay: 0.996}, EvalEvery: rounds, Seed: 7,
+		Sampler: sampler, Aggregator: UnbiasedAggregator{},
+	}
+}
+
+// TestLocalDispatchZeroAllocs is the end-to-end allocation gate on the FL
+// hot path: with the per-client scratch arenas warm, a full round dispatch
+// through the local backend (batch draws, fused SGD steps, gradient-norm
+// stats, deltas for every participant) must perform zero heap allocations.
+func TestLocalDispatchZeroAllocs(t *testing.T) {
+	fed := testFederation(t, 21, 4)
+	m := testModel(t, fed)
+	spec := testSpec(t, fed, m, 4, fullSampler{n: 4})
+	b := NewLocalBackend(LocalOptions{})
+	if err := b.Open(context.Background(), &spec); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = b.Close() }()
+	global := m.ZeroParams()
+	tasks := make([]ClientTask, fed.NumClients())
+	for n := range tasks {
+		tasks[n] = ClientTask{Client: n, LR: 0.01}
+	}
+	if _, err := b.Dispatch(context.Background(), 0, global, tasks); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := b.Dispatch(context.Background(), 0, global, tasks); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state local dispatch allocates %v times per run", allocs)
+	}
+}
+
+// TestOrchestratorDeterministicAcrossWorkerCounts: the pooled local backend
+// must produce a bit-identical model whether the pool has one worker or
+// several.
+func TestOrchestratorDeterministicAcrossWorkerCounts(t *testing.T) {
+	run := func(procs int) tensor.Vec {
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+		fed := testFederation(t, 3, 5)
+		m := testModel(t, fed)
+		sampler := &bernoulliSampler{q: []float64{0.9, 0.6, 0.4, 0.8, 0.5}, rng: stats.NewRNG(5)}
+		spec := testSpec(t, fed, m, 12, sampler)
+		res, err := Run(context.Background(), spec, NewLocalBackend(LocalOptions{Parallel: true}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.FinalModel
+	}
+	one := run(1)
+	four := run(4)
+	for j := range one {
+		if one[j] != four[j] {
+			t.Fatalf("param %d differs across worker counts: %v vs %v", j, one[j], four[j])
+		}
+	}
+}
+
+// TestClusterBackendMatchesLocalBackend is the engine-level half of the
+// backend-equivalence guarantee: the same spec through LocalBackend and
+// through a real TCP ClusterBackend must produce byte-identical models,
+// histories, and gradient statistics.
+func TestClusterBackendMatchesLocalBackend(t *testing.T) {
+	baseline := testutil.GoroutineBaseline()
+	fed := testFederation(t, 13, 4)
+	m := testModel(t, fed)
+	mk := func() Spec {
+		sampler := &bernoulliSampler{q: []float64{0.9, 0.7, 0.8, 0.6}, rng: stats.NewRNG(11)}
+		return testSpec(t, fed, m, 8, sampler)
+	}
+	local, err := Run(context.Background(), mk(), NewLocalBackend(LocalOptions{Parallel: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster, err := Run(context.Background(), mk(), NewClusterBackend(ClusterOptions{
+		Timeout: 20 * time.Second,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range local.FinalModel {
+		if math.Float64bits(local.FinalModel[j]) != math.Float64bits(cluster.FinalModel[j]) {
+			t.Fatalf("model[%d]: local %v vs cluster %v — the wire changed the arithmetic",
+				j, local.FinalModel[j], cluster.FinalModel[j])
+		}
+	}
+	for n := range local.GradSqNorm {
+		if math.Float64bits(local.GradSqNorm[n]) != math.Float64bits(cluster.GradSqNorm[n]) {
+			t.Fatalf("client %d GradSqNorm: local %v vs cluster %v",
+				n, local.GradSqNorm[n], cluster.GradSqNorm[n])
+		}
+	}
+	if len(local.History) != len(cluster.History) {
+		t.Fatalf("history length %d vs %d", len(local.History), len(cluster.History))
+	}
+	for i := range local.History {
+		lh, ch := local.History[i], cluster.History[i]
+		if lh.Participants != ch.Participants ||
+			math.Float64bits(lh.GlobalLoss) != math.Float64bits(ch.GlobalLoss) ||
+			math.Float64bits(lh.TestAccuracy) != math.Float64bits(ch.TestAccuracy) {
+			t.Fatalf("round %d metrics differ: %+v vs %+v", i, lh, ch)
+		}
+	}
+	testutil.WaitNoLeaks(t, baseline, 10*time.Second)
+}
+
+// TestClusterBackendHonorsCancellation cancels mid-run and requires a prompt
+// unwind with no leaked goroutines or sockets.
+func TestClusterBackendHonorsCancellation(t *testing.T) {
+	baseline := testutil.GoroutineBaseline()
+	fed := testFederation(t, 17, 3)
+	m := testModel(t, fed)
+	spec := testSpec(t, fed, m, 500, fullSampler{n: 3})
+	// A real per-round node stall keeps the run alive long enough for the
+	// cancellation to land mid-flight.
+	backend := NewClusterBackend(ClusterOptions{
+		Timeout:   20 * time.Second,
+		NodeDelay: func(int) time.Duration { return 10 * time.Millisecond },
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := Run(ctx, spec, backend)
+		done <- err
+	}()
+	time.Sleep(150 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("cancelled cluster run returned %v, want context.Canceled", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("cluster run did not unwind after cancellation")
+	}
+	testutil.WaitNoLeaks(t, baseline, 10*time.Second)
+}
+
+// TestOrchestratorRejectsDuplicateParticipants pins the guard protecting the
+// single-owner per-client state from samplers that draw with replacement.
+func TestOrchestratorRejectsDuplicateParticipants(t *testing.T) {
+	fed := testFederation(t, 30, 3)
+	m := testModel(t, fed)
+	spec := testSpec(t, fed, m, 2, dupSampler{n: 3})
+	if _, err := Run(context.Background(), spec, NewLocalBackend(LocalOptions{})); err == nil {
+		t.Fatal("expected duplicate-participant error")
+	}
+}
+
+type dupSampler struct{ n int }
+
+func (d dupSampler) Sample(int) []int { return []int{0, 1, 0} }
+func (d dupSampler) NumClients() int  { return d.n }
+
+// BenchmarkLocalUpdate measures one participant's full local update (E=4
+// fused SGD steps at batch 8) through the shared client executor.
+func BenchmarkLocalUpdate(b *testing.B) {
+	fed := testFederation(b, 21, 4)
+	m := testModel(b, fed)
+	st := newClientExecs(7, 1)[0]
+	global := m.ZeroParams()
+	ctx := context.Background()
+	if _, err := st.localUpdate(ctx, m, fed.Clients[0], 0, global, 10, 16, 0.01); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.localUpdate(ctx, m, fed.Clients[0], 0, global, 10, 16, 0.01); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOrchestratorRoundLocal measures whole training rounds through the
+// orchestrator + pooled LocalBackend, aggregation included — the engine-side
+// counterpart of fl.BenchmarkRunnerRound.
+func BenchmarkOrchestratorRoundLocal(b *testing.B) {
+	fed := testFederation(b, 21, 8)
+	m := testModel(b, fed)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spec := Spec{
+			Model: m, Fed: fed,
+			Rounds: 1, LocalSteps: 8, BatchSize: 24,
+			Schedule:  ExpDecay{Eta0: 0.1, Decay: 0.996},
+			EvalEvery: 2, // skip evaluation; this measures the update path
+			Seed:      1,
+			Sampler:   fullSampler{n: 8}, Aggregator: UnbiasedAggregator{},
+		}
+		if _, err := Run(context.Background(), spec, NewLocalBackend(LocalOptions{Parallel: true})); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOrchestratorRoundCluster measures the same rounds through a real
+// loopback TCP ClusterBackend: the cost of the wire relative to
+// BenchmarkOrchestratorRoundLocal. The fleet boots once; the loop measures
+// steady-state rounds.
+func BenchmarkOrchestratorRoundCluster(b *testing.B) {
+	fed := testFederation(b, 21, 8)
+	m := testModel(b, fed)
+	spec := Spec{
+		Model: m, Fed: fed,
+		Rounds: 1, LocalSteps: 8, BatchSize: 24,
+		Schedule:  ExpDecay{Eta0: 0.1, Decay: 0.996},
+		EvalEvery: 2,
+		Seed:      1,
+		Sampler:   fullSampler{n: 8}, Aggregator: UnbiasedAggregator{},
+	}
+	backend := NewClusterBackend(ClusterOptions{Timeout: 20 * time.Second})
+	if err := backend.Open(context.Background(), &spec); err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = backend.Close() }()
+	global := m.ZeroParams()
+	tasks := make([]ClientTask, fed.NumClients())
+	for n := range tasks {
+		tasks[n] = ClientTask{Client: n, LR: 0.05}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		updates, err := backend.Dispatch(context.Background(), 0, global, tasks)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := (UnbiasedAggregator{}).Aggregate(global, updates, fed.Weights, specQ(fed.NumClients())); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func specQ(n int) []float64 {
+	q := make([]float64, n)
+	for i := range q {
+		q[i] = 1
+	}
+	return q
+}

@@ -1,0 +1,100 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+
+	"unbiasedfl/internal/data"
+	"unbiasedfl/internal/model"
+	"unbiasedfl/internal/stats"
+	"unbiasedfl/internal/tensor"
+)
+
+// clientExec holds one client's per-run mutable state: the private RNG, the
+// gradient-norm statistics, and the scratch arena (parameter clone,
+// gradient, delta, and the model's batch buffers) that makes the local-SGD
+// hot path allocation-free in steady state.
+//
+// Both backends execute local updates through this type — LocalBackend in
+// its worker pool, ClusterBackend inside each socket node — which is what
+// makes a round's arithmetic identical no matter where it runs.
+type clientExec struct {
+	rng     *stats.RNG
+	sqNorms stats.Welford
+	w       tensor.Vec // working copy of the global model
+	grad    tensor.Vec // gradient buffer
+	delta   tensor.Vec // w − global, handed to the aggregator
+	scratch model.Scratch
+}
+
+// ensure sizes the state's vectors for a model with p parameters.
+func (st *clientExec) ensure(p int) {
+	if len(st.w) != p {
+		st.w = tensor.NewVec(p)
+		st.grad = tensor.NewVec(p)
+		st.delta = tensor.NewVec(p)
+	}
+}
+
+// localUpdate copies the global model into the client's scratch arena and
+// performs steps mini-batch SGD steps on the client's shard, recording
+// squared gradient norms for G_n estimation. Models implementing
+// model.LocalStepper run the fused step; otherwise the generic
+// StochasticGradient + axpy path applies. In steady state (buffers warm) the
+// update performs no heap allocations. The returned delta aliases the
+// client's buffer and is valid until its next localUpdate.
+func (st *clientExec) localUpdate(
+	ctx context.Context, m model.Model, shard *data.Dataset, n int,
+	global tensor.Vec, steps, batch int, lr float64,
+) (tensor.Vec, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	st.ensure(len(global))
+	w := st.w
+	copy(w, global)
+	stepper, hasStep := m.(model.LocalStepper)
+	for e := 0; e < steps; e++ {
+		// Re-check cancellation every few steps so paper-scale E (100 local
+		// steps) still cancels mid-update, without putting the ctx mutex on
+		// every step of the hot path.
+		if e&7 == 7 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		if hasStep {
+			sq, err := stepper.SGDStep(w, shard, batch, lr, st.rng, &st.scratch)
+			if err != nil {
+				return nil, fmt.Errorf("client %d: %w", n, err)
+			}
+			st.sqNorms.Add(sq)
+			continue
+		}
+		grad := st.grad
+		if err := m.StochasticGradient(w, shard, batch, st.rng, grad); err != nil {
+			return nil, fmt.Errorf("client %d: %w", n, err)
+		}
+		st.sqNorms.Add(grad.SqNorm())
+		if err := w.AddScaled(-lr, grad); err != nil {
+			return nil, err
+		}
+	}
+	delta := st.delta
+	for j := range delta {
+		delta[j] = w[j] - global[j]
+	}
+	return delta, nil
+}
+
+// newClientExecs derives one executor per client from the spec seed,
+// client n's RNG being the n-th Split — the stream discipline every
+// backend must share for cross-backend bit-identity.
+func newClientExecs(seed uint64, nClients int) []*clientExec {
+	root := stats.NewRNG(seed)
+	states := make([]*clientExec, nClients)
+	for n := range states {
+		states[n] = &clientExec{rng: root.Split()}
+	}
+	return states
+}

@@ -1,0 +1,189 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+
+	"unbiasedfl/internal/tensor"
+)
+
+// LocalOptions tunes the in-process backend.
+type LocalOptions struct {
+	// Parallel enables concurrent local updates across participants via a
+	// persistent worker pool sized to GOMAXPROCS. Results are identical
+	// either way: every client owns a private RNG and its own scratch arena,
+	// and the summation order inside a client's update never depends on the
+	// worker count.
+	Parallel bool
+	// Workers overrides the pool size (0 = GOMAXPROCS, capped to the fleet).
+	Workers int
+}
+
+// LocalBackend executes local updates in-process: per-client scratch arenas
+// keep the steady-state dispatch allocation-free, and the optional
+// persistent worker pool spreads participants across CPUs without touching
+// the result. It is the execution half of the historical fl.Runner.
+type LocalBackend struct {
+	opts   LocalOptions
+	spec   *Spec
+	states []*clientExec
+	pool   *updatePool
+
+	// Per-round buffers, reused so steady-state dispatch does not allocate.
+	updates []ClientUpdate
+	errs    []error
+}
+
+// NewLocalBackend constructs an unopened in-process backend.
+func NewLocalBackend(opts LocalOptions) *LocalBackend {
+	return &LocalBackend{opts: opts}
+}
+
+// Open implements ExecutionBackend: it derives the per-client executors from
+// the spec seed and starts the worker pool.
+func (b *LocalBackend) Open(_ context.Context, spec *Spec) error {
+	if b.spec != nil {
+		return errors.New("engine: local backend already open")
+	}
+	b.spec = spec
+	nClients := spec.Fed.NumClients()
+	b.states = newClientExecs(spec.Seed, nClients)
+	if b.opts.Parallel {
+		workers := b.opts.Workers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		if workers > nClients {
+			workers = nClients
+		}
+		b.pool = newUpdatePool(b, workers)
+	}
+	return nil
+}
+
+// Dispatch implements ExecutionBackend. Updates are filled in task order, so
+// aggregation order — and thus the aggregated model — is independent of
+// worker scheduling.
+func (b *LocalBackend) Dispatch(
+	ctx context.Context, _ int, global tensor.Vec, tasks []ClientTask,
+) ([]ClientUpdate, error) {
+	if b.spec == nil {
+		return nil, errors.New("engine: local backend not open")
+	}
+	if cap(b.updates) < len(tasks) {
+		b.updates = make([]ClientUpdate, len(tasks))
+		b.errs = make([]error, len(tasks))
+	}
+	updates := b.updates[:len(tasks)]
+	errs := b.errs[:len(tasks)]
+	for i := range errs {
+		errs[i] = nil
+	}
+
+	if b.pool == nil || len(tasks) < 2 {
+		for i, task := range tasks {
+			if err := b.runTask(ctx, global, task, &updates[i]); err != nil {
+				return nil, err
+			}
+		}
+		return updates, nil
+	}
+	if err := b.pool.round(ctx, global, tasks, updates, errs); err != nil {
+		return nil, err
+	}
+	return updates, nil
+}
+
+// runTask executes one client's local update into out.
+func (b *LocalBackend) runTask(ctx context.Context, global tensor.Vec, task ClientTask, out *ClientUpdate) error {
+	st := b.states[task.Client]
+	delta, err := st.localUpdate(
+		ctx, b.spec.Model, b.spec.Fed.Clients[task.Client], task.Client,
+		global, b.spec.LocalSteps, b.spec.BatchSize, task.LR,
+	)
+	if err != nil {
+		return err
+	}
+	out.Client = task.Client
+	out.Delta = delta
+	out.GradSqNorm = st.sqNorms.Mean()
+	return nil
+}
+
+// Close implements ExecutionBackend: it shuts down the worker pool.
+func (b *LocalBackend) Close() error {
+	if b.pool != nil {
+		b.pool.close()
+		b.pool = nil
+	}
+	b.spec = nil
+	return nil
+}
+
+// updatePool is the persistent worker pool behind parallel local dispatch.
+// Its goroutines live for the whole run — one per available CPU — instead of
+// spawning a goroutine per participant per round. Round context is published
+// before the task indices are sent on the channel (the send is the
+// happens-before edge), and the WaitGroup barrier ends the round.
+type updatePool struct {
+	b       *LocalBackend
+	taskIdx chan int
+	wg      sync.WaitGroup
+
+	// Per-round context: written by the orchestration goroutine before
+	// dispatch, read-only while workers run.
+	ctx     context.Context
+	global  tensor.Vec
+	tasks   []ClientTask
+	updates []ClientUpdate
+	errs    []error
+}
+
+func newUpdatePool(b *LocalBackend, workers int) *updatePool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &updatePool{b: b, taskIdx: make(chan int, workers)}
+	for k := 0; k < workers; k++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *updatePool) worker() {
+	for i := range p.taskIdx {
+		if err := p.b.runTask(p.ctx, p.global, p.tasks[i], &p.updates[i]); err != nil {
+			p.errs[i] = err
+		}
+		p.wg.Done()
+	}
+}
+
+func (p *updatePool) close() { close(p.taskIdx) }
+
+// round runs one round's tasks through the pool, filling updates[i] for
+// task i.
+func (p *updatePool) round(
+	ctx context.Context, global tensor.Vec, tasks []ClientTask,
+	updates []ClientUpdate, errs []error,
+) error {
+	p.ctx = ctx
+	p.global = global
+	p.tasks = tasks
+	p.updates, p.errs = updates, errs
+	p.wg.Add(len(tasks))
+	for i := range tasks {
+		p.taskIdx <- i
+	}
+	p.wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+var _ ExecutionBackend = (*LocalBackend)(nil)

@@ -1,0 +1,173 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+)
+
+// Orchestrator drives the canonical round protocol over an execution
+// backend. It is single-use: construct one per run (or use Run, which does).
+type Orchestrator struct {
+	Spec    Spec
+	Backend ExecutionBackend
+
+	// Per-round buffers, reused across rounds so the steady-state loop does
+	// not allocate.
+	tasks []ClientTask
+	seen  []bool
+}
+
+// Run executes the spec on the backend. It is the single implementation of
+// the round protocol: equilibrium-priced sampling, dispatch, deterministic
+// index-ordered aggregation, divergence checks, throttled evaluation, and
+// observer hooks. Cancelling the context stops training promptly — the
+// check granularity is one client-side local update — and the error is
+// ctx.Err(). The backend is closed before Run returns.
+func (o *Orchestrator) Run(ctx context.Context) (*RunResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if o.Backend == nil {
+		return nil, fmt.Errorf("engine: nil backend")
+	}
+	s := &o.Spec
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if err := o.Backend.Open(ctx, s); err != nil {
+		return nil, fmt.Errorf("engine: open backend: %w", err)
+	}
+	closed := false
+	defer func() {
+		if !closed {
+			_ = o.Backend.Close()
+		}
+	}()
+
+	nClients := s.Fed.NumClients()
+	global := s.Model.ZeroParams()
+	history := make([]RoundMetrics, 0, s.Rounds)
+	gradSq := make([]float64, nClients)
+	q := s.participationLevels()
+
+	for round := 0; round < s.Rounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if s.OnRoundStart != nil {
+			s.OnRoundStart(round)
+		}
+		participants := s.Sampler.Sample(round)
+		lr := s.Schedule.LR(round)
+		if err := o.checkDistinct(participants, nClients); err != nil {
+			return nil, err
+		}
+
+		if cap(o.tasks) < len(participants) {
+			o.tasks = make([]ClientTask, len(participants))
+		}
+		tasks := o.tasks[:len(participants)]
+		for i, n := range participants {
+			tasks[i] = ClientTask{Client: n, LR: lr}
+		}
+
+		updates, err := o.Backend.Dispatch(ctx, round, global, tasks)
+		if err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return nil, ctxErr
+			}
+			return nil, fmt.Errorf("round %d: %w", round, err)
+		}
+		for _, u := range updates {
+			gradSq[u.Client] = u.GradSqNorm
+		}
+		if err := s.Aggregator.Aggregate(global, updates, s.Fed.Weights, q); err != nil {
+			return nil, fmt.Errorf("round %d aggregate: %w", round, err)
+		}
+		if !global.IsFinite() {
+			return nil, fmt.Errorf("round %d: model diverged", round)
+		}
+
+		m := RoundMetrics{
+			Round:          round,
+			Participants:   len(participants),
+			ParticipantIDs: append([]int(nil), participants...),
+		}
+		if (round+1)%s.EvalEvery == 0 || round == s.Rounds-1 {
+			loss, err := s.Model.Loss(global, s.Fed.Train)
+			if err != nil {
+				return nil, err
+			}
+			acc, err := s.Model.Accuracy(global, s.Fed.Test)
+			if err != nil {
+				return nil, err
+			}
+			m.Evaluated = true
+			m.GlobalLoss = loss
+			m.TestAccuracy = acc
+		}
+		history = append(history, m)
+		if s.OnRound != nil {
+			s.OnRound(m)
+		}
+	}
+
+	// Close before returning so backend teardown errors (a cluster node that
+	// died after its last update, say) surface instead of vanishing.
+	closed = true
+	if err := o.Backend.Close(); err != nil {
+		return nil, fmt.Errorf("engine: close backend: %w", err)
+	}
+
+	res := &RunResult{
+		History:    history,
+		FinalModel: global,
+		GradSqNorm: gradSq,
+	}
+	if len(history) > 0 {
+		last := history[len(history)-1]
+		res.FinalLoss = last.GlobalLoss
+		res.FinalAcc = last.TestAccuracy
+	}
+	return res, nil
+}
+
+// checkDistinct rejects samplers that hand out the same client twice in one
+// round: a client's RNG, scratch arena, and delta buffer are single-owner
+// within a round, so a duplicate would corrupt the aggregate (and race under
+// a parallel backend).
+func (o *Orchestrator) checkDistinct(participants []int, nClients int) error {
+	if len(o.seen) != nClients {
+		o.seen = make([]bool, nClients)
+	}
+	dup := -1
+	for _, n := range participants {
+		if n < 0 || n >= nClients {
+			dup = -2
+			break
+		}
+		if o.seen[n] {
+			dup = n
+			break
+		}
+		o.seen[n] = true
+	}
+	for _, n := range participants {
+		if n >= 0 && n < nClients {
+			o.seen[n] = false
+		}
+	}
+	switch {
+	case dup == -2:
+		return fmt.Errorf("engine: sampler returned an out-of-range client")
+	case dup >= 0:
+		return fmt.Errorf("engine: sampler returned client %d twice in one round", dup)
+	}
+	return nil
+}
+
+// Run executes spec on backend — the package's one-call entry point.
+func Run(ctx context.Context, spec Spec, backend ExecutionBackend) (*RunResult, error) {
+	o := &Orchestrator{Spec: spec, Backend: backend}
+	return o.Run(ctx)
+}

@@ -1,0 +1,102 @@
+package engine
+
+import (
+	"unbiasedfl/internal/stats"
+)
+
+// FaultSchedule is the per-client compiled form of a scenario fault list:
+// O(1) lookups in the sampler hot loop. Construct with NewFaultSchedule and
+// fill per client.
+type FaultSchedule struct {
+	// DropRound[n] is the round client n leaves for good, or -1.
+	DropRound []int
+	// Availability[n] is the exogenous per-round reachability (1 = always).
+	Availability []float64
+	// Delay[n] is the straggler latency multiplier (1 = nominal).
+	Delay []float64
+}
+
+// NewFaultSchedule returns a fault-free schedule for numClients clients.
+func NewFaultSchedule(numClients int) FaultSchedule {
+	sch := FaultSchedule{
+		DropRound:    make([]int, numClients),
+		Availability: make([]float64, numClients),
+		Delay:        make([]float64, numClients),
+	}
+	for n := 0; n < numClients; n++ {
+		sch.DropRound[n] = -1
+		sch.Availability[n] = 1
+		sch.Delay[n] = 1
+	}
+	return sch
+}
+
+// Dropped reports whether client n has permanently left by round.
+func (s FaultSchedule) Dropped(n, round int) bool {
+	return s.DropRound[n] >= 0 && round >= s.DropRound[n]
+}
+
+// HasFaults reports whether any client deviates from the clean fleet.
+func (s FaultSchedule) HasFaults() bool {
+	for n := range s.Delay {
+		if s.DropRound[n] >= 0 || s.Availability[n] != 1 || s.Delay[n] != 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// FaultSampler composes the priced strategic participation (Bernoulli q_n)
+// with a scenario's exogenous faults: a client joins a round only if it is
+// willing AND not yet dropped AND currently available. EffectiveQ still
+// reports the priced q — the server's belief — because the server does not
+// observe the fault process; this is exactly the regime in which the
+// unbiasedness claim is being stress-tested rather than assumed.
+type FaultSampler struct {
+	q   []float64
+	sch FaultSchedule
+	// will carries the strategic willingness coins; avail carries the
+	// exogenous availability coins. Keeping them on separate streams — and
+	// drawing a willingness coin for every client every round, dropped or
+	// not — makes the willingness pattern identical across fault schedules:
+	// the difference between a faulted trace and its fault-free twin is
+	// attributable to the faults alone, never to stream displacement.
+	will  *stats.RNG
+	avail *stats.RNG
+}
+
+// NewFaultSampler builds the fault-composed sampler. will and avail must be
+// independent streams (e.g. successive Splits of a scenario root).
+func NewFaultSampler(q []float64, sch FaultSchedule, will, avail *stats.RNG) *FaultSampler {
+	return &FaultSampler{q: q, sch: sch, will: will, avail: avail}
+}
+
+// Sample implements Sampler.
+func (s *FaultSampler) Sample(round int) []int {
+	var out []int
+	for n, qn := range s.q {
+		willing := s.will.Bernoulli(qn)
+		if s.sch.Dropped(n, round) {
+			continue
+		}
+		if av := s.sch.Availability[n]; av < 1 && !s.avail.Bernoulli(av) {
+			continue
+		}
+		if willing {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// NumClients implements Sampler.
+func (s *FaultSampler) NumClients() int { return len(s.q) }
+
+// EffectiveQ implements the LevelsSampler seam with the server's belief
+// (the priced q), not the fault-adjusted truth.
+func (s *FaultSampler) EffectiveQ() []float64 {
+	return append([]float64(nil), s.q...)
+}
+
+var _ Sampler = (*FaultSampler)(nil)
+var _ LevelsSampler = (*FaultSampler)(nil)

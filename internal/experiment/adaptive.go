@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 
+	"unbiasedfl/internal/engine"
 	"unbiasedfl/internal/fl"
 	"unbiasedfl/internal/game"
 	"unbiasedfl/internal/stats"
@@ -148,8 +149,7 @@ func trainWithQ(ctx context.Context, env *Environment, q []float64, rounds int, 
 	}
 	runner := &fl.Runner{
 		Model: env.Model, Fed: env.Fed, Config: cfg,
-		Sampler: sampler, Aggregator: fl.UnbiasedAggregator{}, Parallel: true,
+		Sampler: sampler, Aggregator: fl.UnbiasedAggregator{},
 	}
-	return runner.RunContext(ctx)
+	return engine.Run(ctx, runner.Spec(), env.newBackend(true))
 }
-

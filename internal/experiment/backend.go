@@ -1,0 +1,56 @@
+package experiment
+
+import (
+	"fmt"
+
+	"unbiasedfl/internal/engine"
+)
+
+// Backend selects the execution substrate every training run launched from
+// an Environment uses. The orchestrated round protocol is identical either
+// way, so results are bit-identical across backends.
+type Backend int
+
+const (
+	// BackendLocal executes local updates in-process through the engine's
+	// zero-alloc worker-pool backend (the default).
+	BackendLocal Backend = iota
+	// BackendCluster executes each client as a real TCP socket node on
+	// loopback behind the engine's cluster backend.
+	BackendCluster
+)
+
+// String implements fmt.Stringer.
+func (b Backend) String() string {
+	switch b {
+	case BackendLocal:
+		return "local"
+	case BackendCluster:
+		return "cluster"
+	default:
+		return fmt.Sprintf("Backend(%d)", int(b))
+	}
+}
+
+// ParseBackend maps a command-line name ("local", "cluster") to a Backend.
+func ParseBackend(name string) (Backend, error) {
+	switch name {
+	case "", "local":
+		return BackendLocal, nil
+	case "cluster":
+		return BackendCluster, nil
+	default:
+		return 0, fmt.Errorf("experiment: unknown backend %q (want local or cluster)", name)
+	}
+}
+
+// newBackend builds a fresh execution backend for one run. parallel applies
+// to the local backend only: callers that already saturate the CPU at a
+// coarser grain (parallel sweep points) pass false to avoid oversubscribing
+// GOMAXPROCS with nested pools. Results are identical either way.
+func (e *Environment) newBackend(parallel bool) engine.ExecutionBackend {
+	if e.Exec == BackendCluster {
+		return engine.NewClusterBackend(engine.ClusterOptions{})
+	}
+	return engine.NewLocalBackend(engine.LocalOptions{Parallel: parallel})
+}

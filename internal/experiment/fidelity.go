@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"unbiasedfl/internal/engine"
 	"unbiasedfl/internal/fl"
 	"unbiasedfl/internal/stats"
 )
@@ -75,9 +76,9 @@ func BoundFidelity(ctx context.Context, env *Environment, profiles int, seed uin
 			}
 			runner := &fl.Runner{
 				Model: env.Model, Fed: env.Fed, Config: cfg,
-				Sampler: sampler, Aggregator: fl.UnbiasedAggregator{}, Parallel: true,
+				Sampler: sampler, Aggregator: fl.UnbiasedAggregator{},
 			}
-			out, err := runner.RunContext(ctx)
+			out, err := engine.Run(ctx, runner.Spec(), env.newBackend(true))
 			if err != nil {
 				if ctxErr := ctx.Err(); ctxErr != nil {
 					return nil, ctxErr

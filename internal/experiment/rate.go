@@ -7,6 +7,7 @@ import (
 	"math"
 	"sort"
 
+	"unbiasedfl/internal/engine"
 	"unbiasedfl/internal/fl"
 	"unbiasedfl/internal/model"
 	"unbiasedfl/internal/stats"
@@ -73,9 +74,9 @@ func ConvergenceRate(ctx context.Context, env *Environment, horizons []int, seed
 		}
 		runner := &fl.Runner{
 			Model: env.Model, Fed: env.Fed, Config: cfg,
-			Sampler: sampler, Aggregator: fl.UnbiasedAggregator{}, Parallel: true,
+			Sampler: sampler, Aggregator: fl.UnbiasedAggregator{},
 		}
-		res, err := runner.RunContext(ctx)
+		res, err := engine.Run(ctx, runner.Spec(), env.newBackend(true))
 		if err != nil {
 			if ctxErr := ctx.Err(); ctxErr != nil {
 				return nil, ctxErr

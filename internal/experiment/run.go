@@ -70,9 +70,10 @@ func runRegistered(ctx context.Context, env *Environment, ps game.PricingScheme,
 	return run, nil
 }
 
-// runPricedParallel trains under a fixed priced outcome. The parallel flag
-// makes the runner's worker pool explicit; callers that already saturate
-// the CPU at a coarser grain (parallel sweep points) pass false to avoid
+// runPricedParallel trains under a fixed priced outcome on the
+// environment's selected execution backend. The parallel flag makes the
+// local backend's worker pool explicit; callers that already saturate the
+// CPU at a coarser grain (parallel sweep points) pass false to avoid
 // oversubscribing GOMAXPROCS with nested pools. Results are identical
 // either way.
 func runPricedParallel(
@@ -111,7 +112,6 @@ func runPricedParallel(
 			Config:     cfg,
 			Sampler:    sampler,
 			Aggregator: fl.UnbiasedAggregator{},
-			Parallel:   parallel,
 		}
 		if obs != nil {
 			run := run
@@ -130,7 +130,7 @@ func runPricedParallel(
 				})
 			}
 		}
-		timed, err := sim.TimedRun(ctx, runner, env.Timing)
+		timed, err := sim.TimedRun(ctx, runner.Spec(), env.newBackend(parallel), env.Timing)
 		if err != nil {
 			if ctxErr := ctx.Err(); ctxErr != nil {
 				return nil, ctxErr

@@ -149,6 +149,10 @@ type Environment struct {
 	// repricing epochs with unchanged estimates) solve once. Nil disables
 	// memoization.
 	Cache *game.Cache
+	// Exec selects the execution backend for every training run launched
+	// from this environment (BackendLocal by default). Results are
+	// bit-identical across backends; see internal/engine.
+	Exec Backend
 }
 
 // Equilibrium solves (or returns the memoized) Stackelberg equilibrium of

@@ -1,128 +1,28 @@
 package fl
 
 import (
-	"errors"
-	"fmt"
-
-	"unbiasedfl/internal/tensor"
+	"unbiasedfl/internal/engine"
 )
 
 // Update is one participant's contribution to a round: the model delta
-// w_n^{r+1} − w^r produced by its local SGD steps.
-type Update struct {
-	Client int
-	Delta  tensor.Vec
-}
+// w_n^{r+1} − w^r produced by its local SGD steps. It is the engine's
+// update type re-exported for compatibility.
+type Update = engine.ClientUpdate
 
 // Aggregator folds participant updates into the global model in place.
-type Aggregator interface {
-	// Aggregate applies the participants' deltas to global. weights are the
-	// data weights a_n and q the participation levels q_n, both indexed by
-	// client over the full population.
-	Aggregate(global tensor.Vec, updates []Update, weights, q []float64) error
-}
+type Aggregator = engine.Aggregator
 
-func checkUpdateShapes(global tensor.Vec, updates []Update, weights, q []float64) error {
-	if len(weights) != len(q) {
-		return errors.New("fl: weights/q length mismatch")
-	}
-	for _, u := range updates {
-		if u.Client < 0 || u.Client >= len(weights) {
-			return fmt.Errorf("fl: update from unknown client %d", u.Client)
-		}
-		if len(u.Delta) != len(global) {
-			return fmt.Errorf("fl: client %d delta length %d, want %d",
-				u.Client, len(u.Delta), len(global))
-		}
-	}
-	return nil
-}
-
-// UnbiasedAggregator implements Lemma 1:
+// UnbiasedAggregator implements Lemma 1's inverse-probability reweighting:
 //
 //	w^{r+1} = w^r + Σ_{n∈S_r} (a_n / q_n) (w_n^{r+1} − w^r).
 //
-// The inverse-probability reweighting makes the aggregated model an unbiased
-// estimator of the full-participation aggregate for arbitrary independent
-// participation levels q. Clients with q_n = 0 can never appear in S_r, so
-// the division is always well defined for actual participants.
-type UnbiasedAggregator struct{}
+// See engine.UnbiasedAggregator.
+type UnbiasedAggregator = engine.UnbiasedAggregator
 
-// Aggregate implements Aggregator.
-func (UnbiasedAggregator) Aggregate(global tensor.Vec, updates []Update, weights, q []float64) error {
-	if err := checkUpdateShapes(global, updates, weights, q); err != nil {
-		return err
-	}
-	for _, u := range updates {
-		qn := q[u.Client]
-		if qn <= 0 {
-			return fmt.Errorf("fl: participant %d has non-positive q", u.Client)
-		}
-		if err := global.AddScaled(weights[u.Client]/qn, u.Delta); err != nil {
-			return err
-		}
-	}
-	return nil
-}
+// ProportionalAggregator is the biased baseline that renormalizes a_n over
+// the participant set only. See engine.ProportionalAggregator.
+type ProportionalAggregator = engine.ProportionalAggregator
 
-// ProportionalAggregator is the biased baseline: participants' deltas are
-// weighted by a_n renormalized over the participant set only. This is what a
-// mechanism that ignores participation probabilities would do, and the
-// resulting model drifts toward frequently-participating clients' data.
-type ProportionalAggregator struct{}
-
-// Aggregate implements Aggregator.
-func (ProportionalAggregator) Aggregate(global tensor.Vec, updates []Update, weights, q []float64) error {
-	if err := checkUpdateShapes(global, updates, weights, q); err != nil {
-		return err
-	}
-	if len(updates) == 0 {
-		return nil
-	}
-	var total float64
-	for _, u := range updates {
-		total += weights[u.Client]
-	}
-	if total <= 0 {
-		return errors.New("fl: zero total weight among participants")
-	}
-	for _, u := range updates {
-		if err := global.AddScaled(weights[u.Client]/total, u.Delta); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// NaiveInverseAggregator implements the scheme the paper's Lemma 1 remark
-// warns about: inverse weighting combined with renormalization by the
-// participant count, p_i/(K q_i). It is unbiased only under uniform
-// dependent sampling and serves as an ablation baseline.
-type NaiveInverseAggregator struct{}
-
-// Aggregate implements Aggregator.
-func (NaiveInverseAggregator) Aggregate(global tensor.Vec, updates []Update, weights, q []float64) error {
-	if err := checkUpdateShapes(global, updates, weights, q); err != nil {
-		return err
-	}
-	k := float64(len(updates))
-	if k == 0 {
-		return nil
-	}
-	for _, u := range updates {
-		qn := q[u.Client]
-		if qn <= 0 {
-			return fmt.Errorf("fl: participant %d has non-positive q", u.Client)
-		}
-		if err := global.AddScaled(weights[u.Client]/(k*qn), u.Delta); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-var (
-	_ Aggregator = UnbiasedAggregator{}
-	_ Aggregator = ProportionalAggregator{}
-	_ Aggregator = NaiveInverseAggregator{}
-)
+// NaiveInverseAggregator is the p_i/(K q_i) ablation baseline the paper's
+// Lemma 1 remark warns about. See engine.NaiveInverseAggregator.
+type NaiveInverseAggregator = engine.NaiveInverseAggregator

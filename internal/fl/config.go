@@ -8,41 +8,21 @@ package fl
 
 import (
 	"errors"
-	"math"
+
+	"unbiasedfl/internal/engine"
 )
 
-// Schedule produces the learning rate for a given round.
-type Schedule interface {
-	LR(round int) float64
-}
+// Schedule produces the learning rate for a given round. It is the engine's
+// schedule seam re-exported for compatibility, as are the two concrete
+// schedules below.
+type Schedule = engine.Schedule
 
 // ExpDecay is the experimental schedule from Section VI: η_r = Eta0·Decay^r.
-type ExpDecay struct {
-	Eta0  float64
-	Decay float64
-}
-
-// LR implements Schedule.
-func (s ExpDecay) LR(round int) float64 {
-	return s.Eta0 * math.Pow(s.Decay, float64(round))
-}
+type ExpDecay = engine.ExpDecay
 
 // TheoremDecay is the analytical schedule from Theorem 1:
 // η_r = 2 / (max{8L, μE} + μr).
-type TheoremDecay struct {
-	L, Mu float64
-	E     int
-}
-
-// LR implements Schedule.
-func (s TheoremDecay) LR(round int) float64 {
-	return 2 / (math.Max(8*s.L, s.Mu*float64(s.E)) + s.Mu*float64(round))
-}
-
-var (
-	_ Schedule = ExpDecay{}
-	_ Schedule = TheoremDecay{}
-)
+type TheoremDecay = engine.TheoremDecay
 
 // Config holds the training-loop hyperparameters shared by all setups.
 type Config struct {

@@ -383,7 +383,7 @@ func TestRunnerValidation(t *testing.T) {
 	}
 	good := &Runner{Model: m, Fed: fed, Config: DefaultConfig(),
 		Sampler: sampler, Aggregator: UnbiasedAggregator{}}
-	if err := good.validate(); err != nil {
+	if err := good.Spec().Validate(); err != nil {
 		t.Fatal(err)
 	}
 	bad := *good

@@ -1,7 +1,6 @@
 package fl
 
 import (
-	"context"
 	"runtime"
 	"testing"
 
@@ -9,49 +8,10 @@ import (
 	"unbiasedfl/internal/tensor"
 )
 
-// hotpathRunner builds a runner plus warm client states for direct
-// localUpdate exercises.
-func hotpathRunner(t testing.TB, parallel bool) (*Runner, []*clientState) {
-	fed := testFederation(t, 21, 4)
-	m := testModel(t, fed)
-	sampler, err := NewFullSampler(fed.NumClients())
-	if err != nil {
-		t.Fatal(err)
-	}
-	cfg := DefaultConfig()
-	cfg.Rounds = 4
-	cfg.LocalSteps = 10
-	r := &Runner{
-		Model: m, Fed: fed, Config: cfg,
-		Sampler: sampler, Aggregator: UnbiasedAggregator{}, Parallel: parallel,
-	}
-	root := stats.NewRNG(cfg.Seed)
-	states := make([]*clientState, fed.NumClients())
-	for n := range states {
-		states[n] = &clientState{rng: root.Split()}
-	}
-	return r, states
-}
-
-// TestLocalUpdateZeroAllocs is the end-to-end allocation gate on the FL hot
-// path: with the client's scratch arena warm, a full E-step local update
-// (batch draws, fused SGD steps, gradient-norm stats, delta) must perform
-// zero heap allocations.
-func TestLocalUpdateZeroAllocs(t *testing.T) {
-	r, states := hotpathRunner(t, false)
-	global := r.Model.ZeroParams()
-	if _, err := r.localUpdate(context.Background(), global, 0, states[0], 0.01); err != nil {
-		t.Fatal(err)
-	}
-	allocs := testing.AllocsPerRun(100, func() {
-		if _, err := r.localUpdate(context.Background(), global, 0, states[0], 0.01); err != nil {
-			t.Fatal(err)
-		}
-	})
-	if allocs != 0 {
-		t.Fatalf("steady-state local update allocates %v times per run", allocs)
-	}
-}
+// The localUpdate-level hot-path gates (zero allocations in steady state,
+// BenchmarkLocalUpdate) moved to internal/engine with the execution code;
+// this file keeps the Runner-level guarantees that the compatibility shim
+// must preserve.
 
 // TestRunnerDeterministicAcrossWorkerCounts complements
 // TestRunnerDeterministicAcrossParallelism: the pooled runner must produce a
@@ -112,25 +72,9 @@ func TestRunnerRejectsDuplicateParticipants(t *testing.T) {
 	}
 }
 
-// BenchmarkLocalUpdate measures one participant's full local update (E=10
-// fused SGD steps at batch 16) on the engine's test federation.
-func BenchmarkLocalUpdate(b *testing.B) {
-	r, states := hotpathRunner(b, false)
-	global := r.Model.ZeroParams()
-	if _, err := r.localUpdate(context.Background(), global, 0, states[0], 0.01); err != nil {
-		b.Fatal(err)
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := r.localUpdate(context.Background(), global, 0, states[0], 0.01); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
 // BenchmarkRunnerRound measures whole training rounds through the pooled
-// runner, aggregation included.
+// runner shim, aggregation included — the baseline the engine's
+// BenchmarkOrchestratorRound is compared against.
 func BenchmarkRunnerRound(b *testing.B) {
 	fed := testFederation(b, 21, 8)
 	m := testModel(b, fed)

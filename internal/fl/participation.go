@@ -4,16 +4,13 @@ import (
 	"errors"
 	"fmt"
 
+	"unbiasedfl/internal/engine"
 	"unbiasedfl/internal/stats"
 )
 
-// Sampler decides which clients take part in a round.
-type Sampler interface {
-	// Sample returns the indices of participating clients for the round.
-	Sample(round int) []int
-	// NumClients reports the total client population.
-	NumClients() int
-}
+// Sampler decides which clients take part in a round. It is the engine's
+// sampler seam re-exported for compatibility.
+type Sampler = engine.Sampler
 
 // BernoulliSampler implements the paper's randomized independent
 // participation: client n joins each round independently with probability

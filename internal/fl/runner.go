@@ -2,43 +2,28 @@ package fl
 
 import (
 	"context"
-	"errors"
-	"fmt"
-	"runtime"
-	"sync"
 
 	"unbiasedfl/internal/data"
+	"unbiasedfl/internal/engine"
 	"unbiasedfl/internal/model"
-	"unbiasedfl/internal/stats"
-	"unbiasedfl/internal/tensor"
 )
 
-// RoundMetrics records the state of one training round. Loss and accuracy
-// are populated only when Evaluated is true (evaluation is throttled via
-// Config.EvalEvery because a full-train-set evaluation dominates runtime).
-type RoundMetrics struct {
-	Round        int
-	Participants int
-	// ParticipantIDs lists the clients that joined this round; the timing
-	// model consumes it to compute per-round wall-clock durations.
-	ParticipantIDs []int
-	Evaluated      bool
-	GlobalLoss     float64
-	TestAccuracy   float64
-}
+// RoundMetrics records the state of one training round. It is the engine's
+// metrics type re-exported for compatibility.
+type RoundMetrics = engine.RoundMetrics
 
 // RunResult bundles the full training trajectory with the final model and
 // the per-client mean squared stochastic gradient norms observed along the
 // way (the empirical basis for the G_n estimates of Section IV-A).
-type RunResult struct {
-	History    []RoundMetrics
-	FinalModel tensor.Vec
-	GradSqNorm []float64 // mean ||stochastic gradient||² per client
-	FinalLoss  float64
-	FinalAcc   float64
-}
+type RunResult = engine.RunResult
 
 // Runner executes federated training for one configuration.
+//
+// Deprecated-ish: Runner is now a thin compatibility shim over
+// engine.Orchestrator with an in-process engine.LocalBackend — the canonical
+// round protocol lives in internal/engine, behind pluggable execution
+// backends. Existing call sites keep working unchanged; new code that wants
+// backend choice (local vs cluster) should compile an engine.Spec directly.
 type Runner struct {
 	Model      model.Model
 	Fed        *data.Federated
@@ -59,33 +44,25 @@ type Runner struct {
 	// metrics — a progress hook for long paper-scale runs. It runs on the
 	// training goroutine; keep it fast.
 	OnRound func(RoundMetrics)
-
-	// Per-round buffers, reused across rounds so the steady-state loop does
-	// not allocate.
-	updates []Update
-	errs    []error
-	seen    []bool
 }
 
-// clientState holds per-client mutable state across rounds: the private RNG,
-// the gradient-norm statistics, and the scratch arena (parameter clone,
-// gradient, delta, and the model's batch buffers) that makes the local-SGD
-// hot path allocation-free in steady state.
-type clientState struct {
-	rng     *stats.RNG
-	sqNorms stats.Welford
-	w       tensor.Vec // working copy of the global model
-	grad    tensor.Vec // gradient buffer
-	delta   tensor.Vec // w − global, handed to the aggregator
-	scratch model.Scratch
-}
-
-// ensure sizes the state's vectors for a model with p parameters.
-func (st *clientState) ensure(p int) {
-	if len(st.w) != p {
-		st.w = tensor.NewVec(p)
-		st.grad = tensor.NewVec(p)
-		st.delta = tensor.NewVec(p)
+// Spec compiles the runner's configuration into the engine's canonical run
+// description. The spec seed, sampler, and aggregator are taken verbatim,
+// so an Orchestrator run of the spec is bit-identical to Runner.RunContext.
+func (r *Runner) Spec() engine.Spec {
+	return engine.Spec{
+		Model:        r.Model,
+		Fed:          r.Fed,
+		Rounds:       r.Config.Rounds,
+		LocalSteps:   r.Config.LocalSteps,
+		BatchSize:    r.Config.BatchSize,
+		Schedule:     r.Config.Schedule,
+		EvalEvery:    r.Config.EvalEvery,
+		Seed:         r.Config.Seed,
+		Sampler:      r.Sampler,
+		Aggregator:   r.Aggregator,
+		OnRoundStart: r.OnRoundStart,
+		OnRound:      r.OnRound,
 	}
 }
 
@@ -101,300 +78,5 @@ func (r *Runner) Run() (*RunResult, error) {
 // returns before the round finishes — and the error is ctx.Err(). All
 // worker-pool goroutines are shut down before RunContext returns.
 func (r *Runner) RunContext(ctx context.Context) (*RunResult, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	if err := r.validate(); err != nil {
-		return nil, err
-	}
-	nClients := r.Fed.NumClients()
-	root := stats.NewRNG(r.Config.Seed)
-	states := make([]*clientState, nClients)
-	for n := range states {
-		states[n] = &clientState{rng: root.Split()}
-	}
-
-	var pool *updatePool
-	if r.Parallel {
-		workers := runtime.GOMAXPROCS(0)
-		if workers > nClients {
-			workers = nClients
-		}
-		pool = newUpdatePool(r, workers)
-		defer pool.close()
-	}
-
-	global := r.Model.ZeroParams()
-	history := make([]RoundMetrics, 0, r.Config.Rounds)
-	q := r.participationLevels()
-
-	for round := 0; round < r.Config.Rounds; round++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		if r.OnRoundStart != nil {
-			r.OnRoundStart(round)
-		}
-		participants := r.Sampler.Sample(round)
-		lr := r.Config.Schedule.LR(round)
-
-		updates, err := r.localUpdates(ctx, global, participants, states, lr, pool)
-		if err != nil {
-			if ctxErr := ctx.Err(); ctxErr != nil {
-				return nil, ctxErr
-			}
-			return nil, fmt.Errorf("round %d: %w", round, err)
-		}
-		if err := r.Aggregator.Aggregate(global, updates, r.Fed.Weights, q); err != nil {
-			return nil, fmt.Errorf("round %d aggregate: %w", round, err)
-		}
-		if !global.IsFinite() {
-			return nil, fmt.Errorf("round %d: model diverged", round)
-		}
-
-		m := RoundMetrics{
-			Round:          round,
-			Participants:   len(participants),
-			ParticipantIDs: append([]int(nil), participants...),
-		}
-		if (round+1)%r.Config.EvalEvery == 0 || round == r.Config.Rounds-1 {
-			loss, err := r.Model.Loss(global, r.Fed.Train)
-			if err != nil {
-				return nil, err
-			}
-			acc, err := r.Model.Accuracy(global, r.Fed.Test)
-			if err != nil {
-				return nil, err
-			}
-			m.Evaluated = true
-			m.GlobalLoss = loss
-			m.TestAccuracy = acc
-		}
-		history = append(history, m)
-		if r.OnRound != nil {
-			r.OnRound(m)
-		}
-	}
-
-	res := &RunResult{
-		History:    history,
-		FinalModel: global,
-		GradSqNorm: make([]float64, nClients),
-	}
-	for n, st := range states {
-		res.GradSqNorm[n] = st.sqNorms.Mean()
-	}
-	if len(history) > 0 {
-		last := history[len(history)-1]
-		res.FinalLoss = last.GlobalLoss
-		res.FinalAcc = last.TestAccuracy
-	}
-	return res, nil
-}
-
-func (r *Runner) validate() error {
-	switch {
-	case r.Model == nil:
-		return errors.New("fl: nil model")
-	case r.Fed == nil || r.Fed.NumClients() == 0:
-		return errors.New("fl: nil or empty federation")
-	case r.Sampler == nil:
-		return errors.New("fl: nil sampler")
-	case r.Aggregator == nil:
-		return errors.New("fl: nil aggregator")
-	case r.Sampler.NumClients() != r.Fed.NumClients():
-		return fmt.Errorf("fl: sampler covers %d clients, federation has %d",
-			r.Sampler.NumClients(), r.Fed.NumClients())
-	}
-	return r.Config.Validate()
-}
-
-// levelsSampler is implemented by samplers that expose per-client marginal
-// participation probabilities for the unbiased aggregation rule.
-type levelsSampler interface {
-	EffectiveQ() []float64
-}
-
-// participationLevels exposes q to the aggregator. Samplers without explicit
-// levels (full or fixed-subset participation) report q = 1 for every client,
-// under which the unbiased rule reduces to plain weighted averaging.
-func (r *Runner) participationLevels() []float64 {
-	if ls, ok := r.Sampler.(levelsSampler); ok {
-		return ls.EffectiveQ()
-	}
-	q := make([]float64, r.Fed.NumClients())
-	for i := range q {
-		q[i] = 1
-	}
-	return q
-}
-
-// updatePool is the persistent worker pool behind parallel local updates.
-// Its goroutines live for the whole Run — one per available CPU — instead of
-// spawning a goroutine per participant per round. Round context is published
-// before the task indices are sent on the channel (the send is the
-// happens-before edge), and the WaitGroup barrier ends the round.
-type updatePool struct {
-	r     *Runner
-	tasks chan int
-	wg    sync.WaitGroup
-
-	// Per-round context: written by the training goroutine before dispatch,
-	// read-only while workers run.
-	ctx          context.Context
-	global       tensor.Vec
-	lr           float64
-	participants []int
-	states       []*clientState
-	updates      []Update
-	errs         []error
-}
-
-func newUpdatePool(r *Runner, workers int) *updatePool {
-	if workers < 1 {
-		workers = 1
-	}
-	p := &updatePool{r: r, tasks: make(chan int, workers)}
-	for k := 0; k < workers; k++ {
-		go p.worker()
-	}
-	return p
-}
-
-func (p *updatePool) worker() {
-	for i := range p.tasks {
-		n := p.participants[i]
-		u, err := p.r.localUpdate(p.ctx, p.global, n, p.states[n], p.lr)
-		if err != nil {
-			p.errs[i] = err
-		} else {
-			p.updates[i] = u
-		}
-		p.wg.Done()
-	}
-}
-
-func (p *updatePool) close() { close(p.tasks) }
-
-// round runs one round's updates through the pool, filling updates[i] for
-// participant i (slot order is preserved, so aggregation order — and thus
-// the aggregated model — is independent of worker scheduling).
-func (p *updatePool) round(
-	ctx context.Context, global tensor.Vec, participants []int, states []*clientState, lr float64,
-	updates []Update, errs []error,
-) error {
-	p.ctx = ctx
-	p.global, p.lr = global, lr
-	p.participants, p.states = participants, states
-	p.updates, p.errs = updates, errs
-	p.wg.Add(len(participants))
-	for i := range participants {
-		p.tasks <- i
-	}
-	p.wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// localUpdates runs E steps of local SGD for each participant.
-func (r *Runner) localUpdates(
-	ctx context.Context, global tensor.Vec, participants []int, states []*clientState, lr float64, pool *updatePool,
-) ([]Update, error) {
-	if cap(r.updates) < len(participants) {
-		r.updates = make([]Update, len(participants))
-		r.errs = make([]error, len(participants))
-	}
-	updates := r.updates[:len(participants)]
-	errs := r.errs[:len(participants)]
-	for i := range errs {
-		errs[i] = nil
-	}
-
-	// A client's RNG, scratch arena, and delta buffer are single-owner within
-	// a round, so a sampler handing out the same client twice would corrupt
-	// the aggregate (and race under the pool). Reject it explicitly.
-	if len(r.seen) != r.Fed.NumClients() {
-		r.seen = make([]bool, r.Fed.NumClients())
-	}
-	dup := -1
-	for _, n := range participants {
-		if r.seen[n] {
-			dup = n
-			break
-		}
-		r.seen[n] = true
-	}
-	for _, n := range participants {
-		r.seen[n] = false
-	}
-	if dup >= 0 {
-		return nil, fmt.Errorf("fl: sampler returned client %d twice in one round", dup)
-	}
-
-	if pool == nil || len(participants) < 2 {
-		for i, n := range participants {
-			u, err := r.localUpdate(ctx, global, n, states[n], lr)
-			if err != nil {
-				return nil, err
-			}
-			updates[i] = u
-		}
-		return updates, nil
-	}
-	if err := pool.round(ctx, global, participants, states, lr, updates, errs); err != nil {
-		return nil, err
-	}
-	return updates, nil
-}
-
-// localUpdate copies the global model into the client's scratch arena and
-// performs E mini-batch SGD steps on the client's shard, recording squared
-// gradient norms for G_n estimation. Models implementing model.LocalStepper
-// run the fused step; otherwise the generic StochasticGradient + axpy path
-// applies. In steady state (buffers warm) the step performs no heap
-// allocations.
-func (r *Runner) localUpdate(ctx context.Context, global tensor.Vec, n int, st *clientState, lr float64) (Update, error) {
-	if err := ctx.Err(); err != nil {
-		return Update{}, err
-	}
-	shard := r.Fed.Clients[n]
-	st.ensure(len(global))
-	w := st.w
-	copy(w, global)
-	stepper, hasStep := r.Model.(model.LocalStepper)
-	for e := 0; e < r.Config.LocalSteps; e++ {
-		// Re-check cancellation every few steps so paper-scale E (100 local
-		// steps) still cancels mid-update, without putting the ctx mutex on
-		// every step of the hot path.
-		if e&7 == 7 {
-			if err := ctx.Err(); err != nil {
-				return Update{}, err
-			}
-		}
-		if hasStep {
-			sq, err := stepper.SGDStep(w, shard, r.Config.BatchSize, lr, st.rng, &st.scratch)
-			if err != nil {
-				return Update{}, fmt.Errorf("client %d: %w", n, err)
-			}
-			st.sqNorms.Add(sq)
-			continue
-		}
-		grad := st.grad
-		if err := r.Model.StochasticGradient(w, shard, r.Config.BatchSize, st.rng, grad); err != nil {
-			return Update{}, fmt.Errorf("client %d: %w", n, err)
-		}
-		st.sqNorms.Add(grad.SqNorm())
-		if err := w.AddScaled(-lr, grad); err != nil {
-			return Update{}, err
-		}
-	}
-	delta := st.delta
-	for j := range delta {
-		delta[j] = w[j] - global[j]
-	}
-	return Update{Client: n, Delta: delta}, nil
+	return engine.Run(ctx, r.Spec(), engine.NewLocalBackend(engine.LocalOptions{Parallel: r.Parallel}))
 }

@@ -2,169 +2,57 @@ package scenario
 
 import (
 	"context"
-	"errors"
-	"fmt"
-	"sync"
 	"time"
 
-	"unbiasedfl/internal/fl"
-	"unbiasedfl/internal/stats"
-	"unbiasedfl/internal/transport"
+	"unbiasedfl/internal/engine"
 )
 
-// ClusterConfig tunes the in-process multi-node harness around a Scenario.
+// ClusterConfig tunes the multi-node harness around a Scenario.
 type ClusterConfig struct {
-	// Timeout bounds every socket operation (default 30s).
+	// Timeout bounds every coordinator-side socket operation (default 30s,
+	// applied by the engine's cluster backend).
 	Timeout time.Duration
 	// StragglerUnit is the real wall-clock stall injected per unit of a
 	// straggler's DelayFactor each round (default 1ms — enough to reorder
-	// replies without slowing the suite).
+	// replies without slowing the suite). It shifts wall time and reply
+	// order only; the trace is unaffected.
 	StragglerUnit time.Duration
 }
 
-// ClusterResult is the harness's view of a finished multi-node run.
-type ClusterResult struct {
-	// Server is the coordinator's result: final model, participation
-	// counts, drop marks.
-	Server *transport.ServerResult
-	// ClientRounds[n] is how many rounds client n reports participating in.
-	ClientRounds []int
-	// ClientErrs[n] is client n's terminal error: nil for a clean protocol
-	// exit, transport.ErrInjectedCrash for a scheduled dropout.
-	ClientErrs []error
-	// Q is the priced participation vector the server handed out.
-	Q []float64
-}
-
-// RunCluster executes the scenario as a real multi-node federation: it
-// builds the environment and prices the market exactly like Run, then boots
-// a transport.Server on a loopback TCP port and one flnode-style client
-// goroutine per device, injecting the scenario's fault schedule at the
-// socket layer — scheduled dropouts sever their connections mid-round,
-// flaky clients report exogenous skips, stragglers stall before replying.
-// The server runs with fault tolerance whenever the schedule is non-empty.
-// All goroutines and sockets are torn down before RunCluster returns.
-func RunCluster(ctx context.Context, sc Scenario, cfg ClusterConfig) (*ClusterResult, error) {
-	if ctx == nil {
-		ctx = context.Background()
+// nodeDelay compiles the schedule's straggler factors into the engine
+// backend's per-node stall hook (nil when the fleet has no stragglers).
+func (cfg ClusterConfig) nodeDelay(sch engine.FaultSchedule) func(int) time.Duration {
+	unit := cfg.StragglerUnit
+	if unit <= 0 {
+		unit = time.Millisecond
 	}
-	sc = sc.withDefaults()
-	if cfg.Timeout <= 0 {
-		cfg.Timeout = 30 * time.Second
-	}
-	if cfg.StragglerUnit <= 0 {
-		cfg.StragglerUnit = time.Millisecond
-	}
-	env, _, q, sch, err := prepare(ctx, sc)
-	if err != nil {
-		return nil, err
-	}
-
-	srv, err := transport.NewServer(transport.ServerConfig{
-		Addr:           "127.0.0.1:0",
-		NumClients:     sc.Clients,
-		Q:              q,
-		Weights:        env.Fed.Weights,
-		Rounds:         sc.Rounds,
-		LocalSteps:     sc.LocalSteps,
-		BatchSize:      sc.BatchSize,
-		Schedule:       fl.ExpDecay{Eta0: 0.1, Decay: 0.996},
-		Timeout:        cfg.Timeout,
-		TolerateFaults: sch.hasFaults(),
-	}, env.Model)
-	if err != nil {
-		return nil, err
-	}
-	defer func() { _ = srv.Close() }()
-
-	// Construct every client before the first byte moves: a construction
-	// failure here aborts cleanly instead of stranding the server's hello
-	// phase waiting (until its timeout) for a node that will never dial.
-	nodes := make([]*transport.Client, sc.Clients)
-	for n := 0; n < sc.Clients; n++ {
-		node, err := transport.NewClient(transport.ClientConfig{
-			Addr:      srv.Addr(),
-			ID:        n,
-			Seed:      sc.Seed + uint64(n)*1009 + 17,
-			Timeout:   cfg.Timeout,
-			FaultFunc: clientFaultFunc(n, sch, cfg.StragglerUnit, stats.NewRNG(sc.Seed^(uint64(n)<<20|0xFA))),
-		}, env.Model, env.Fed.Clients[n])
-		if err != nil {
-			return nil, fmt.Errorf("scenario %q client %d: %w", sc.Name, n, err)
-		}
-		nodes[n] = node
-	}
-
-	type serverDone struct {
-		res *transport.ServerResult
-		err error
-	}
-	srvCh := make(chan serverDone, 1)
-	go func() {
-		res, err := srv.Run(ctx)
-		srvCh <- serverDone{res, err}
-	}()
-
-	out := &ClusterResult{
-		ClientRounds: make([]int, sc.Clients),
-		ClientErrs:   make([]error, sc.Clients),
-		Q:            q,
-	}
-	var wg sync.WaitGroup
-	for n, node := range nodes {
-		wg.Add(1)
-		go func(n int, node *transport.Client) {
-			defer wg.Done()
-			rounds, err := node.Run(ctx)
-			out.ClientRounds[n] = rounds
-			out.ClientErrs[n] = err
-		}(n, node)
-	}
-	wg.Wait()
-	srvRes := <-srvCh
-	if srvRes.err != nil {
-		return nil, srvRes.err
-	}
-	out.Server = srvRes.res
-
-	// A scheduled dropout surfaces as ErrInjectedCrash — the expected
-	// outcome, not a failure. Anything else is a real protocol error.
-	var unexpected []error
-	for n, cerr := range out.ClientErrs {
-		if cerr != nil && !errors.Is(cerr, transport.ErrInjectedCrash) {
-			unexpected = append(unexpected, fmt.Errorf("client %d: %w", n, cerr))
+	hasStragglers := false
+	for _, f := range sch.Delay {
+		if f > 1 {
+			hasStragglers = true
+			break
 		}
 	}
-	if len(unexpected) > 0 {
-		return out, errors.Join(unexpected...)
-	}
-	return out, nil
-}
-
-// clientFaultFunc compiles one client's slice of the schedule into the
-// transport layer's per-round fault hook. The flaky coin stream is private
-// to the client and derived from the scenario seed, so a cluster run's
-// fault pattern is replayable.
-func clientFaultFunc(n int, sch schedule, unit time.Duration, frng *stats.RNG) func(int) transport.RoundFault {
-	drop := sch.dropRound[n]
-	avail := sch.availability[n]
-	delay := time.Duration(0)
-	if f := sch.delay[n]; f > 1 {
-		delay = time.Duration(float64(unit) * f)
-	}
-	if drop < 0 && avail >= 1 && delay == 0 {
+	if !hasStragglers {
 		return nil
 	}
-	return func(round int) transport.RoundFault {
-		var f transport.RoundFault
-		if drop >= 0 && round >= drop {
-			f.Crash = true
-			return f
+	return func(client int) time.Duration {
+		if f := sch.Delay[client]; f > 1 {
+			return time.Duration(float64(unit) * f)
 		}
-		f.Delay = delay
-		if avail < 1 && !frng.Bernoulli(avail) {
-			f.Skip = true
-		}
-		return f
+		return 0
 	}
+}
+
+// RunCluster executes the scenario as a real multi-node federation — the
+// engine's cluster backend boots a TCP coordinator plus one socket node per
+// device on loopback — and returns the same canonical Trace as Run,
+// byte-identical to the in-process result. Participation (including
+// dropouts and flaky availability) is decided by the orchestrator's
+// fault-composed sampler exactly as in-process; straggler factors
+// additionally stall the affected nodes for real wall-clock time at the
+// socket layer. All goroutines and sockets are torn down before RunCluster
+// returns.
+func RunCluster(ctx context.Context, sc Scenario, cfg ClusterConfig) (*Trace, error) {
+	return RunWith(ctx, sc, RunConfig{Backend: BackendCluster, Cluster: cfg})
 }

@@ -1,17 +1,65 @@
 package scenario
 
 import (
+	"bytes"
 	"context"
-	"errors"
+	"runtime"
 	"testing"
 	"time"
 
 	"unbiasedfl/internal/experiment"
 	"unbiasedfl/internal/testutil"
-	"unbiasedfl/internal/transport"
 )
 
-// clusterScenario is a 3-node fleet small enough for a TCP round trip suite
+// TestBackendEquivalenceMatrix is the payoff of the unified engine: every
+// golden-library scenario replays through BOTH execution backends — the
+// in-process LocalBackend and the real-TCP ClusterBackend — at GOMAXPROCS 1
+// and 4, and all four traces must be byte-for-byte identical (and, via the
+// golden files, identical to the committed record). The 8 golden traces are
+// one backend-equivalence matrix, not two disjoint suites.
+func TestBackendEquivalenceMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("16 TCP cluster boots; skipped with -short")
+	}
+	for _, sc := range All() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			baseline := testutil.GoroutineBaseline()
+			var reference []byte
+			for _, procs := range []int{1, 4} {
+				for _, cfg := range []RunConfig{
+					{Backend: BackendLocal},
+					{Backend: BackendCluster, Cluster: ClusterConfig{Timeout: 30 * time.Second}},
+				} {
+					prev := runtime.GOMAXPROCS(procs)
+					trace, err := RunWith(context.Background(), sc, cfg)
+					runtime.GOMAXPROCS(prev)
+					if err != nil {
+						t.Fatalf("%v GOMAXPROCS=%d: %v", cfg.Backend, procs, err)
+					}
+					b, err := trace.Canonical()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if reference == nil {
+						reference = b
+						continue
+					}
+					if !bytes.Equal(reference, b) {
+						t.Fatalf("%v GOMAXPROCS=%d trace diverges from the local GOMAXPROCS=1 reference: the backends are not equivalent",
+							cfg.Backend, procs)
+					}
+				}
+			}
+			// The reference is also pinned against the committed golden, so a
+			// matrix-wide drift cannot silently self-agree.
+			testutil.Golden(t, sc.Name+".json", reference, false)
+			testutil.WaitNoLeaks(t, baseline, 10*time.Second)
+		})
+	}
+}
+
+// clusterScenario is a 3-node fleet small enough for a TCP round-trip suite
 // under -race.
 func clusterScenario(faults []ClientFault) Scenario {
 	return Scenario{
@@ -25,9 +73,10 @@ func clusterScenario(faults []ClientFault) Scenario {
 	}
 }
 
-// TestClusterFaultedThreeNode boots a real TCP server plus three clients
-// with a scheduled mid-run dropout, a straggler, and a flaky device, and
-// verifies the federation finishes, marks the dropout, and leaks nothing.
+// TestClusterFaultedThreeNode boots a real TCP federation with a scheduled
+// mid-run dropout, a straggler, and a flaky device, and verifies the trace
+// matches the in-process run byte-for-byte — faults and all — with nothing
+// leaked.
 func TestClusterFaultedThreeNode(t *testing.T) {
 	baseline := testutil.GoroutineBaseline()
 	sc := clusterScenario([]ClientFault{
@@ -35,63 +84,34 @@ func TestClusterFaultedThreeNode(t *testing.T) {
 		{Client: 1, Kind: FaultFlaky, Availability: 0.5},
 		{Client: 2, Kind: FaultDropout, Round: 2},
 	})
-	res, err := RunCluster(context.Background(), sc, ClusterConfig{
+	cluster, err := RunCluster(context.Background(), sc, ClusterConfig{
 		Timeout:       20 * time.Second,
 		StragglerUnit: time.Millisecond,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Server == nil {
-		t.Fatal("no server result")
-	}
-	if !res.Server.Dropped[2] {
-		t.Fatal("scheduled dropout client not marked dropped by the coordinator")
-	}
-	if !errors.Is(res.ClientErrs[2], transport.ErrInjectedCrash) {
-		t.Fatalf("dropout client error = %v, want ErrInjectedCrash", res.ClientErrs[2])
-	}
-	for _, n := range []int{0, 1} {
-		if res.ClientErrs[n] != nil {
-			t.Fatalf("surviving client %d errored: %v", n, res.ClientErrs[n])
-		}
-		if res.Server.Dropped[n] {
-			t.Fatalf("surviving client %d marked dropped", n)
-		}
-	}
-	if len(res.Server.FinalModel) == 0 || !res.Server.FinalModel.IsFinite() {
-		t.Fatal("faulted federation produced no usable model")
-	}
-	// The dropped client can contribute only to rounds before its crash.
-	if res.Server.ParticipationCounts[2] > 2 {
-		t.Fatalf("dropped client counted in %d rounds, crashed at round 2",
-			res.Server.ParticipationCounts[2])
-	}
-	testutil.WaitNoLeaks(t, baseline, 10*time.Second)
-}
-
-// TestClusterCleanAgreesWithClients runs a fault-free 3-node federation and
-// cross-checks the coordinator's participation ledger against each client's
-// own count — the two sides of the wire must agree exactly.
-func TestClusterCleanAgreesWithClients(t *testing.T) {
-	baseline := testutil.GoroutineBaseline()
-	res, err := RunCluster(context.Background(), clusterScenario(nil), ClusterConfig{
-		Timeout: 20 * time.Second,
-	})
+	local, err := Run(context.Background(), sc)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for n := range res.ClientRounds {
-		if res.ClientErrs[n] != nil {
-			t.Fatalf("client %d: %v", n, res.ClientErrs[n])
-		}
-		if res.ClientRounds[n] != res.Server.ParticipationCounts[n] {
-			t.Fatalf("client %d reports %d rounds, server counted %d",
-				n, res.ClientRounds[n], res.Server.ParticipationCounts[n])
-		}
-		if res.Server.Dropped[n] {
-			t.Fatalf("clean run marked client %d dropped", n)
-		}
+	cb, err := cluster.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := local.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cb, lb) {
+		t.Fatal("faulted cluster trace differs from the in-process trace")
+	}
+	if cluster.DroppedAt[2] != 2 {
+		t.Fatalf("trace lost the dropout schedule: DroppedAt = %v", cluster.DroppedAt)
+	}
+	// The dropped client can contribute only to rounds before its crash.
+	if cluster.Participation[2] > 2 {
+		t.Fatalf("dropped client counted in %d rounds, dropped at round 2", cluster.Participation[2])
 	}
 	testutil.WaitNoLeaks(t, baseline, 10*time.Second)
 }
@@ -119,7 +139,7 @@ func TestClusterHonorsCancellation(t *testing.T) {
 	cancel()
 	select {
 	case err := <-done:
-		if !errors.Is(err, context.Canceled) {
+		if err != context.Canceled {
 			t.Fatalf("cancelled cluster returned %v, want context.Canceled", err)
 		}
 	case <-time.After(15 * time.Second):

@@ -6,20 +6,49 @@ import (
 	"fmt"
 	"math"
 
+	"unbiasedfl/internal/engine"
 	"unbiasedfl/internal/experiment"
-	"unbiasedfl/internal/fl"
 	"unbiasedfl/internal/game"
 	"unbiasedfl/internal/stats"
 )
 
+// Backend selects the execution substrate a scenario runs on — the same
+// seam every experiment run uses. Every backend executes the same
+// orchestrated round protocol (engine.Orchestrator), so the produced Trace
+// is byte-identical across backends — the property the backend-equivalence
+// matrix test pins for the whole golden library.
+type Backend = experiment.Backend
+
+// The backends a scenario can run on.
+const (
+	BackendLocal   = experiment.BackendLocal
+	BackendCluster = experiment.BackendCluster
+)
+
+// RunConfig tunes a scenario run beyond the scenario itself: which execution
+// backend carries the local updates, and the cluster harness knobs when it
+// is BackendCluster.
+type RunConfig struct {
+	Backend Backend
+	Cluster ClusterConfig
+}
+
 // Run compiles the scenario and executes it in-process through the full
 // pipeline — data generation, bound calibration, game assembly, pricing via
-// the scheme registry, fault-composed participation sampling, the parallel
-// fl.Runner, and the sim timing model — returning the canonical Trace.
+// the scheme registry, fault-composed participation sampling, the engine's
+// local backend, and the sim timing model — returning the canonical Trace.
 // Everything derives from Scenario.Seed: two Runs of the same scenario are
 // bit-identical, for any GOMAXPROCS. Cancelling ctx aborts promptly with
 // ctx.Err().
 func Run(ctx context.Context, sc Scenario) (*Trace, error) {
+	return RunWith(ctx, sc, RunConfig{})
+}
+
+// RunWith is the single scenario entry point behind Run and RunCluster: it
+// compiles the scenario into an engine spec, points the orchestrator at the
+// selected execution backend, and folds the run into the canonical Trace.
+// The trace is byte-identical for every backend.
+func RunWith(ctx context.Context, sc Scenario, cfg RunConfig) (*Trace, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -28,7 +57,7 @@ func Run(ctx context.Context, sc Scenario) (*Trace, error) {
 	if err != nil {
 		return nil, err
 	}
-	for n, factor := range sch.delay {
+	for n, factor := range sch.Delay {
 		if factor == 1 {
 			continue
 		}
@@ -37,26 +66,28 @@ func Run(ctx context.Context, sc Scenario) (*Trace, error) {
 		}
 	}
 
-	// One root stream feeds the sampler and the runner so the whole run is a
-	// pure function of the scenario seed.
+	// One root stream feeds the sampler and the per-client executors so the
+	// whole run is a pure function of the scenario seed, whatever the
+	// backend.
 	root := stats.NewRNG(sc.Seed ^ 0x9E3779B97F4A7C15)
-	sampler := newFaultSampler(q, sch, root.Split(), root.Split())
-	runner := &fl.Runner{
-		Model: env.Model,
-		Fed:   env.Fed,
-		Config: fl.Config{
-			Rounds:     sc.Rounds,
-			LocalSteps: sc.LocalSteps,
-			BatchSize:  sc.BatchSize,
-			Schedule:   fl.ExpDecay{Eta0: 0.1, Decay: 0.996},
-			EvalEvery:  sc.EvalEvery,
-			Seed:       root.Uint64(),
-		},
+	sampler := engine.NewFaultSampler(q, sch, root.Split(), root.Split())
+	spec := engine.Spec{
+		Model:      env.Model,
+		Fed:        env.Fed,
+		Rounds:     sc.Rounds,
+		LocalSteps: sc.LocalSteps,
+		BatchSize:  sc.BatchSize,
+		Schedule:   expDecaySchedule(),
+		EvalEvery:  sc.EvalEvery,
+		Seed:       root.Uint64(),
 		Sampler:    sampler,
-		Aggregator: fl.UnbiasedAggregator{},
-		Parallel:   true,
+		Aggregator: engine.UnbiasedAggregator{},
 	}
-	res, err := runner.RunContext(ctx)
+	backend, err := newBackend(cfg, sch)
+	if err != nil {
+		return nil, err
+	}
+	res, err := engine.Run(ctx, spec, backend)
 	if err != nil {
 		if ctxErr := ctx.Err(); ctxErr != nil {
 			return nil, ctxErr
@@ -67,32 +98,51 @@ func Run(ctx context.Context, sc Scenario) (*Trace, error) {
 	return assembleTrace(sc, env, outcome, q, sch, res)
 }
 
+// newBackend compiles the run configuration into an execution backend.
+func newBackend(cfg RunConfig, sch engine.FaultSchedule) (engine.ExecutionBackend, error) {
+	switch cfg.Backend {
+	case BackendLocal:
+		return engine.NewLocalBackend(engine.LocalOptions{Parallel: true}), nil
+	case BackendCluster:
+		return engine.NewClusterBackend(engine.ClusterOptions{
+			Timeout:   cfg.Cluster.Timeout,
+			NodeDelay: cfg.Cluster.nodeDelay(sch),
+		}), nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown backend %v", cfg.Backend)
+	}
+}
+
+// expDecaySchedule is the training schedule every scenario runs under.
+func expDecaySchedule() engine.Schedule {
+	return engine.ExpDecay{Eta0: 0.1, Decay: 0.996}
+}
+
 // prepare compiles a defaulted scenario into its priced world: the built
 // environment (with economics skew applied), the scheme's outcome, the
-// clamped participation vector, and the compiled fault schedule. Both
-// execution substrates (Run, RunCluster) go through this single path, so
-// the in-process trace and the cluster always price the same market for
-// the same Scenario.
+// clamped participation vector, and the compiled fault schedule. Every
+// execution backend goes through this single path, so all backends price
+// the same market for the same Scenario.
 func prepare(ctx context.Context, sc Scenario) (
-	*experiment.Environment, *game.Outcome, []float64, schedule, error,
+	*experiment.Environment, *game.Outcome, []float64, engine.FaultSchedule, error,
 ) {
 	if err := sc.Validate(); err != nil {
-		return nil, nil, nil, schedule{}, err
+		return nil, nil, nil, engine.FaultSchedule{}, err
 	}
 	ps, err := game.SchemeByName(sc.Scheme)
 	if err != nil {
-		return nil, nil, nil, schedule{}, err
+		return nil, nil, nil, engine.FaultSchedule{}, err
 	}
 	env, err := experiment.BuildSetup(ctx, sc.Setup, sc.options())
 	if err != nil {
-		return nil, nil, nil, schedule{}, err
+		return nil, nil, nil, engine.FaultSchedule{}, err
 	}
 	if err := applyEconomics(env.Params, sc); err != nil {
-		return nil, nil, nil, schedule{}, err
+		return nil, nil, nil, engine.FaultSchedule{}, err
 	}
 	outcome, err := priceThrough(env, ps)
 	if err != nil {
-		return nil, nil, nil, schedule{}, fmt.Errorf("scenario %q pricing: %w", sc.Name, err)
+		return nil, nil, nil, engine.FaultSchedule{}, fmt.Errorf("scenario %q pricing: %w", sc.Name, err)
 	}
 	return env, outcome, env.Params.ClampQ(outcome.Q), compileSchedule(sc.Clients, sc.Faults), nil
 }
@@ -128,7 +178,7 @@ func applyEconomics(p *game.Params, sc Scenario) error {
 // assembleTrace folds the run into the canonical trace shape.
 func assembleTrace(
 	sc Scenario, env *experiment.Environment, outcome *game.Outcome,
-	q []float64, sch schedule, res *fl.RunResult,
+	q []float64, sch engine.FaultSchedule, res *engine.RunResult,
 ) (*Trace, error) {
 	counts := make([]int, sc.Clients)
 	roundTrace := make([]TraceRound, 0, len(res.History))
@@ -181,7 +231,7 @@ func assembleTrace(
 		},
 		Participation:      counts,
 		EmpiricalQ:         empirical,
-		DroppedAt:          append([]int(nil), sch.dropRound...),
+		DroppedAt:          append([]int(nil), sch.DropRound...),
 		RoundTrace:         roundTrace,
 		FinalLoss:          res.FinalLoss,
 		FinalAccuracy:      res.FinalAcc,

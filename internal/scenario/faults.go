@@ -1,108 +1,25 @@
 package scenario
 
 import (
-	"unbiasedfl/internal/fl"
-	"unbiasedfl/internal/stats"
+	"unbiasedfl/internal/engine"
 )
 
-// schedule is the per-client compiled form of a fault list: O(1) lookups in
-// the sampler hot loop instead of scanning the declarative slice each round.
-type schedule struct {
-	// dropRound[n] is the round client n leaves for good, or -1.
-	dropRound []int
-	// availability[n] is the exogenous per-round reachability (1 = always).
-	availability []float64
-	// delay[n] is the straggler latency multiplier (1 = nominal).
-	delay []float64
-}
-
-func compileSchedule(numClients int, faults []ClientFault) schedule {
-	sch := schedule{
-		dropRound:    make([]int, numClients),
-		availability: make([]float64, numClients),
-		delay:        make([]float64, numClients),
-	}
-	for n := 0; n < numClients; n++ {
-		sch.dropRound[n] = -1
-		sch.availability[n] = 1
-		sch.delay[n] = 1
-	}
+// compileSchedule lowers the declarative fault list into the engine's
+// per-client schedule: O(1) lookups in the sampler hot loop instead of
+// scanning the slice each round. The willingness/availability sampling that
+// consumes it lives in engine.FaultSampler, shared by every execution
+// backend.
+func compileSchedule(numClients int, faults []ClientFault) engine.FaultSchedule {
+	sch := engine.NewFaultSchedule(numClients)
 	for _, f := range faults {
 		switch f.Kind {
 		case FaultStraggler:
-			sch.delay[f.Client] = f.DelayFactor
+			sch.Delay[f.Client] = f.DelayFactor
 		case FaultDropout:
-			sch.dropRound[f.Client] = f.Round
+			sch.DropRound[f.Client] = f.Round
 		case FaultFlaky:
-			sch.availability[f.Client] = f.Availability
+			sch.Availability[f.Client] = f.Availability
 		}
 	}
 	return sch
 }
-
-// dropped reports whether client n has permanently left by round.
-func (s schedule) dropped(n, round int) bool {
-	return s.dropRound[n] >= 0 && round >= s.dropRound[n]
-}
-
-// hasFaults reports whether any client deviates from the clean fleet.
-func (s schedule) hasFaults() bool {
-	for n := range s.delay {
-		if s.dropRound[n] >= 0 || s.availability[n] != 1 || s.delay[n] != 1 {
-			return true
-		}
-	}
-	return false
-}
-
-// faultSampler composes the priced strategic participation (Bernoulli q_n)
-// with the scenario's exogenous faults: a client joins a round only if it is
-// willing AND not yet dropped AND currently available. EffectiveQ still
-// reports the priced q — the server's belief — because the server does not
-// observe the fault process; this is exactly the regime in which the
-// unbiasedness claim is being stress-tested rather than assumed.
-type faultSampler struct {
-	q   []float64
-	sch schedule
-	// will carries the strategic willingness coins; avail carries the
-	// exogenous availability coins. Keeping them on separate streams — and
-	// drawing a willingness coin for every client every round, dropped or
-	// not — makes the willingness pattern identical across fault schedules:
-	// the difference between a faulted trace and its fault-free twin is
-	// attributable to the faults alone, never to stream displacement.
-	will  *stats.RNG
-	avail *stats.RNG
-}
-
-func newFaultSampler(q []float64, sch schedule, will, avail *stats.RNG) *faultSampler {
-	return &faultSampler{q: q, sch: sch, will: will, avail: avail}
-}
-
-// Sample implements fl.Sampler.
-func (s *faultSampler) Sample(round int) []int {
-	var out []int
-	for n, qn := range s.q {
-		willing := s.will.Bernoulli(qn)
-		if s.sch.dropped(n, round) {
-			continue
-		}
-		if av := s.sch.availability[n]; av < 1 && !s.avail.Bernoulli(av) {
-			continue
-		}
-		if willing {
-			out = append(out, n)
-		}
-	}
-	return out
-}
-
-// NumClients implements fl.Sampler.
-func (s *faultSampler) NumClients() int { return len(s.q) }
-
-// EffectiveQ implements the runner's levelsSampler seam with the server's
-// belief (the priced q), not the fault-adjusted truth.
-func (s *faultSampler) EffectiveQ() []float64 {
-	return append([]float64(nil), s.q...)
-}
-
-var _ fl.Sampler = (*faultSampler)(nil)

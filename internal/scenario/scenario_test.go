@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"unbiasedfl/internal/engine"
 	"unbiasedfl/internal/experiment"
 	"unbiasedfl/internal/stats"
 	"unbiasedfl/internal/testutil"
@@ -195,8 +196,8 @@ func TestChurnDepressesEmpiricalQ(t *testing.T) {
 
 func TestScenarioValidate(t *testing.T) {
 	base := Scenario{
-		Name:  "v",
-		Setup: experiment.Setup2,
+		Name:    "v",
+		Setup:   experiment.Setup2,
 		Clients: 4, Rounds: 4, LocalSteps: 2, BatchSize: 4,
 	}
 	if err := base.Validate(); err != nil {
@@ -273,7 +274,7 @@ func TestLibraryWellFormed(t *testing.T) {
 func TestFaultSamplerEffectiveQIsPricedBelief(t *testing.T) {
 	q := []float64{0.5, 0.8}
 	sch := compileSchedule(2, []ClientFault{{Client: 1, Kind: FaultFlaky, Availability: 0.1}})
-	s := newFaultSampler(q, sch, stats.NewRNG(1), stats.NewRNG(2))
+	s := engine.NewFaultSampler(q, sch, stats.NewRNG(1), stats.NewRNG(2))
 	eff := s.EffectiveQ()
 	for i := range q {
 		if eff[i] != q[i] {

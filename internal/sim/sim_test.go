@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"unbiasedfl/internal/data"
+	"unbiasedfl/internal/engine"
 	"unbiasedfl/internal/fl"
 	"unbiasedfl/internal/model"
 	"unbiasedfl/internal/stats"
@@ -166,7 +167,7 @@ func TestTimedRunEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := TimedRun(context.Background(), runner, tm)
+	res, err := TimedRun(context.Background(), runner.Spec(), engine.NewLocalBackend(engine.LocalOptions{}), tm)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,14 +187,14 @@ func TestTimedRunEndToEnd(t *testing.T) {
 	if res.Points[len(res.Points)-1].Elapsed > res.Total {
 		t.Fatal("last point beyond total duration")
 	}
-	if _, err := TimedRun(context.Background(), nil, tm); err == nil {
-		t.Fatal("expected nil runner error")
+	if _, err := TimedRun(context.Background(), runner.Spec(), nil, tm); err == nil {
+		t.Fatal("expected nil backend error")
 	}
 	wrong, err := HeterogeneousTimings(stats.NewRNG(5), DefaultTimingConfig(9))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := TimedRun(context.Background(), runner, wrong); err == nil {
+	if _, err := TimedRun(context.Background(), runner.Spec(), engine.NewLocalBackend(engine.LocalOptions{}), wrong); err == nil {
 		t.Fatal("expected fleet-size mismatch error")
 	}
 }

@@ -5,44 +5,56 @@ import (
 	"errors"
 	"time"
 
-	"unbiasedfl/internal/fl"
+	"unbiasedfl/internal/engine"
 )
 
 // TimedResult is a training run paired with its simulated wall clock.
 type TimedResult struct {
-	Run    *fl.RunResult
+	Run    *engine.RunResult
 	Points []TimedPoint
 	Total  time.Duration
 }
 
-// TimedRun executes the runner and stamps its trajectory with simulated
-// wall-clock time from the timing model. Cancelling ctx stops the
-// underlying training promptly with ctx.Err().
-func TimedRun(ctx context.Context, runner *fl.Runner, tm *TimingModel) (*TimedResult, error) {
+// TimedRun executes the spec on the backend through the engine's
+// orchestrator and stamps its trajectory with simulated wall-clock time
+// from the timing model. Cancelling ctx stops the underlying training
+// promptly with ctx.Err().
+func TimedRun(
+	ctx context.Context, spec engine.Spec, backend engine.ExecutionBackend, tm *TimingModel,
+) (*TimedResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if runner == nil || tm == nil {
-		return nil, errors.New("sim: nil runner or timing model")
+	if backend == nil || tm == nil {
+		return nil, errors.New("sim: nil backend or timing model")
 	}
-	if len(tm.Clients) != runner.Fed.NumClients() {
+	if spec.Fed == nil || len(tm.Clients) != spec.Fed.NumClients() {
 		return nil, errors.New("sim: timing model covers a different fleet size")
 	}
-	res, err := runner.RunContext(ctx)
+	res, err := engine.Run(ctx, spec, backend)
 	if err != nil {
 		return nil, err
+	}
+	return Timestamp(res, tm, spec.LocalSteps)
+}
+
+// Timestamp folds an already-finished run into the timed shape: per-round
+// wall-clock stamps from the timing model plus the total simulated duration.
+func Timestamp(res *engine.RunResult, tm *TimingModel, localSteps int) (*TimedResult, error) {
+	if res == nil || tm == nil {
+		return nil, errors.New("sim: nil run or timing model")
 	}
 	participants := make([][]int, len(res.History))
 	for i, m := range res.History {
 		participants[i] = m.ParticipantIDs
 	}
-	points, err := tm.Timeline(res.History, participants, runner.Config.LocalSteps)
+	points, err := tm.Timeline(res.History, participants, localSteps)
 	if err != nil {
 		return nil, err
 	}
 	var total time.Duration
 	for _, ids := range participants {
-		d, err := tm.RoundDuration(ids, runner.Config.LocalSteps)
+		d, err := tm.RoundDuration(ids, localSteps)
 		if err != nil {
 			return nil, err
 		}

@@ -14,7 +14,7 @@ import (
 	"fmt"
 	"time"
 
-	"unbiasedfl/internal/fl"
+	"unbiasedfl/internal/engine"
 	"unbiasedfl/internal/stats"
 )
 
@@ -136,7 +136,7 @@ type TimedPoint struct {
 
 // Timeline converts an fl training history into wall-clock-stamped points
 // using the timing model. participantsPerRound must align with the history.
-func (t *TimingModel) Timeline(history []fl.RoundMetrics, participants [][]int, localSteps int) ([]TimedPoint, error) {
+func (t *TimingModel) Timeline(history []engine.RoundMetrics, participants [][]int, localSteps int) ([]TimedPoint, error) {
 	if len(history) != len(participants) {
 		return nil, errors.New("sim: history and participants lengths differ")
 	}

@@ -8,7 +8,6 @@ import (
 	"time"
 
 	"unbiasedfl/internal/data"
-	"unbiasedfl/internal/fl"
 	"unbiasedfl/internal/model"
 	"unbiasedfl/internal/stats"
 )
@@ -143,7 +142,7 @@ func TestServerCancelUnblocksAccept(t *testing.T) {
 		Addr: "127.0.0.1:0", NumClients: 2,
 		Q: []float64{0.5, 0.5}, Weights: fx.fed.Weights,
 		Rounds: 5, LocalSteps: 2, BatchSize: 8,
-		Schedule: fl.ExpDecay{Eta0: 0.1, Decay: 0.996},
+		Schedule: expDecay{Eta0: 0.1, Decay: 0.996},
 	}, fx.model)
 	if err != nil {
 		t.Fatal(err)

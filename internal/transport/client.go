@@ -92,12 +92,6 @@ func (c *Client) Run(ctx context.Context) (int, error) {
 		}
 		return 0, fmt.Errorf("transport: dial: %w", err)
 	}
-	codec, err := NewCodec(conn, c.cfg.Timeout)
-	if err != nil {
-		_ = conn.Close()
-		return 0, err
-	}
-	defer func() { _ = codec.Close() }()
 	stop := watchCancel(ctx, conn)
 	defer stop()
 	// ctxify maps errors surfaced by a cancellation-slammed deadline back
@@ -109,6 +103,20 @@ func (c *Client) Run(ctx context.Context) (int, error) {
 		}
 		return err
 	}
+	if c.cfg.Timeout > 0 {
+		_ = conn.SetDeadline(time.Now().Add(c.cfg.Timeout))
+	}
+	if err := Handshake(conn); err != nil {
+		_ = conn.Close()
+		return 0, ctxify(err)
+	}
+	_ = conn.SetDeadline(time.Time{})
+	codec, err := NewCodec(conn, c.cfg.Timeout)
+	if err != nil {
+		_ = conn.Close()
+		return 0, err
+	}
+	defer func() { _ = codec.Close() }()
 
 	if err := codec.Send(&Message{Type: MsgHello, ClientID: c.cfg.ID}); err != nil {
 		return 0, ctxify(err)

@@ -1,4 +1,8 @@
-package transport
+// The end-to-end wire-vs-in-process identity test lives in an external test
+// package: it drives the in-process fl.Runner as its reference, and fl now
+// sits above transport in the layering (fl → engine → transport), so an
+// in-package import would be a cycle.
+package transport_test
 
 import (
 	"context"
@@ -12,6 +16,7 @@ import (
 	"unbiasedfl/internal/model"
 	"unbiasedfl/internal/stats"
 	"unbiasedfl/internal/testutil"
+	"unbiasedfl/internal/transport"
 )
 
 // genericOnly hides a model's optional fast-path interfaces (LocalStepper),
@@ -80,7 +85,7 @@ func TestEndToEndTCPMatchesInProcessRunner(t *testing.T) {
 	}
 
 	// TCP run: same arithmetic, real sockets.
-	srv, err := NewServer(ServerConfig{
+	srv, err := transport.NewServer(transport.ServerConfig{
 		Addr:       "127.0.0.1:0",
 		NumClients: numClients,
 		Q:          q,
@@ -102,7 +107,7 @@ func TestEndToEndTCPMatchesInProcessRunner(t *testing.T) {
 	var wg sync.WaitGroup
 	clientErrs := make([]error, numClients)
 	for n := 0; n < numClients; n++ {
-		node, err := NewClient(ClientConfig{
+		node, err := transport.NewClient(transport.ClientConfig{
 			Addr:    srv.Addr(),
 			ID:      n,
 			Seed:    1000 + uint64(n), // participation coins only; q=1 joins always
@@ -113,7 +118,7 @@ func TestEndToEndTCPMatchesInProcessRunner(t *testing.T) {
 			t.Fatal(err)
 		}
 		wg.Add(1)
-		go func(n int, node *Client) {
+		go func(n int, node *transport.Client) {
 			defer wg.Done()
 			_, clientErrs[n] = node.Run(context.Background())
 		}(n, node)

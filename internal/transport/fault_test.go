@@ -8,7 +8,6 @@ import (
 	"time"
 
 	"unbiasedfl/internal/data"
-	"unbiasedfl/internal/fl"
 	"unbiasedfl/internal/model"
 	"unbiasedfl/internal/stats"
 	"unbiasedfl/internal/tensor"
@@ -24,6 +23,12 @@ func crashingClient(t *testing.T, addr string, id, crashAfter int,
 		t.Errorf("crashing client %d dial: %v", id, err)
 		return
 	}
+	_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
+	if err := Handshake(conn); err != nil {
+		t.Errorf("crashing client %d handshake: %v", id, err)
+		return
+	}
+	_ = conn.SetDeadline(time.Time{})
 	codec, err := NewCodec(conn, 5*time.Second)
 	if err != nil {
 		t.Errorf("crashing client %d codec: %v", id, err)
@@ -110,7 +115,7 @@ func TestFaultToleranceSurvivesCrash(t *testing.T) {
 		Q:       []float64{1, 1, 1, 1},
 		Weights: fed.Weights,
 		Rounds:  rounds, LocalSteps: 3, BatchSize: 8,
-		Schedule:       fl.ExpDecay{Eta0: 0.05, Decay: 0.996},
+		Schedule:       expDecay{Eta0: 0.05, Decay: 0.996},
 		Timeout:        5 * time.Second,
 		TolerateFaults: true,
 	}, m)
@@ -178,7 +183,7 @@ func TestFaultIntoleranceAborts(t *testing.T) {
 		Q:       []float64{1, 1},
 		Weights: []float64{fed.Weights[0], 1 - fed.Weights[0]},
 		Rounds:  20, LocalSteps: 3, BatchSize: 8,
-		Schedule: fl.ExpDecay{Eta0: 0.05, Decay: 0.996},
+		Schedule: expDecay{Eta0: 0.05, Decay: 0.996},
 		Timeout:  3 * time.Second,
 	}, m)
 	if err != nil {

@@ -1,21 +1,127 @@
 // Package transport reproduces the paper's hardware-prototype communication
 // substrate: "We develop a TCP-based socket interface for the communication
-// between the server and clients." It implements a length-delimited gob
-// protocol over net.Conn, a coordinator (the laptop server in the paper)
+// between the server and clients." It implements a versioned, length-framed
+// gob protocol over net.Conn, a coordinator (the laptop server in the paper)
 // and client nodes (the Raspberry Pis), runnable across real TCP sockets on
 // localhost or a LAN. The FL semantics — Bernoulli(q_n) participation decided
 // client-side and unbiased aggregation server-side — match internal/fl.
+//
+// The package is deliberately wire-level only (messages, frames, handshake,
+// codec, and the prototype's server/client roles): the unified federation
+// engine in internal/engine layers its ClusterBackend on top of these
+// primitives, so transport must not depend on the orchestration layers.
+//
+// Every connection opens with a 5-byte handshake — a 4-byte magic followed
+// by a protocol version byte, written by both sides and validated before any
+// message moves. After the handshake, each gob-encoded message travels in
+// one length-prefixed frame (4-byte big-endian length, then the payload),
+// bounded by MaxFrameSize so a corrupt or hostile peer cannot force an
+// unbounded allocation.
 package transport
 
 import (
+	"bytes"
 	"context"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
 )
+
+// Protocol framing constants.
+const (
+	// ProtocolVersion is the current wire-protocol version, bumped on every
+	// incompatible change (version 1: unframed gob; version 2: handshake +
+	// length-framed gob).
+	ProtocolVersion byte = 2
+	// MaxFrameSize bounds a single frame's payload. The largest legitimate
+	// frame is a MsgRoundStart carrying the flattened global model; 64 MiB
+	// covers ~8M float64 parameters with gob overhead to spare.
+	MaxFrameSize = 64 << 20
+	// frameHeaderSize is the length prefix: a 4-byte big-endian payload size.
+	frameHeaderSize = 4
+)
+
+// handshakeMagic identifies the protocol on the wire ("UFL" + NUL).
+var handshakeMagic = [4]byte{'U', 'F', 'L', 0}
+
+// ErrVersionMismatch reports a peer speaking a different protocol version.
+// Use errors.Is to detect it; the full error carries both versions.
+var ErrVersionMismatch = errors.New("transport: protocol version mismatch")
+
+// ErrBadMagic reports a peer that is not speaking this protocol at all.
+var ErrBadMagic = errors.New("transport: bad handshake magic")
+
+// Handshake exchanges and validates the protocol preamble on a fresh
+// connection: each side writes the 4-byte magic plus its version byte, then
+// reads and checks the peer's. Both the coordinator and the nodes call it
+// symmetrically, so a version-skewed or alien peer is rejected with a clear
+// error before any gob traffic. The caller manages deadlines (see
+// ServerConfig.HandshakeTimeout for the accept side).
+func Handshake(conn net.Conn) error {
+	if conn == nil {
+		return errors.New("transport: nil connection")
+	}
+	var out [frameHeaderSize + 1]byte
+	copy(out[:], handshakeMagic[:])
+	out[4] = ProtocolVersion
+	if _, err := conn.Write(out[:]); err != nil {
+		return fmt.Errorf("transport: handshake write: %w", err)
+	}
+	var in [frameHeaderSize + 1]byte
+	if _, err := io.ReadFull(conn, in[:]); err != nil {
+		return fmt.Errorf("transport: handshake read: %w", err)
+	}
+	if !bytes.Equal(in[:4], handshakeMagic[:]) {
+		return fmt.Errorf("%w: got % x, want % x", ErrBadMagic, in[:4], handshakeMagic[:])
+	}
+	if in[4] != ProtocolVersion {
+		return fmt.Errorf("%w: peer speaks version %d, this build speaks %d",
+			ErrVersionMismatch, in[4], ProtocolVersion)
+	}
+	return nil
+}
+
+// WriteFrame writes one length-prefixed frame.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit %d", len(payload), MaxFrameSize)
+	}
+	var hdr [frameHeaderSize]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// DecodeFrame reads one length-prefixed frame from r, reusing buf when it is
+// large enough. It validates the declared length against MaxFrameSize before
+// allocating, so a corrupt or hostile length prefix cannot trigger an
+// unbounded allocation; the FuzzDecodeFrame target pins this.
+func DecodeFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [frameHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit %d", n, MaxFrameSize)
+	}
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("transport: short frame: %w", err)
+	}
+	return buf, nil
+}
 
 // MsgType discriminates protocol messages.
 type MsgType int
@@ -51,6 +157,11 @@ type Message struct {
 	LocalSteps int
 	BatchSize  int
 	Rounds     int
+	// Coordinated marks an engine-driven session (MsgWelcome): participation
+	// is decided centrally by the orchestrator's sampler and a round-start is
+	// itself the invitation, so the client must not draw willingness coins or
+	// send MsgSkip.
+	Coordinated bool
 	// LR is the learning rate for the announced round (MsgRoundStart).
 	LR float64
 	// GradSqNorm reports the client's running mean squared gradient norm
@@ -58,12 +169,17 @@ type Message struct {
 	GradSqNorm float64
 }
 
-// Codec wraps a connection with gob encoding and deadlines.
+// Codec wraps a connection with framed gob encoding and deadlines. Each
+// Send stages one gob message in a reusable buffer and ships it as a single
+// frame; each Recv pulls frames through a frame-aware reader feeding the gob
+// decoder. A Codec is not safe for concurrent use of the same direction.
 type Codec struct {
 	conn    net.Conn
 	enc     *gob.Encoder
 	dec     *gob.Decoder
 	timeout time.Duration
+	wbuf    bytes.Buffer
+	fr      frameReader
 }
 
 // NewCodec wraps conn. timeout bounds each send/receive (0 = no deadline).
@@ -71,23 +187,26 @@ func NewCodec(conn net.Conn, timeout time.Duration) (*Codec, error) {
 	if conn == nil {
 		return nil, errors.New("transport: nil connection")
 	}
-	return &Codec{
-		conn:    conn,
-		enc:     gob.NewEncoder(conn),
-		dec:     gob.NewDecoder(conn),
-		timeout: timeout,
-	}, nil
+	c := &Codec{conn: conn, timeout: timeout}
+	c.fr.r = conn
+	c.enc = gob.NewEncoder(&c.wbuf)
+	c.dec = gob.NewDecoder(&c.fr)
+	return c, nil
 }
 
-// Send writes one message.
+// Send writes one message as a single frame.
 func (c *Codec) Send(m *Message) error {
 	if c.timeout > 0 {
 		if err := c.conn.SetWriteDeadline(time.Now().Add(c.timeout)); err != nil {
 			return fmt.Errorf("transport: set write deadline: %w", err)
 		}
 	}
+	c.wbuf.Reset()
 	if err := c.enc.Encode(m); err != nil {
 		return fmt.Errorf("transport: encode: %w", err)
+	}
+	if err := WriteFrame(c.conn, c.wbuf.Bytes()); err != nil {
+		return fmt.Errorf("transport: write frame: %w", err)
 	}
 	return nil
 }
@@ -99,6 +218,21 @@ func (c *Codec) Recv() (*Message, error) {
 			return nil, fmt.Errorf("transport: set read deadline: %w", err)
 		}
 	}
+	return c.recv()
+}
+
+// RecvDeadline reads one message under an absolute deadline, overriding the
+// codec's per-operation timeout for this read — the accept path uses it to
+// bound the hello handshake independently of the (much longer) round
+// timeout.
+func (c *Codec) RecvDeadline(deadline time.Time) (*Message, error) {
+	if err := c.conn.SetReadDeadline(deadline); err != nil {
+		return nil, fmt.Errorf("transport: set read deadline: %w", err)
+	}
+	return c.recv()
+}
+
+func (c *Codec) recv() (*Message, error) {
 	var m Message
 	if err := c.dec.Decode(&m); err != nil {
 		return nil, fmt.Errorf("transport: decode: %w", err)
@@ -108,6 +242,56 @@ func (c *Codec) Recv() (*Message, error) {
 
 // Close closes the underlying connection.
 func (c *Codec) Close() error { return c.conn.Close() }
+
+// frameReader feeds the gob decoder the concatenated payloads of successive
+// frames, pulling the next frame from the connection only when the current
+// one is exhausted. It implements io.ByteReader so the gob decoder uses it
+// directly, without a readahead buffer that could block on a frame boundary.
+type frameReader struct {
+	r       io.Reader
+	buf     []byte // reusable frame payload storage
+	payload []byte // unread remainder of the current frame
+}
+
+func (f *frameReader) Read(p []byte) (int, error) {
+	if len(f.payload) == 0 {
+		if err := f.next(); err != nil {
+			return 0, err
+		}
+	}
+	n := copy(p, f.payload)
+	f.payload = f.payload[n:]
+	return n, nil
+}
+
+func (f *frameReader) ReadByte() (byte, error) {
+	if len(f.payload) == 0 {
+		if err := f.next(); err != nil {
+			return 0, err
+		}
+	}
+	b := f.payload[0]
+	f.payload = f.payload[1:]
+	return b, nil
+}
+
+func (f *frameReader) next() error {
+	payload, err := DecodeFrame(f.r, f.buf)
+	if err != nil {
+		return err
+	}
+	if len(payload) == 0 {
+		// Our encoder never ships an empty message, so an empty frame is a
+		// protocol violation — and accepting it would let a hostile peer spin
+		// the decode loop without delivering bytes.
+		return errors.New("transport: empty frame")
+	}
+	if cap(payload) > cap(f.buf) {
+		f.buf = payload[:cap(payload)]
+	}
+	f.payload = payload
+	return nil
+}
 
 // watchCancel closes the connection when ctx is cancelled. gob decode
 // loops otherwise block unboundedly on a dead or silent peer, and a mere

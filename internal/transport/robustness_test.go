@@ -8,18 +8,23 @@ import (
 	"time"
 
 	"unbiasedfl/internal/data"
-	"unbiasedfl/internal/fl"
 	"unbiasedfl/internal/model"
 	"unbiasedfl/internal/stats"
 )
 
-// rawDial opens a codec to the server and sends an arbitrary first message.
+// rawDial opens a codec to the server (completing the version handshake)
+// and sends an arbitrary first message.
 func rawDial(t *testing.T, addr string, first *Message) *Codec {
 	t.Helper()
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		t.Fatal(err)
 	}
+	_ = conn.SetDeadline(time.Now().Add(3 * time.Second))
+	if err := Handshake(conn); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.SetDeadline(time.Time{})
 	codec, err := NewCodec(conn, 3*time.Second)
 	if err != nil {
 		t.Fatal(err)
@@ -46,7 +51,7 @@ func robustnessServer(t *testing.T, clients int) *Server {
 		Addr: "127.0.0.1:0", NumClients: clients,
 		Q: q, Weights: w,
 		Rounds: 2, LocalSteps: 1, BatchSize: 4,
-		Schedule: fl.ExpDecay{Eta0: 0.05, Decay: 1},
+		Schedule: expDecay{Eta0: 0.05, Decay: 1},
 		Timeout:  3 * time.Second,
 	}, m)
 	if err != nil {
@@ -135,7 +140,7 @@ func TestEndToEndTCPWithRidge(t *testing.T) {
 		Rounds: 20, LocalSteps: 4, BatchSize: 8,
 		// Ridge has L ≈ max‖x̃‖² (no softmax ½ factor), so the step must be
 		// far smaller than the logistic runs use.
-		Schedule: fl.ExpDecay{Eta0: 0.002, Decay: 0.996},
+		Schedule: expDecay{Eta0: 0.002, Decay: 0.996},
 		Timeout:  10 * time.Second,
 	}, m)
 	if err != nil {

@@ -9,10 +9,20 @@ import (
 	"sync"
 	"time"
 
-	"unbiasedfl/internal/fl"
 	"unbiasedfl/internal/model"
 	"unbiasedfl/internal/tensor"
 )
+
+// Schedule produces the learning rate for a given round. It is satisfied by
+// the schedules in internal/fl (ExpDecay, TheoremDecay); transport declares
+// its own seam so the wire layer stays below the orchestration layers.
+type Schedule interface {
+	LR(round int) float64
+}
+
+// DefaultHandshakeTimeout bounds the per-connection hello phase when
+// ServerConfig.HandshakeTimeout is zero.
+const DefaultHandshakeTimeout = 10 * time.Second
 
 // ServerConfig configures the coordinator.
 type ServerConfig struct {
@@ -27,11 +37,16 @@ type ServerConfig struct {
 	LocalSteps int
 	BatchSize  int
 	// Schedule provides per-round learning rates.
-	Schedule fl.Schedule
+	Schedule Schedule
 	// Weights are the data weights a_n used in the unbiased aggregation.
 	Weights []float64
 	// Timeout bounds every socket operation.
 	Timeout time.Duration
+	// HandshakeTimeout bounds the version handshake plus hello for each
+	// accepted connection (0 = DefaultHandshakeTimeout). Without it a peer
+	// that connects but never completes the hello would pin the accept loop
+	// for the full round Timeout — or forever when Timeout is zero.
+	HandshakeTimeout time.Duration
 	// TolerateFaults makes the coordinator treat a client that errors or
 	// times out mid-round as a skip for that and all later rounds, instead
 	// of aborting the whole run. This mirrors the paper's observation that
@@ -61,6 +76,13 @@ func (c *ServerConfig) validate() error {
 		}
 	}
 	return nil
+}
+
+func (c *ServerConfig) handshakeTimeout() time.Duration {
+	if c.HandshakeTimeout > 0 {
+		return c.HandshakeTimeout
+	}
+	return DefaultHandshakeTimeout
 }
 
 // ServerResult is the coordinator's view of a finished run.
@@ -98,6 +120,54 @@ func NewServer(cfg ServerConfig, m model.Model) (*Server, error) {
 		return nil, fmt.Errorf("transport: listen: %w", err)
 	}
 	return &Server{cfg: cfg, model: m, listener: ln}, nil
+}
+
+// registerClient runs one accepted connection through the version handshake
+// and hello exchange under the handshake deadline, and replies with the
+// welcome. It never closes conn; the caller owns it on error.
+func (s *Server) registerClient(conn net.Conn, codecs []*Codec) (int, *Codec, error) {
+	hsDeadline := time.Now().Add(s.cfg.handshakeTimeout())
+	if err := conn.SetDeadline(hsDeadline); err != nil {
+		return 0, nil, fmt.Errorf("transport: set handshake deadline: %w", err)
+	}
+	if err := Handshake(conn); err != nil {
+		return 0, nil, err
+	}
+	codec, err := NewCodec(conn, s.cfg.Timeout)
+	if err != nil {
+		return 0, nil, err
+	}
+	hello, err := codec.RecvDeadline(hsDeadline)
+	if err != nil {
+		return 0, nil, fmt.Errorf("transport: hello: %w", err)
+	}
+	// The hello phase is over; hand deadline control back to the codec's
+	// per-operation timeout (sticky deadlines would otherwise outlive the
+	// handshake when Timeout is zero).
+	if err := conn.SetDeadline(time.Time{}); err != nil {
+		return 0, nil, fmt.Errorf("transport: clear handshake deadline: %w", err)
+	}
+	if hello.Type != MsgHello {
+		return 0, nil, fmt.Errorf("transport: expected hello, got %v", hello.Type)
+	}
+	id := hello.ClientID
+	if id < 0 || id >= s.cfg.NumClients {
+		return 0, nil, fmt.Errorf("transport: client id %d out of range", id)
+	}
+	if codecs[id] != nil {
+		return 0, nil, fmt.Errorf("transport: duplicate client id %d", id)
+	}
+	if err := codec.Send(&Message{
+		Type:       MsgWelcome,
+		ClientID:   id,
+		Q:          s.cfg.Q[id],
+		LocalSteps: s.cfg.LocalSteps,
+		BatchSize:  s.cfg.BatchSize,
+		Rounds:     s.cfg.Rounds,
+	}); err != nil {
+		return 0, nil, err
+	}
+	return id, codec, nil
 }
 
 // Addr returns the bound listen address.
@@ -154,7 +224,11 @@ func (s *Server) Run(ctx context.Context) (*ServerResult, error) {
 		return err
 	}
 
-	// Accept and identify every client.
+	// Accept and identify every client. The whole per-connection hello phase
+	// runs under a dedicated handshake deadline: a peer that connects but
+	// never sends its preamble or hello cannot pin the accept loop beyond
+	// it. A connection whose hello phase fails is closed before Run returns
+	// (the deferred sweep only covers registered codecs).
 	for i := 0; i < s.cfg.NumClients; i++ {
 		conn, err := s.listener.Accept()
 		if err != nil {
@@ -166,35 +240,12 @@ func (s *Server) Run(ctx context.Context) (*ServerResult, error) {
 			_ = conn.Close() // raced past the watcher's sweep
 		}
 		connMu.Unlock()
-		codec, err := NewCodec(conn, s.cfg.Timeout)
+		id, codec, err := s.registerClient(conn, codecs)
 		if err != nil {
-			return nil, err
-		}
-		hello, err := codec.Recv()
-		if err != nil {
-			return nil, ctxify(fmt.Errorf("transport: hello: %w", err))
-		}
-		if hello.Type != MsgHello {
-			return nil, fmt.Errorf("transport: expected hello, got %v", hello.Type)
-		}
-		id := hello.ClientID
-		if id < 0 || id >= s.cfg.NumClients {
-			return nil, fmt.Errorf("transport: client id %d out of range", id)
-		}
-		if codecs[id] != nil {
-			return nil, fmt.Errorf("transport: duplicate client id %d", id)
+			_ = conn.Close()
+			return nil, ctxify(err)
 		}
 		codecs[id] = codec
-		if err := codec.Send(&Message{
-			Type:       MsgWelcome,
-			ClientID:   id,
-			Q:          s.cfg.Q[id],
-			LocalSteps: s.cfg.LocalSteps,
-			BatchSize:  s.cfg.BatchSize,
-			Rounds:     s.cfg.Rounds,
-		}); err != nil {
-			return nil, err
-		}
 	}
 
 	global := s.model.ZeroParams()
@@ -248,7 +299,8 @@ func (s *Server) Run(ctx context.Context) (*ServerResult, error) {
 			_ = codecs[id].Close()
 		}
 
-		var updates []fl.Update
+		// Unbiased aggregation (Lemma 1), in client-id order — the same
+		// arithmetic as engine.UnbiasedAggregator: w += (a_n/q_n) Δ_n.
 		for id, reply := range replies {
 			if reply == nil {
 				continue // dropped this round or earlier
@@ -258,7 +310,9 @@ func (s *Server) Run(ctx context.Context) (*ServerResult, error) {
 				if len(reply.Model) != len(global) {
 					return nil, fmt.Errorf("transport: client %d delta length %d", id, len(reply.Model))
 				}
-				updates = append(updates, fl.Update{Client: id, Delta: reply.Model})
+				if err := global.AddScaled(s.cfg.Weights[id]/s.cfg.Q[id], tensor.Vec(reply.Model)); err != nil {
+					return nil, fmt.Errorf("transport: round %d aggregate: %w", round, err)
+				}
 				result.ParticipationCounts[id]++
 				result.GradSqNorm[id] = reply.GradSqNorm
 			case MsgSkip:
@@ -266,10 +320,6 @@ func (s *Server) Run(ctx context.Context) (*ServerResult, error) {
 			default:
 				return nil, fmt.Errorf("transport: unexpected reply %v from client %d", reply.Type, id)
 			}
-		}
-		agg := fl.UnbiasedAggregator{}
-		if err := agg.Aggregate(global, updates, s.cfg.Weights, s.cfg.Q); err != nil {
-			return nil, fmt.Errorf("transport: round %d aggregate: %w", round, err)
 		}
 	}
 

@@ -2,16 +2,25 @@ package transport
 
 import (
 	"context"
+	"math"
 	"net"
 	"sync"
 	"testing"
 	"time"
 
 	"unbiasedfl/internal/data"
-	"unbiasedfl/internal/fl"
 	"unbiasedfl/internal/model"
 	"unbiasedfl/internal/stats"
 )
+
+// expDecay mirrors fl.ExpDecay for the tests without importing internal/fl
+// (which now sits above transport in the layering): η_r = Eta0·Decay^r.
+type expDecay struct {
+	Eta0  float64
+	Decay float64
+}
+
+func (s expDecay) LR(round int) float64 { return s.Eta0 * math.Pow(s.Decay, float64(round)) }
 
 func TestCodecRoundTrip(t *testing.T) {
 	a, b := net.Pipe()
@@ -59,7 +68,7 @@ func TestServerConfigValidation(t *testing.T) {
 		Addr: "127.0.0.1:0", NumClients: 2,
 		Q: []float64{0.5, 0.5}, Weights: []float64{0.5, 0.5},
 		Rounds: 1, LocalSteps: 1, BatchSize: 1,
-		Schedule: fl.ExpDecay{Eta0: 0.1, Decay: 1},
+		Schedule: expDecay{Eta0: 0.1, Decay: 1},
 	}
 	srv, err := NewServer(good, m)
 	if err != nil {
@@ -135,7 +144,7 @@ func TestEndToEndTCP(t *testing.T) {
 		Addr: "127.0.0.1:0", NumClients: numClients,
 		Q: q, Weights: fed.Weights,
 		Rounds: 25, LocalSteps: 5, BatchSize: 16,
-		Schedule: fl.ExpDecay{Eta0: 0.1, Decay: 0.996},
+		Schedule: expDecay{Eta0: 0.1, Decay: 0.996},
 		Timeout:  10 * time.Second,
 	}, m)
 	if err != nil {
@@ -225,7 +234,7 @@ func TestTCPParticipationRates(t *testing.T) {
 		Addr: "127.0.0.1:0", NumClients: numClients,
 		Q: q, Weights: fed.Weights,
 		Rounds: rounds, LocalSteps: 1, BatchSize: 8,
-		Schedule: fl.ExpDecay{Eta0: 0.05, Decay: 1},
+		Schedule: expDecay{Eta0: 0.05, Decay: 1},
 		Timeout:  10 * time.Second,
 	}, m)
 	if err != nil {

@@ -21,15 +21,17 @@ type (
 	// FaultKind discriminates straggler, dropout, and flaky faults.
 	FaultKind = scenario.FaultKind
 	// Trace is the canonical, byte-reproducible record of a scenario run.
+	// It is identical whichever execution backend produced it.
 	Trace = scenario.Trace
 	// TraceRound is one training round within a Trace.
 	TraceRound = scenario.TraceRound
 	// TraceEquilibrium is the priced market state a trace ran under.
 	TraceEquilibrium = scenario.TraceEquilibrium
+	// ScenarioRunConfig selects the execution backend (and its knobs) for
+	// RunScenarioWith.
+	ScenarioRunConfig = scenario.RunConfig
 	// ClusterConfig tunes the multi-node loopback harness.
 	ClusterConfig = scenario.ClusterConfig
-	// ClusterResult is the multi-node harness's view of a finished run.
-	ClusterResult = scenario.ClusterResult
 )
 
 // The fault kinds a schedule can inject.
@@ -43,18 +45,28 @@ const (
 	FaultFlaky = scenario.FaultFlaky
 )
 
-// RunScenario compiles and executes the scenario in-process through the
-// full data → calibration → game → pricing → training pipeline and returns
-// its canonical trace. Replays of the same scenario are bit-identical for
-// any GOMAXPROCS; cancelling ctx aborts promptly with ctx.Err().
+// RunScenario compiles and executes the scenario through the full data →
+// calibration → game → pricing → training pipeline on the in-process
+// backend and returns its canonical trace. Replays of the same scenario are
+// bit-identical for any GOMAXPROCS; cancelling ctx aborts promptly with
+// ctx.Err().
 func RunScenario(ctx context.Context, sc Scenario) (*Trace, error) {
 	return scenario.Run(ctx, sc)
 }
 
-// RunScenarioCluster executes the scenario as a real multi-node federation:
-// a TCP coordinator plus one socket client per device on loopback, with the
-// fault schedule injected at the transport layer.
-func RunScenarioCluster(ctx context.Context, sc Scenario, cfg ClusterConfig) (*ClusterResult, error) {
+// RunScenarioWith is the single scenario entry point behind RunScenario and
+// RunScenarioCluster: the same orchestrated run, pointed at the execution
+// backend the config selects. The trace is byte-identical across backends.
+func RunScenarioWith(ctx context.Context, sc Scenario, cfg ScenarioRunConfig) (*Trace, error) {
+	return scenario.RunWith(ctx, sc, cfg)
+}
+
+// RunScenarioCluster executes the scenario as a real multi-node federation —
+// a TCP coordinator plus one socket node per device on loopback — and
+// returns the same canonical *Trace as RunScenario, byte-identical to the
+// in-process result. (Before the unified engine it returned a separate
+// ClusterResult shape; the trace now is the cross-backend contract.)
+func RunScenarioCluster(ctx context.Context, sc Scenario, cfg ClusterConfig) (*Trace, error) {
 	return scenario.RunCluster(ctx, sc, cfg)
 }
 

@@ -32,6 +32,7 @@ type sessionConfig struct {
 	opts        Options
 	observer    Observer
 	sweepScheme string
+	backend     Backend
 }
 
 // Option configures a Session at construction time.
@@ -86,6 +87,13 @@ func WithObserver(obs Observer) Option { return func(c *sessionConfig) { c.obser
 // registered via RegisterScheme is valid.
 func WithSweepScheme(name string) Option { return func(c *sessionConfig) { c.sweepScheme = name } }
 
+// WithBackend selects the execution backend every training run launched
+// from the session uses: BackendLocal (the default in-process worker pool)
+// or BackendCluster (one real TCP socket node per client on loopback).
+// Results are bit-identical across backends — the unified federation
+// engine runs the same orchestrated round protocol on both.
+func WithBackend(b Backend) Option { return func(c *sessionConfig) { c.backend = b } }
+
 // NewSession generates data, calibrates the convergence-bound constants,
 // and assembles the CPL game for one of the paper's setups, returning a
 // Session ready to launch experiments. The (training-heavy) calibration
@@ -104,6 +112,7 @@ func NewSession(ctx context.Context, id SetupID, options ...Option) (*Session, e
 	if err != nil {
 		return nil, err
 	}
+	env.Exec = cfg.backend
 	return &Session{env: env, observer: cfg.observer, sweepScheme: cfg.sweepScheme}, nil
 }
 

@@ -152,3 +152,38 @@ func TestSessionObserverStream(t *testing.T) {
 		t.Fatalf("event streams differ:\n  a: %v\n  b: %v", a, b)
 	}
 }
+
+// TestSessionBackendEquivalence is the façade-level backend contract: the
+// same session configuration run on the in-process backend and on the TCP
+// cluster backend must produce bit-identical scheme results — the unified
+// engine runs one round protocol on both.
+func TestSessionBackendEquivalence(t *testing.T) {
+	ctx := context.Background()
+	run := func(b unbiasedfl.Backend) *unbiasedfl.SchemeRun {
+		sess, err := unbiasedfl.NewSession(ctx, unbiasedfl.Setup2,
+			unbiasedfl.WithClients(4),
+			unbiasedfl.WithTotalSamples(400),
+			unbiasedfl.WithRounds(8),
+			unbiasedfl.WithLocalSteps(2),
+			unbiasedfl.WithRuns(1),
+			unbiasedfl.WithBackend(b),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := sess.RunScheme(ctx, unbiasedfl.SchemeNameProposed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	local := run(unbiasedfl.BackendLocal)
+	cluster := run(unbiasedfl.BackendCluster)
+	if local.FinalLoss != cluster.FinalLoss || local.FinalAccuracy != cluster.FinalAccuracy {
+		t.Fatalf("backends disagree: local loss/acc %v/%v, cluster %v/%v",
+			local.FinalLoss, local.FinalAccuracy, cluster.FinalLoss, cluster.FinalAccuracy)
+	}
+	if !reflect.DeepEqual(local.Points, cluster.Points) {
+		t.Fatal("timed trajectories differ across backends")
+	}
+}

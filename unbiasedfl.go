@@ -177,6 +177,11 @@ type (
 	FidelityResult = experiment.FidelityResult
 	// GapPoint is one ConvergenceRate horizon's optimality gap.
 	GapPoint = experiment.GapPoint
+	// Backend selects the execution substrate for training runs — the
+	// unified federation engine runs the same round protocol on all of
+	// them, bit-identically. Configure it per session via WithBackend or
+	// per scenario via RunScenarioWith.
+	Backend = experiment.Backend
 )
 
 // The paper's Table-I setups.
@@ -188,6 +193,20 @@ const (
 	// Setup3 uses the EMNIST-like dataset (B=500, c̄=80, v̄=10000).
 	Setup3 = experiment.Setup3
 )
+
+// Execution backends for the unified federation engine.
+const (
+	// BackendLocal runs local updates in-process through the engine's
+	// zero-alloc worker pool (the default).
+	BackendLocal = experiment.BackendLocal
+	// BackendCluster runs each client as a real TCP socket node on
+	// loopback.
+	BackendCluster = experiment.BackendCluster
+)
+
+// ParseBackend maps a command-line backend name ("local", "cluster") to a
+// Backend.
+func ParseBackend(name string) (Backend, error) { return experiment.ParseBackend(name) }
 
 // Swept parameters for the impact studies.
 const (
