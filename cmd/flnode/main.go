@@ -6,10 +6,15 @@
 //
 // Usage:
 //
-//	flnode -role server -addr :9000 -clients 8 -rounds 30
-//	flnode -role client -addr host:9000 -id 0
+//	flnode -role server -addr :9000 -clients 8 -rounds 30 [-round-timeout 30s]
+//	flnode -role client -addr host:9000 -id 0 [-dial-attempts 10]
 //	...
 //	flnode -role client -addr host:9000 -id 7
+//
+// -round-timeout makes the server degrade gracefully around crashed or
+// silent devices instead of stranding the fleet; -dial-attempts (with
+// -dial-backoff/-dial-backoff-max) lets a device outwait a coordinator that
+// is still booting or rebooting.
 package main
 
 import (
@@ -45,6 +50,12 @@ func run(ctx context.Context) error {
 		steps   = flag.Int("steps", 5, "local SGD steps per round")
 		seed    = flag.Uint64("seed", 1, "shared data seed (must match across nodes)")
 		timeout = flag.Duration("timeout", 2*time.Minute, "socket timeout")
+
+		roundTO = flag.Duration("round-timeout", 0, "server: per-round reply deadline; a client that crashes or misses it is treated as unavailable instead of stranding the federation (0 = strict)")
+
+		dialAttempts = flag.Int("dial-attempts", 1, "client: dial attempts before giving up (capped exponential backoff between attempts)")
+		dialBackoff  = flag.Duration("dial-backoff", transport.DefaultRetryBase, "client: initial dial backoff; doubles per retry")
+		dialMax      = flag.Duration("dial-backoff-max", transport.DefaultRetryMax, "client: dial backoff cap")
 	)
 	flag.Parse()
 
@@ -71,7 +82,7 @@ func run(ctx context.Context) error {
 			}
 			q[i] = qi
 		}
-		srv, err := transport.NewServer(transport.ServerConfig{
+		cfg := transport.ServerConfig{
 			Addr:       *addr,
 			NumClients: *clients,
 			Q:          q,
@@ -81,7 +92,14 @@ func run(ctx context.Context) error {
 			BatchSize:  opts.BatchSize,
 			Schedule:   fl.ExpDecay{Eta0: 0.1, Decay: 0.996},
 			Timeout:    *timeout,
-		}, env.Model)
+		}
+		if *roundTO > 0 {
+			// A round deadline implies graceful degradation: a device that
+			// misses it is skipped (and stays skippable), never waited on.
+			cfg.Timeout = *roundTO
+			cfg.TolerateFaults = true
+		}
+		srv, err := transport.NewServer(cfg, env.Model)
 		if err != nil {
 			return err
 		}
@@ -110,6 +128,9 @@ func run(ctx context.Context) error {
 		}
 		node, err := transport.NewClient(transport.ClientConfig{
 			Addr: *addr, ID: *id, Seed: *seed + uint64(*id)*1009 + 17, Timeout: *timeout,
+			Retry: transport.RetryPolicy{
+				Attempts: *dialAttempts, Base: *dialBackoff, Max: *dialMax,
+			},
 		}, env.Model, env.Fed.Clients[*id])
 		if err != nil {
 			return err

@@ -7,10 +7,18 @@
 // fleet, faults, economics and all — and prints its canonical trace
 // (-scenario list enumerates the library).
 //
+// Durability: -checkpoint commits the run state every round; a process
+// killed mid-run (even with SIGKILL — try -kill-after) rerun with -resume
+// finishes from the last committed round and prints a trace byte-identical
+// to an uninterrupted run. -round-timeout puts cluster rounds under a
+// self-healing deadline.
+//
 // Usage:
 //
 //	flsim -setup 2 -scheme proposed [-rounds 120] [-clients 12] [-runs 3] [-backend local|cluster] [-json] [-progress]
 //	flsim -scenario straggler-heavy [-backend local|cluster] [-json]
+//	flsim -scenario baseline -checkpoint run.ckpt [-kill-after 5]
+//	flsim -scenario baseline -checkpoint run.ckpt -resume -json
 //	flsim -scenario list
 package main
 
@@ -69,8 +77,20 @@ func run(ctx context.Context) error {
 		csv      = flag.Bool("csv", false, "emit CSV instead of a table")
 		jsonFlag = flag.Bool("json", false, "emit machine-readable JSON instead of a table")
 		progress = flag.Bool("progress", false, "stream per-round progress to stderr while training")
+
+		ckpt      = flag.String("checkpoint", "", "checkpoint path (scenario mode) or path prefix (scheme mode): commit run state every round so a killed run can resume")
+		resume    = flag.Bool("resume", false, "resume from the checkpoint at -checkpoint instead of starting fresh; the finished trace is byte-identical to an uninterrupted run")
+		roundTO   = flag.Duration("round-timeout", 0, "cluster backend: per-round deadline with self-healing degradation (0 = strict)")
+		killAfter = flag.Int("kill-after", 0, "SIGKILL this process right after round N commits (crash/resume testing; requires -checkpoint)")
 	)
 	flag.Parse()
+
+	if *resume && *ckpt == "" {
+		return fmt.Errorf("-resume needs -checkpoint")
+	}
+	if *killAfter > 0 && *ckpt == "" {
+		return fmt.Errorf("-kill-after needs -checkpoint (a kill without a committed state cannot be resumed)")
+	}
 
 	exec, err := unbiasedfl.ParseBackend(*backend)
 	if err != nil {
@@ -84,16 +104,25 @@ func run(ctx context.Context) error {
 		var conflicting []string
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "scenario", "json", "backend":
+			case "scenario", "json", "backend", "checkpoint", "resume", "round-timeout", "kill-after":
 			default:
 				conflicting = append(conflicting, "-"+f.Name)
 			}
 		})
 		if len(conflicting) > 0 {
-			return fmt.Errorf("-scenario replays a self-contained world; %s do(es) not apply (only -json and -backend combine)",
+			return fmt.Errorf("-scenario replays a self-contained world; %s do(es) not apply (only -json, -backend, and the durability flags combine)",
 				strings.Join(conflicting, ", "))
 		}
-		return runScenario(ctx, *scenario, exec, *jsonFlag)
+		cfg := unbiasedfl.ScenarioRunConfig{
+			Backend: exec,
+			Cluster: unbiasedfl.ClusterConfig{RoundTimeout: *roundTO},
+			Checkpoint: unbiasedfl.CheckpointConfig{
+				Path:        *ckpt,
+				Resume:      *resume,
+				AfterCommit: killAfterHook(*killAfter),
+			},
+		}
+		return runScenario(ctx, *scenario, cfg, *jsonFlag)
 	}
 
 	name := *scheme
@@ -111,6 +140,17 @@ func run(ctx context.Context) error {
 		unbiasedfl.WithRuns(*runs),
 		unbiasedfl.WithSeed(*seed),
 		unbiasedfl.WithBackend(exec),
+		unbiasedfl.WithRoundTimeout(*roundTO),
+	}
+	if *ckpt != "" {
+		if *resume {
+			options = append(options, unbiasedfl.WithCheckpointResume(*ckpt))
+		} else {
+			options = append(options, unbiasedfl.WithCheckpoint(*ckpt))
+		}
+	}
+	if *killAfter > 0 {
+		return fmt.Errorf("-kill-after only applies to -scenario runs")
 	}
 	if *progress {
 		options = append(options, unbiasedfl.WithObserver(
@@ -170,9 +210,28 @@ func run(ctx context.Context) error {
 	return nil
 }
 
-// runScenario replays one named scenario on the chosen backend and prints
-// its canonical trace (identical whichever backend carried it).
-func runScenario(ctx context.Context, name string, exec unbiasedfl.Backend, jsonOut bool) error {
+// killAfterHook compiles -kill-after into the checkpoint AfterCommit seam:
+// the moment round n's commit is durable, the process delivers SIGKILL to
+// itself — the hardest crash available, with no deferred cleanup or flushes
+// — so the crash/resume suite exercises real process death.
+func killAfterHook(n int) func(int) {
+	if n <= 0 {
+		return nil
+	}
+	return func(committed int) {
+		if committed != n {
+			return
+		}
+		if p, err := os.FindProcess(os.Getpid()); err == nil {
+			_ = p.Kill()
+		}
+		select {} // the signal is in flight; never run another round
+	}
+}
+
+// runScenario replays one named scenario under the given run configuration
+// and prints its canonical trace (identical whichever backend carried it).
+func runScenario(ctx context.Context, name string, cfg unbiasedfl.ScenarioRunConfig, jsonOut bool) error {
 	if name == "list" {
 		if jsonOut {
 			type entry struct {
@@ -194,7 +253,7 @@ func runScenario(ctx context.Context, name string, exec unbiasedfl.Backend, json
 	if err != nil {
 		return err
 	}
-	trace, err := unbiasedfl.RunScenarioWith(ctx, sc, unbiasedfl.ScenarioRunConfig{Backend: exec})
+	trace, err := unbiasedfl.RunScenarioWith(ctx, sc, cfg)
 	if err != nil {
 		return err
 	}

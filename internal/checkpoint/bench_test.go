@@ -1,0 +1,48 @@
+package checkpoint
+
+import (
+	"path/filepath"
+	"testing"
+
+	"unbiasedfl/internal/engine"
+)
+
+// BenchmarkCommit measures one round-boundary commit at large-fleet scale
+// (20 clients, a few-thousand-weight model): the WAL append plus, every
+// round here (Interval 1, the default), the full snapshot rewrite. This is
+// the per-round durability tax a checkpointed run pays on top of training.
+func BenchmarkCommit(b *testing.B) {
+	const clients, rounds, dim = 20, 1 << 30, 4096
+	meta := Meta{Label: "bench", Seed: 1, Clients: clients, Rounds: rounds}
+	model := make([]float64, dim)
+	for i := range model {
+		model[i] = float64(i) * 1e-3
+	}
+	cursors := make([]engine.ClientCursor, clients)
+	for i := range cursors {
+		cursors[i] = engine.ClientCursor{
+			RNG: [4]uint64{1, 2, 3, uint64(i + 1)}, SqCount: 5, SqMean: 0.5,
+		}
+	}
+	st := &engine.RunState{
+		Model:   model,
+		Sampler: []uint64{9, 8, 7, 6},
+		Clients: cursors,
+	}
+	mgr, err := Create(filepath.Join(b.TempDir(), "bench.ckpt"), meta, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = mgr.Close() }()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.NextRound = i + 1
+		st.History = append(st.History, engine.RoundMetrics{
+			Round: i, Participants: 3, ParticipantIDs: []int{0, 1, 2},
+		})
+		if err := mgr.Commit(st); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,267 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"unbiasedfl/internal/engine"
+)
+
+// Options tunes checkpoint durability and cost.
+type Options struct {
+	// Interval snapshots every k-th round boundary (0 or 1 = every round).
+	// The WAL still receives every round's record, so a sparse snapshot
+	// cadence trades resume recompute for per-round write cost without
+	// weakening the byte-identical-resume invariant.
+	Interval int
+	// Sync fsyncs the WAL append and the snapshot rename at every commit.
+	// Off by default: the data reaches the page cache at commit, which a
+	// process kill (the failure this package defends against, SIGKILL
+	// included) cannot lose — only a machine crash can, and callers who need
+	// to survive that pay the fsync.
+	Sync bool
+}
+
+func (o Options) normalized() Options {
+	if o.Interval < 1 {
+		o.Interval = 1
+	}
+	return o
+}
+
+// Manager owns one checkpoint (snapshot + WAL) for the duration of a run.
+// Its Commit method has the engine's OnRoundCommit hook signature, so wiring
+// durability into a run is one assignment. Managers are not safe for
+// concurrent use; the round loop is sequential.
+type Manager struct {
+	path string
+	meta Meta
+	opts Options
+	wal  *os.File
+	next int // round boundary durably recorded in the WAL
+}
+
+// WALPath returns the WAL file path for a snapshot path.
+func WALPath(path string) string { return path + ".wal" }
+
+// Create starts a fresh checkpoint at path, discarding any prior snapshot
+// and WAL there.
+func Create(path string, meta Meta, opts Options) (*Manager, error) {
+	if err := validateMeta(meta); err != nil {
+		return nil, err
+	}
+	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("checkpoint: clear stale snapshot: %w", err)
+	}
+	wal, err := os.OpenFile(WALPath(path), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: create WAL: %w", err)
+	}
+	if _, err := wal.Write(EncodeWALHeader()); err != nil {
+		_ = wal.Close()
+		return nil, fmt.Errorf("checkpoint: write WAL header: %w", err)
+	}
+	m := &Manager{path: path, meta: meta, opts: opts.normalized(), wal: wal}
+	if err := m.maybeSync(); err != nil {
+		_ = wal.Close()
+		return nil, err
+	}
+	return m, nil
+}
+
+// Resume loads the checkpoint at path, verifies it belongs to the run
+// described by meta, reconciles the WAL with the snapshot (truncating a
+// torn tail or records past the snapshot boundary), and returns a manager
+// positioned to continue committing plus the state to hand the engine via
+// Spec.Resume.
+func Resume(path string, meta Meta, opts Options) (*Manager, *engine.RunState, error) {
+	if err := validateMeta(meta); err != nil {
+		return nil, nil, err
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil, fmt.Errorf("%w at %s", ErrNoCheckpoint, path)
+		}
+		return nil, nil, fmt.Errorf("checkpoint: read snapshot: %w", err)
+	}
+	snap, err := DecodeSnapshot(raw)
+	if err != nil {
+		return nil, nil, err
+	}
+	if snap.Meta != meta {
+		return nil, nil, fmt.Errorf("%w: snapshot %+v, run %+v", ErrMetaMismatch, snap.Meta, meta)
+	}
+
+	rawWAL, err := os.ReadFile(WALPath(path))
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: snapshot at boundary %d but WAL unreadable: %v", ErrCorrupt, snap.NextRound, err)
+	}
+	records, offsets, tail, err := parseWAL(rawWAL)
+	if err != nil {
+		return nil, nil, err
+	}
+	// The commit order (WAL first, snapshot second) guarantees the WAL is
+	// never behind a snapshot that reached disk. A shorter WAL means the
+	// history needed to reproduce the trace is gone — refuse.
+	if len(records) < snap.NextRound {
+		return nil, nil, fmt.Errorf("%w: WAL holds %d rounds, snapshot at boundary %d (tail: %v)",
+			ErrCorrupt, len(records), snap.NextRound, tail)
+	}
+	for i := 0; i < snap.NextRound; i++ {
+		if records[i].Round != i {
+			return nil, nil, fmt.Errorf("%w: WAL record %d is for round %d", ErrCorrupt, i, records[i].Round)
+		}
+	}
+
+	wal, err := os.OpenFile(WALPath(path), os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("checkpoint: reopen WAL: %w", err)
+	}
+	// Drop records past the snapshot (a crash between WAL append and
+	// snapshot rename) and any torn tail, so appends resume at a clean
+	// record boundary.
+	if err := wal.Truncate(offsets[snap.NextRound]); err != nil {
+		_ = wal.Close()
+		return nil, nil, fmt.Errorf("checkpoint: truncate WAL: %w", err)
+	}
+	if _, err := wal.Seek(0, 2); err != nil {
+		_ = wal.Close()
+		return nil, nil, fmt.Errorf("checkpoint: seek WAL: %w", err)
+	}
+
+	st := &engine.RunState{
+		NextRound: snap.NextRound,
+		Model:     snap.Model,
+		Sampler:   snap.Sampler,
+		Clients:   snap.Clients,
+		History:   records[:snap.NextRound],
+	}
+	m := &Manager{path: path, meta: meta, opts: opts.normalized(), wal: wal, next: snap.NextRound}
+	return m, st, nil
+}
+
+// Attach resumes the checkpoint at path if a snapshot exists there and
+// creates a fresh one otherwise. A nil returned state means a fresh start.
+func Attach(path string, meta Meta, opts Options) (*Manager, *engine.RunState, error) {
+	m, st, err := Resume(path, meta, opts)
+	if errors.Is(err, ErrNoCheckpoint) {
+		m, err := Create(path, meta, opts)
+		return m, nil, err
+	}
+	return m, st, err
+}
+
+// Commit makes the round boundary in st durable: it appends the just-
+// finished round's metrics to the WAL, then (on the snapshot cadence)
+// atomically replaces the snapshot. It has the signature of
+// engine.Spec.OnRoundCommit and is safe to assign there directly; the
+// engine hands it reused state buffers, and everything is serialized before
+// returning, so nothing is retained.
+func (m *Manager) Commit(st *engine.RunState) error {
+	if m.wal == nil {
+		return errors.New("checkpoint: commit on closed manager")
+	}
+	if st.NextRound != m.next+1 {
+		return fmt.Errorf("checkpoint: commit for boundary %d, WAL at %d", st.NextRound, m.next)
+	}
+	if len(st.History) != st.NextRound {
+		return fmt.Errorf("checkpoint: %d history rounds at boundary %d", len(st.History), st.NextRound)
+	}
+	rec, err := EncodeWALRecord(&st.History[st.NextRound-1])
+	if err != nil {
+		return err
+	}
+	if _, err := m.wal.Write(rec); err != nil {
+		return fmt.Errorf("checkpoint: append WAL: %w", err)
+	}
+	if m.opts.Sync {
+		if err := m.wal.Sync(); err != nil {
+			return fmt.Errorf("checkpoint: sync WAL: %w", err)
+		}
+	}
+	m.next = st.NextRound
+	if st.NextRound%m.opts.Interval != 0 && st.NextRound != m.meta.Rounds {
+		return nil
+	}
+	return m.writeSnapshot(st)
+}
+
+// writeSnapshot atomically replaces the snapshot file: encode, write to a
+// temp file in the same directory, rename over the target.
+func (m *Manager) writeSnapshot(st *engine.RunState) error {
+	raw, err := EncodeSnapshot(&Snapshot{
+		Meta:      m.meta,
+		NextRound: st.NextRound,
+		Model:     st.Model,
+		Sampler:   st.Sampler,
+		Clients:   st.Clients,
+	})
+	if err != nil {
+		return err
+	}
+	tmp := m.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("checkpoint: create snapshot temp: %w", err)
+	}
+	if _, err := f.Write(raw); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("checkpoint: write snapshot: %w", err)
+	}
+	if m.opts.Sync {
+		if err := f.Sync(); err != nil {
+			_ = f.Close()
+			return fmt.Errorf("checkpoint: sync snapshot: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("checkpoint: close snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, m.path); err != nil {
+		return fmt.Errorf("checkpoint: publish snapshot: %w", err)
+	}
+	return m.maybeSync()
+}
+
+// maybeSync fsyncs the checkpoint's directory when Sync is on, making the
+// rename itself durable against machine crashes.
+func (m *Manager) maybeSync() error {
+	if !m.opts.Sync {
+		return nil
+	}
+	dir, err := os.Open(filepath.Dir(m.path))
+	if err != nil {
+		return fmt.Errorf("checkpoint: open dir for sync: %w", err)
+	}
+	defer func() { _ = dir.Close() }()
+	if err := dir.Sync(); err != nil {
+		return fmt.Errorf("checkpoint: sync dir: %w", err)
+	}
+	return nil
+}
+
+// NextRound reports the round boundary recorded in the WAL so far.
+func (m *Manager) NextRound() int { return m.next }
+
+// Close releases the WAL handle. The snapshot on disk stays valid.
+func (m *Manager) Close() error {
+	if m.wal == nil {
+		return nil
+	}
+	err := m.wal.Close()
+	m.wal = nil
+	if err != nil {
+		return fmt.Errorf("checkpoint: close WAL: %w", err)
+	}
+	return nil
+}
+
+func validateMeta(meta Meta) error {
+	if meta.Clients < 1 || meta.Rounds < 1 {
+		return fmt.Errorf("checkpoint: invalid run metadata %+v", meta)
+	}
+	return nil
+}

@@ -8,9 +8,26 @@ import (
 	"sync"
 	"time"
 
+	"unbiasedfl/internal/stats"
 	"unbiasedfl/internal/tensor"
 	"unbiasedfl/internal/transport"
 )
+
+// DefaultNodeRetry is the dial policy a healing cluster uses to revive a
+// failed node: a handful of quick attempts with capped backoff, sized so a
+// reconnect completes well inside a typical round deadline.
+var DefaultNodeRetry = transport.RetryPolicy{
+	Attempts: 8,
+	Base:     25 * time.Millisecond,
+	Max:      500 * time.Millisecond,
+}
+
+// DefaultMaxRespawns bounds how many times one node is revived over a run.
+const DefaultMaxRespawns = 8
+
+// errNodeDown marks a dispatch to a client whose node is currently dead
+// (crashed earlier and not yet re-registered).
+var errNodeDown = errors.New("engine: node down")
 
 // ClusterOptions tunes the multi-node TCP backend.
 type ClusterOptions struct {
@@ -26,6 +43,47 @@ type ClusterOptions struct {
 	// at the socket layer. It changes reply arrival order and wall time,
 	// never the result: aggregation order is fixed by the orchestrator.
 	NodeDelay func(client int) time.Duration
+	// RoundTimeout, when positive, switches the backend into self-healing
+	// mode: every dispatch runs under this deadline, a node that crashes,
+	// disconnects, or misses the deadline forfeits the round (it is simply
+	// recorded as unavailable — the regime the unbiased aggregation rule
+	// already prices in) and is revived in the background with
+	// exponential-backoff redial. Zero keeps the strict historical
+	// behaviour: any node failure fails the round.
+	RoundTimeout time.Duration
+	// NodeFault, when non-nil, is consulted by every node at each round
+	// start — the crash/hang injection seam the self-healing tests drive.
+	// Crash severs the node's connection mid-round; Delay stalls it (a hung
+	// peer when the delay exceeds RoundTimeout). Skip is meaningless in a
+	// coordinated session and is ignored.
+	NodeFault func(client, round int) transport.RoundFault
+	// Retry tunes node dialing, both at boot and when a healing cluster
+	// revives a dead node (zero value: DefaultNodeRetry).
+	Retry transport.RetryPolicy
+	// MaxRespawns bounds per-node revivals (0 = DefaultMaxRespawns).
+	MaxRespawns int
+}
+
+// healing reports whether self-healing mode is on.
+func (o ClusterOptions) healing() bool { return o.RoundTimeout > 0 }
+
+// clusterSlot is the coordinator's view of one node: the live connection
+// (when ready) and the cancel handle of the node goroutine currently
+// responsible for this client. All fields are guarded by ClusterBackend.mu;
+// the codec is used outside the lock only by its single current owner (the
+// dispatch goroutine of a ready slot, or the registration path of a
+// not-ready one).
+type clusterSlot struct {
+	codec  *transport.Codec
+	conn   net.Conn
+	ready  bool
+	cancel context.CancelFunc
+	// pending marks a revival in flight, so one dead node does not spawn a
+	// second dialer every round it stays down.
+	pending bool
+	// gen counts node goroutines spawned for this slot; an exiting
+	// goroutine only clears pending if it is still the current generation.
+	gen int
 }
 
 // ClusterBackend executes local updates as a real multi-node federation: a
@@ -41,24 +99,42 @@ type ClusterOptions struct {
 // spec seed — that LocalBackend uses in-process, and gob transports float64
 // slices bit-exactly, so a cluster run's trace is byte-identical to the
 // local backend's.
+//
+// The coordinator's cursor table is the single source of truth for every
+// client's executor state: a node reports its post-update cursor inside
+// each MsgUpdate, and receives its position inside MsgWelcome — so a fresh
+// boot, a checkpoint resume, and a mid-run reconnect are the same protocol,
+// and whatever divergent state a crashed node held is discarded with it.
 type ClusterBackend struct {
 	opts ClusterOptions
 
 	spec     *Spec
+	runCtx   context.Context
 	listener net.Listener
-	codecs   []*transport.Codec
-	conns    []net.Conn
-	connMu   sync.Mutex
+
+	mu       sync.Mutex
+	slots    []clusterSlot
+	cursors  []ClientCursor // authoritative per-client executor cursors
+	resume   []ClientCursor // staged by RestoreClientCursors before Open
+	conns    []net.Conn     // every conn ever accepted, for teardown sweeps
+	closed   bool
+	booting  bool
+	ready    int // number of currently ready slots
+	bootErr  error
+	cond     *sync.Cond
+	misses   []int // rounds forfeited per client (healing mode)
+	respawns []int // revivals per client (healing mode)
 
 	nodeWG   sync.WaitGroup
+	acceptWG sync.WaitGroup
 	nodeErrs []error
-	lnOnce   sync.Once
 
 	watchDone chan struct{}
 
 	// Per-round buffers, reused across dispatches.
 	updates []ClientUpdate
 	errs    []error
+	staged  []transport.Cursor
 }
 
 // NewClusterBackend constructs an unopened cluster backend.
@@ -72,12 +148,65 @@ func NewClusterBackend(opts ClusterOptions) *ClusterBackend {
 	if opts.HandshakeTimeout <= 0 {
 		opts.HandshakeTimeout = transport.DefaultHandshakeTimeout
 	}
-	return &ClusterBackend{opts: opts}
+	if opts.Retry.Attempts < 1 {
+		opts.Retry = DefaultNodeRetry
+	}
+	if opts.MaxRespawns <= 0 {
+		opts.MaxRespawns = DefaultMaxRespawns
+	}
+	b := &ClusterBackend{opts: opts}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// RestoreClientCursors implements StatefulBackend: Open will position every
+// node's executor at the given cursor (delivered inside its welcome).
+func (b *ClusterBackend) RestoreClientCursors(cursors []ClientCursor) error {
+	if b.spec != nil {
+		return errors.New("engine: restore on an open backend")
+	}
+	b.resume = append([]ClientCursor(nil), cursors...)
+	return nil
+}
+
+// ClientCursors implements StatefulBackend. Only valid between Dispatch
+// calls — exactly when the orchestrator commits a round boundary.
+func (b *ClusterBackend) ClientCursors(dst []ClientCursor) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.spec == nil {
+		return errors.New("engine: cluster backend not open")
+	}
+	if len(dst) != len(b.cursors) {
+		return fmt.Errorf("engine: cursor buffer of %d for a %d-client fleet", len(dst), len(b.cursors))
+	}
+	copy(dst, b.cursors)
+	return nil
+}
+
+// ClusterHealth reports the degradation bookkeeping of a self-healing run.
+type ClusterHealth struct {
+	// Misses[n] counts rounds client n forfeited (crash, disconnect, or
+	// deadline miss).
+	Misses []int
+	// Respawns[n] counts how many times client n's node was revived.
+	Respawns []int
+}
+
+// Health returns a copy of the degradation counters. Valid any time after
+// Open, including after Close.
+func (b *ClusterBackend) Health() ClusterHealth {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return ClusterHealth{
+		Misses:   append([]int(nil), b.misses...),
+		Respawns: append([]int(nil), b.respawns...),
+	}
 }
 
 // Open implements ExecutionBackend: it binds the coordinator's listener,
-// boots one node goroutine per client, and completes the handshake/hello
-// phase for the whole fleet.
+// starts the persistent accept loop, boots one node goroutine per client,
+// and waits until the whole fleet has registered.
 func (b *ClusterBackend) Open(ctx context.Context, spec *Spec) error {
 	if b.spec != nil {
 		return errors.New("engine: cluster backend already open")
@@ -86,106 +215,215 @@ func (b *ClusterBackend) Open(ctx context.Context, spec *Spec) error {
 		ctx = context.Background()
 	}
 	nClients := spec.Fed.NumClients()
+	if b.resume != nil && len(b.resume) != nClients {
+		return fmt.Errorf("engine: %d resume cursors for a %d-client fleet", len(b.resume), nClients)
+	}
 	ln, err := net.Listen("tcp", b.opts.Addr)
 	if err != nil {
 		return fmt.Errorf("engine: cluster listen: %w", err)
 	}
 	b.spec = spec
+	b.runCtx = ctx
 	b.listener = ln
-	b.codecs = make([]*transport.Codec, nClients)
+	b.slots = make([]clusterSlot, nClients)
 	b.nodeErrs = make([]error, nClients)
+	b.misses = make([]int, nClients)
+	b.respawns = make([]int, nClients)
+	b.closed = false
+	b.booting = true
+	b.bootErr = nil
+	b.ready = 0
+	if b.resume != nil {
+		b.cursors = append([]ClientCursor(nil), b.resume...)
+	} else {
+		b.cursors = initialCursors(spec.Seed, nClients)
+	}
 
 	// On cancellation, close the listener and every connection: reads fail
-	// immediately and stay failed, which both the dispatch path and the node
-	// loops translate into a prompt unwind.
+	// immediately and stay failed, which the dispatch path, the accept loop,
+	// and the node loops all translate into a prompt unwind. The broadcast
+	// wakes Open's boot wait.
 	if ctx.Done() != nil {
 		b.watchDone = make(chan struct{})
 		go func() {
 			select {
 			case <-ctx.Done():
 				b.closeConns()
+				b.mu.Lock()
+				b.cond.Broadcast()
+				b.mu.Unlock()
 			case <-b.watchDone:
 			}
 		}()
 	}
 
-	// Boot the fleet. Executors are derived exactly like LocalBackend's —
-	// client n's RNG is the n-th Split of the spec seed.
-	states := newClientExecs(spec.Seed, nClients)
+	b.acceptWG.Add(1)
+	go b.acceptLoop()
 	for n := 0; n < nClients; n++ {
-		b.nodeWG.Add(1)
-		go func(n int) {
-			defer b.nodeWG.Done()
-			if err := b.runNode(ctx, n, states[n]); err != nil {
-				b.nodeErrs[n] = err
-				// A node that dies while Open is still accepting would
-				// otherwise strand the accept loop waiting for a connection
-				// that will never arrive; closing the listener (unused after
-				// Open) unblocks it.
-				b.lnOnce.Do(func() { _ = b.listener.Close() })
-			}
-		}(n)
+		b.spawnNode(n)
 	}
 
-	// Accept and identify every node.
-	for i := 0; i < nClients; i++ {
-		conn, err := ln.Accept()
+	// Wait until every node has registered, a node died on boot, or the
+	// context went away.
+	b.mu.Lock()
+	for b.ready < nClients && b.bootErr == nil && ctx.Err() == nil {
+		b.cond.Wait()
+	}
+	bootErr := b.bootErr
+	b.booting = false
+	b.mu.Unlock()
+
+	if err := ctx.Err(); err != nil {
+		b.teardown()
+		return err
+	}
+	if bootErr != nil {
+		b.teardown()
+		return ctxErrOr(ctx, fmt.Errorf("engine: cluster boot: %w", bootErr))
+	}
+	return nil
+}
+
+// spawnNode launches (or revives) the node goroutine for client n with its
+// own cancel handle. Callers must not hold b.mu.
+func (b *ClusterBackend) spawnNode(n int) {
+	nodeCtx, cancel := context.WithCancel(b.runCtx)
+	b.mu.Lock()
+	b.slots[n].cancel = cancel
+	b.slots[n].gen++
+	gen := b.slots[n].gen
+	b.mu.Unlock()
+	b.nodeWG.Add(1)
+	go func() {
+		defer b.nodeWG.Done()
+		err := b.runNode(nodeCtx, n)
+		b.mu.Lock()
+		if b.slots[n].gen == gen {
+			b.slots[n].pending = false
+		}
 		if err != nil {
-			b.teardown()
-			if nodeErr := errors.Join(nonNil(b.nodeErrs)...); nodeErr != nil {
-				return ctxErrOr(ctx, fmt.Errorf("engine: cluster boot: %w", nodeErr))
+			b.nodeErrs[n] = err
+			if b.booting && b.bootErr == nil {
+				b.bootErr = fmt.Errorf("node %d: %w", n, err)
 			}
-			return ctxErrOr(ctx, fmt.Errorf("engine: cluster accept: %w", err))
+			b.cond.Broadcast()
 		}
-		b.connMu.Lock()
-		b.conns = append(b.conns, conn)
-		if ctx.Err() != nil {
-			_ = conn.Close() // raced past the watcher's sweep
-		}
-		b.connMu.Unlock()
-		hsDeadline := time.Now().Add(b.opts.HandshakeTimeout)
-		_ = conn.SetDeadline(hsDeadline)
-		if err := transport.Handshake(conn); err != nil {
-			b.teardown()
-			return ctxErrOr(ctx, err)
-		}
-		codec, err := transport.NewCodec(conn, b.opts.Timeout)
+		b.mu.Unlock()
+	}()
+}
+
+// acceptLoop accepts and registers node connections for the lifetime of the
+// backend — at boot and whenever a healing cluster revives a node. It exits
+// when the listener closes.
+func (b *ClusterBackend) acceptLoop() {
+	defer b.acceptWG.Done()
+	for {
+		conn, err := b.listener.Accept()
 		if err != nil {
-			b.teardown()
-			return err
+			// Listener closed: teardown, or the ctx watcher. Wake the boot
+			// wait so Open re-checks its exit conditions.
+			b.mu.Lock()
+			if b.booting && b.bootErr == nil && b.runCtx.Err() == nil && !b.closed {
+				b.bootErr = fmt.Errorf("accept: %w", err)
+			}
+			b.cond.Broadcast()
+			b.mu.Unlock()
+			return
 		}
-		hello, err := codec.RecvDeadline(hsDeadline)
-		if err != nil {
-			b.teardown()
-			return ctxErrOr(ctx, fmt.Errorf("engine: cluster hello: %w", err))
-		}
-		_ = conn.SetDeadline(time.Time{})
-		if hello.Type != transport.MsgHello || hello.ClientID < 0 ||
-			hello.ClientID >= nClients || b.codecs[hello.ClientID] != nil {
-			b.teardown()
-			return fmt.Errorf("engine: cluster got invalid hello (type %v, id %d)", hello.Type, hello.ClientID)
-		}
-		id := hello.ClientID
-		b.codecs[id] = codec
-		if err := codec.Send(&transport.Message{
-			Type:        transport.MsgWelcome,
-			ClientID:    id,
-			Q:           1, // participation is decided centrally
-			Coordinated: true,
-			LocalSteps:  spec.LocalSteps,
-			BatchSize:   spec.BatchSize,
-			Rounds:      spec.Rounds,
-		}); err != nil {
-			b.teardown()
-			return ctxErrOr(ctx, err)
+		if err := b.register(conn); err != nil {
+			_ = conn.Close()
+			b.mu.Lock()
+			if b.booting && b.bootErr == nil {
+				b.bootErr = err
+			}
+			b.cond.Broadcast()
+			b.mu.Unlock()
 		}
 	}
+}
+
+// register runs the handshake/hello/welcome exchange for one accepted
+// connection and marks the slot ready. The welcome carries the
+// coordinator's authoritative cursor for the client, which is what makes a
+// reviving node (and a resumed run) continue the exact stream the fleet
+// would have produced uninterrupted.
+func (b *ClusterBackend) register(conn net.Conn) error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return errors.New("engine: backend closed")
+	}
+	b.conns = append(b.conns, conn)
+	closing := b.runCtx.Err() != nil
+	b.mu.Unlock()
+	if closing {
+		return b.runCtx.Err()
+	}
+
+	hsDeadline := time.Now().Add(b.opts.HandshakeTimeout)
+	_ = conn.SetDeadline(hsDeadline)
+	if err := transport.Handshake(conn); err != nil {
+		return err
+	}
+	codec, err := transport.NewCodec(conn, b.opts.Timeout)
+	if err != nil {
+		return err
+	}
+	hello, err := codec.RecvDeadline(hsDeadline)
+	if err != nil {
+		return fmt.Errorf("engine: cluster hello: %w", err)
+	}
+	_ = conn.SetDeadline(time.Time{})
+
+	b.mu.Lock()
+	if hello.Type != transport.MsgHello || hello.ClientID < 0 ||
+		hello.ClientID >= len(b.slots) || b.slots[hello.ClientID].ready {
+		b.mu.Unlock()
+		return fmt.Errorf("engine: cluster got invalid hello (type %v, id %d)", hello.Type, hello.ClientID)
+	}
+	id := hello.ClientID
+	cursor := b.cursors[id]
+	b.mu.Unlock()
+
+	spec := b.spec
+	if err := codec.Send(&transport.Message{
+		Type:        transport.MsgWelcome,
+		ClientID:    id,
+		Q:           1, // participation is decided centrally
+		Coordinated: true,
+		LocalSteps:  spec.LocalSteps,
+		BatchSize:   spec.BatchSize,
+		Rounds:      spec.Rounds,
+		Cursor: &transport.Cursor{
+			RNG: cursor.RNG, SqCount: cursor.SqCount,
+			SqMean: cursor.SqMean, SqM2: cursor.SqM2,
+		},
+	}); err != nil {
+		return err
+	}
+
+	b.mu.Lock()
+	slot := &b.slots[id]
+	slot.codec = codec
+	slot.conn = conn
+	slot.ready = true
+	slot.pending = false
+	b.ready++
+	b.cond.Broadcast()
+	b.mu.Unlock()
 	return nil
 }
 
 // Dispatch implements ExecutionBackend: it ships each task's round start to
 // its node concurrently, collects the replies, and fills updates in task
 // order so aggregation matches the local backend exactly.
+//
+// In strict mode (no RoundTimeout) any node failure fails the round. In
+// self-healing mode the round runs under a deadline; tasks whose node
+// crashed, disconnected, or missed the deadline are dropped from the
+// returned updates (the orchestrator records those clients as absent — the
+// unbiased estimator already prices unavailability), their connections are
+// severed, and revival dialers start in the background.
 func (b *ClusterBackend) Dispatch(
 	ctx context.Context, round int, global tensor.Vec, tasks []ClientTask,
 ) ([]ClientUpdate, error) {
@@ -195,24 +433,45 @@ func (b *ClusterBackend) Dispatch(
 	if cap(b.updates) < len(tasks) {
 		b.updates = make([]ClientUpdate, len(tasks))
 		b.errs = make([]error, len(tasks))
+		b.staged = make([]transport.Cursor, len(tasks))
 	}
 	updates := b.updates[:len(tasks)]
 	errs := b.errs[:len(tasks)]
+	staged := b.staged[:len(tasks)]
+	healing := b.opts.healing()
+	var deadline time.Time
+	if healing {
+		deadline = time.Now().Add(b.opts.RoundTimeout)
+	}
+
 	var wg sync.WaitGroup
 	for i, task := range tasks {
 		i, task := i, task
 		errs[i] = nil
+		staged[i] = transport.Cursor{}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			codec := b.codecs[task.Client]
+			b.mu.Lock()
+			codec, up := b.slots[task.Client].codec, b.slots[task.Client].ready
+			b.mu.Unlock()
+			if !up {
+				errs[i] = fmt.Errorf("node %d: %w", task.Client, errNodeDown)
+				return
+			}
 			if err := codec.Send(&transport.Message{
 				Type: transport.MsgRoundStart, Round: round, Model: global, LR: task.LR,
 			}); err != nil {
 				errs[i] = fmt.Errorf("node %d: %w", task.Client, err)
 				return
 			}
-			reply, err := codec.Recv()
+			var reply *transport.Message
+			var err error
+			if healing {
+				reply, err = codec.RecvDeadline(deadline)
+			} else {
+				reply, err = codec.Recv()
+			}
 			if err != nil {
 				errs[i] = fmt.Errorf("node %d: %w", task.Client, err)
 				return
@@ -227,30 +486,121 @@ func (b *ClusterBackend) Dispatch(
 				Delta:      tensor.Vec(reply.Model),
 				GradSqNorm: reply.GradSqNorm,
 			}
+			if reply.Cursor != nil {
+				staged[i] = *reply.Cursor
+			} else {
+				errs[i] = fmt.Errorf("node %d: update missing cursor", task.Client)
+			}
 		}()
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, ctxErrOr(ctx, err)
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if !healing {
+		for _, err := range errs {
+			if err != nil {
+				return nil, ctxErrOr(ctx, err)
+			}
+		}
+		b.commitCursors(tasks, errs, staged)
+		return updates, nil
+	}
+
+	// Self-healing: commit the cursors of the survivors, compact their
+	// updates into task order, and fail out everyone else.
+	b.commitCursors(tasks, errs, staged)
+	k := 0
+	for i := range tasks {
+		if errs[i] == nil {
+			updates[k] = updates[i]
+			k++
+			continue
+		}
+		b.failClient(tasks[i].Client, errs[i])
+	}
+	return updates[:k], nil
+}
+
+// commitCursors folds the round's successfully reported node cursors into
+// the coordinator's authoritative table.
+func (b *ClusterBackend) commitCursors(tasks []ClientTask, errs []error, staged []transport.Cursor) {
+	b.mu.Lock()
+	for i := range tasks {
+		if errs[i] != nil {
+			continue
+		}
+		c := staged[i]
+		b.cursors[tasks[i].Client] = ClientCursor{
+			RNG: c.RNG, SqCount: c.SqCount, SqMean: c.SqMean, SqM2: c.SqM2,
 		}
 	}
-	return updates, nil
+	b.mu.Unlock()
+}
+
+// failClient records a forfeited round for the client, severs whatever is
+// left of its connection (waking both the dead node goroutine and any
+// half-open peer), and — within the respawn budget — starts a background
+// revival dialer. Runs on the orchestration goroutine, after the round's
+// dispatch barrier.
+func (b *ClusterBackend) failClient(client int, cause error) {
+	b.mu.Lock()
+	b.misses[client]++
+	slot := &b.slots[client]
+	// An errNodeDown miss means the slot was already down when the round
+	// dispatched; if a revival registered mid-round, that fresh connection
+	// is healthy — severing it would churn the node for nothing.
+	if slot.ready && !errors.Is(cause, errNodeDown) {
+		slot.ready = false
+		b.ready--
+		if slot.cancel != nil {
+			slot.cancel()
+		}
+		if slot.conn != nil {
+			_ = slot.conn.Close()
+		}
+		slot.codec = nil
+		slot.conn = nil
+	}
+	respawn := !b.closed && !slot.ready && !slot.pending && b.runCtx.Err() == nil &&
+		b.respawns[client] < b.opts.MaxRespawns
+	if respawn {
+		slot.pending = true
+		b.respawns[client]++
+	}
+	b.mu.Unlock()
+	if respawn {
+		b.spawnNode(client)
+	}
 }
 
 // Close implements ExecutionBackend: it ends the session (MsgDone to every
-// node), waits for the fleet to exit, tears down every socket, and reports
-// any node that died for a reason other than the shutdown itself.
+// live node), waits for the fleet to exit, and tears down every socket. In
+// strict mode any node that died for a reason other than the shutdown
+// itself surfaces here; in self-healing mode node deaths were part of the
+// round protocol (each one is already ledgered as a miss, see Health) and
+// teardown is silent.
 func (b *ClusterBackend) Close() error {
 	if b.spec == nil {
 		return nil
 	}
-	for _, codec := range b.codecs {
-		if codec != nil {
-			_ = codec.Send(&transport.Message{Type: transport.MsgDone})
+	b.mu.Lock()
+	b.closed = true
+	codecs := make([]*transport.Codec, 0, len(b.slots))
+	for i := range b.slots {
+		if b.slots[i].ready {
+			codecs = append(codecs, b.slots[i].codec)
 		}
 	}
+	b.mu.Unlock()
+	for _, codec := range codecs {
+		_ = codec.Send(&transport.Message{Type: transport.MsgDone})
+	}
 	b.teardown()
+	if b.opts.healing() {
+		return nil
+	}
 	var errs []error
 	for n, err := range b.nodeErrs {
 		if err != nil {
@@ -260,15 +610,30 @@ func (b *ClusterBackend) Close() error {
 	return errors.Join(errs...)
 }
 
-// teardown closes every socket, stops the watcher, and waits for the node
-// goroutines. Safe to call more than once.
+// teardown closes every socket, cancels every node, stops the watcher, and
+// waits for the accept loop and node goroutines. Safe to call more than
+// once.
 func (b *ClusterBackend) teardown() {
+	b.mu.Lock()
+	b.closed = true
+	for i := range b.slots {
+		// Cancel only dead slots (their revival dialers would otherwise sit
+		// out a backoff against a closed listener). Live nodes must NOT have
+		// their sockets slammed from their own side: closing the
+		// coordinator-side conn sends an orderly FIN, so a node still drains
+		// a buffered MsgDone before seeing EOF.
+		if !b.slots[i].ready && b.slots[i].cancel != nil {
+			b.slots[i].cancel()
+		}
+	}
+	b.mu.Unlock()
 	b.closeConns()
+	b.acceptWG.Wait()
+	b.nodeWG.Wait()
 	if b.watchDone != nil {
 		close(b.watchDone)
 		b.watchDone = nil
 	}
-	b.nodeWG.Wait()
 	b.spec = nil
 }
 
@@ -276,45 +641,59 @@ func (b *ClusterBackend) closeConns() {
 	if b.listener != nil {
 		_ = b.listener.Close()
 	}
-	b.connMu.Lock()
+	b.mu.Lock()
 	for _, c := range b.conns {
 		_ = c.Close()
 	}
-	b.connMu.Unlock()
+	b.mu.Unlock()
 }
 
-// runNode is one device of the cluster: it dials the coordinator, completes
-// the handshake, and serves coordinated round starts with the shared
-// client executor until MsgDone.
-func (b *ClusterBackend) runNode(ctx context.Context, n int, st *clientExec) error {
+// runNode is one device of the cluster: it dials the coordinator (with
+// retry — a reviving node may race the coordinator severing its old conn),
+// completes the handshake, restores its executor from the cursor in the
+// welcome, and serves coordinated round starts until MsgDone. ctx is the
+// node's private context: severed by failClient, teardown, or the run
+// context going away.
+func (b *ClusterBackend) runNode(ctx context.Context, n int) error {
 	spec := b.spec
-	conn, err := net.DialTimeout("tcp", b.listener.Addr().String(), b.opts.Timeout)
+	// Deterministic backoff jitter, salted per client and decoupled from
+	// every model-visible stream.
+	jitter := stats.NewRNG(spec.Seed ^ (0x9E3779B97F4A7C15 * uint64(n+1)))
+	conn, err := transport.DialRetry(ctx, b.listener.Addr().String(), b.opts.Retry, jitter)
 	if err != nil {
-		return ctxErrOr(ctx, fmt.Errorf("dial: %w", err))
+		return ctxErrOr(ctx, err)
 	}
 	// The node's reads are unbounded by design — an unselected node simply
 	// waits for its next invitation — so shutdown runs through connection
 	// closes: the coordinator's teardown (or the ctx watcher) severs the
 	// socket and the pending read fails immediately.
 	defer func() { _ = conn.Close() }()
-	_ = conn.SetDeadline(time.Now().Add(b.opts.HandshakeTimeout))
-	if err := transport.Handshake(conn); err != nil {
-		return ctxErrOr(ctx, err)
-	}
-	_ = conn.SetDeadline(time.Time{})
+	stop := transportWatch(ctx, conn)
+	defer stop()
 	codec, err := transport.NewCodec(conn, 0)
 	if err != nil {
 		return err
 	}
+	hsDeadline := time.Now().Add(b.opts.HandshakeTimeout)
 	if err := codec.Send(&transport.Message{Type: transport.MsgHello, ClientID: n}); err != nil {
 		return ctxErrOr(ctx, err)
 	}
-	welcome, err := codec.Recv()
+	welcome, err := codec.RecvDeadline(hsDeadline)
 	if err != nil {
 		return ctxErrOr(ctx, err)
 	}
 	if welcome.Type != transport.MsgWelcome || !welcome.Coordinated {
 		return fmt.Errorf("expected coordinated welcome, got %v", welcome.Type)
+	}
+	if welcome.Cursor == nil {
+		return errors.New("welcome missing executor cursor")
+	}
+	st, err := newClientExecAt(ClientCursor{
+		RNG: welcome.Cursor.RNG, SqCount: welcome.Cursor.SqCount,
+		SqMean: welcome.Cursor.SqMean, SqM2: welcome.Cursor.SqM2,
+	})
+	if err != nil {
+		return err
 	}
 
 	var delay time.Duration
@@ -335,8 +714,15 @@ func (b *ClusterBackend) runNode(ctx context.Context, n int, st *clientExec) err
 		case transport.MsgDone:
 			return nil
 		case transport.MsgRoundStart:
-			if delay > 0 {
-				timer := time.NewTimer(delay)
+			var fault transport.RoundFault
+			if b.opts.NodeFault != nil {
+				fault = b.opts.NodeFault(n, msg.Round)
+			}
+			if fault.Crash {
+				return transport.ErrInjectedCrash
+			}
+			if stall := delay + fault.Delay; stall > 0 {
+				timer := time.NewTimer(stall)
 				select {
 				case <-timer.C:
 				case <-ctx.Done():
@@ -351,9 +737,14 @@ func (b *ClusterBackend) runNode(ctx context.Context, n int, st *clientExec) err
 			if err != nil {
 				return err
 			}
+			cursor := st.cursor()
 			if err := codec.Send(&transport.Message{
 				Type: transport.MsgUpdate, ClientID: n, Round: msg.Round,
 				Model: delta, GradSqNorm: st.sqNorms.Mean(),
+				Cursor: &transport.Cursor{
+					RNG: cursor.RNG, SqCount: cursor.SqCount,
+					SqMean: cursor.SqMean, SqM2: cursor.SqM2,
+				},
 			}); err != nil {
 				return ctxErrOr(ctx, err)
 			}
@@ -363,15 +754,23 @@ func (b *ClusterBackend) runNode(ctx context.Context, n int, st *clientExec) err
 	}
 }
 
-// nonNil filters the non-nil entries of an error slice.
-func nonNil(errs []error) []error {
-	var out []error
-	for _, err := range errs {
-		if err != nil {
-			out = append(out, err)
-		}
+// transportWatch severs conn when ctx is cancelled — the node-side
+// counterpart of the coordinator's conn sweep, needed because a reviving
+// node's cancel must also unblock a read already pending on a live socket.
+func transportWatch(ctx context.Context, conn net.Conn) (stop func()) {
+	if ctx == nil || ctx.Done() == nil {
+		return func() {}
 	}
-	return out
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		select {
+		case <-ctx.Done():
+			_ = conn.Close()
+		case <-done:
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
 }
 
 // ctxErrOr maps an error surfaced by a cancellation-severed socket back to
@@ -383,4 +782,7 @@ func ctxErrOr(ctx context.Context, err error) error {
 	return err
 }
 
-var _ ExecutionBackend = (*ClusterBackend)(nil)
+var (
+	_ ExecutionBackend = (*ClusterBackend)(nil)
+	_ StatefulBackend  = (*ClusterBackend)(nil)
+)

@@ -154,6 +154,17 @@ type Spec struct {
 	// metrics — a progress hook for long paper-scale runs. It runs on the
 	// orchestration goroutine; keep it fast.
 	OnRound func(RoundMetrics)
+	// OnRoundCommit, when non-nil, is invoked after every round with the
+	// full resumable RunState at the new round boundary — the checkpoint
+	// seam. The state's slices are reused between rounds: a hook that needs
+	// the state beyond its own call must Clone (or encode) it before
+	// returning. A non-nil error aborts the run.
+	OnRoundCommit func(*RunState) error
+	// Resume, when non-nil, starts the run at a previously committed round
+	// boundary instead of round zero: the global model, history, sampler
+	// streams, and per-client cursors are restored so the remaining rounds
+	// are bit-identical to the uninterrupted run's.
+	Resume *RunState
 }
 
 // Validate checks the spec before a run.

@@ -91,10 +91,51 @@ func (st *clientExec) localUpdate(
 // client n's RNG being the n-th Split — the stream discipline every
 // backend must share for cross-backend bit-identity.
 func newClientExecs(seed uint64, nClients int) []*clientExec {
-	root := stats.NewRNG(seed)
+	cursors := initialCursors(seed, nClients)
 	states := make([]*clientExec, nClients)
 	for n := range states {
-		states[n] = &clientExec{rng: root.Split()}
+		st, err := newClientExecAt(cursors[n])
+		if err != nil {
+			// initialCursors never produces an invalid cursor; a failure here
+			// is a programming error, not an input error.
+			panic(err)
+		}
+		states[n] = st
 	}
 	return states
+}
+
+// initialCursors is the cursor form of newClientExecs' stream derivation:
+// client n's fresh cursor is the state of the n-th Split of the spec seed.
+// Both backends — and the resume path — share this single definition, so a
+// round-zero cursor table is indistinguishable from a fresh boot.
+func initialCursors(seed uint64, nClients int) []ClientCursor {
+	root := stats.NewRNG(seed)
+	cursors := make([]ClientCursor, nClients)
+	for n := range cursors {
+		cursors[n] = ClientCursor{RNG: root.Split().State()}
+	}
+	return cursors
+}
+
+// cursor captures the executor's resumable state. Valid only at a round
+// boundary, when no update is in flight on this executor.
+func (st *clientExec) cursor() ClientCursor {
+	count, mean, m2 := st.sqNorms.State()
+	return ClientCursor{RNG: st.rng.State(), SqCount: count, SqMean: mean, SqM2: m2}
+}
+
+// newClientExecAt builds an executor positioned at a captured cursor. The
+// scratch arena is rebuilt lazily on first use; only the streams matter for
+// bit-identity.
+func newClientExecAt(c ClientCursor) (*clientExec, error) {
+	rng, err := stats.RestoreRNG(c.RNG)
+	if err != nil {
+		return nil, err
+	}
+	sq, err := stats.RestoreWelford(c.SqCount, c.SqMean, c.SqM2)
+	if err != nil {
+		return nil, err
+	}
+	return &clientExec{rng: rng, sqNorms: sq}, nil
 }

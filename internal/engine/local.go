@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -30,6 +31,9 @@ type LocalBackend struct {
 	spec   *Spec
 	states []*clientExec
 	pool   *updatePool
+	// resume, when set before Open, positions every client executor at the
+	// given cursor instead of deriving fresh streams from the spec seed.
+	resume []ClientCursor
 
 	// Per-round buffers, reused so steady-state dispatch does not allocate.
 	updates []ClientUpdate
@@ -49,7 +53,21 @@ func (b *LocalBackend) Open(_ context.Context, spec *Spec) error {
 	}
 	b.spec = spec
 	nClients := spec.Fed.NumClients()
-	b.states = newClientExecs(spec.Seed, nClients)
+	if b.resume != nil {
+		if len(b.resume) != nClients {
+			return fmt.Errorf("engine: %d resume cursors for a %d-client fleet", len(b.resume), nClients)
+		}
+		b.states = make([]*clientExec, nClients)
+		for n := range b.states {
+			st, err := newClientExecAt(b.resume[n])
+			if err != nil {
+				return fmt.Errorf("engine: client %d cursor: %w", n, err)
+			}
+			b.states[n] = st
+		}
+	} else {
+		b.states = newClientExecs(spec.Seed, nClients)
+	}
 	if b.opts.Parallel {
 		workers := b.opts.Workers
 		if workers <= 0 {
@@ -121,6 +139,33 @@ func (b *LocalBackend) Close() error {
 	b.spec = nil
 	return nil
 }
+
+// RestoreClientCursors implements StatefulBackend: Open will build every
+// executor at the given cursor.
+func (b *LocalBackend) RestoreClientCursors(cursors []ClientCursor) error {
+	if b.spec != nil {
+		return errors.New("engine: restore on an open backend")
+	}
+	b.resume = append([]ClientCursor(nil), cursors...)
+	return nil
+}
+
+// ClientCursors implements StatefulBackend. Only valid between Dispatch
+// calls, when no worker touches the executors.
+func (b *LocalBackend) ClientCursors(dst []ClientCursor) error {
+	if b.spec == nil {
+		return errors.New("engine: local backend not open")
+	}
+	if len(dst) != len(b.states) {
+		return fmt.Errorf("engine: cursor buffer of %d for a %d-client fleet", len(dst), len(b.states))
+	}
+	for n, st := range b.states {
+		dst[n] = st.cursor()
+	}
+	return nil
+}
+
+var _ StatefulBackend = (*LocalBackend)(nil)
 
 // updatePool is the persistent worker pool behind parallel local dispatch.
 // Its goroutines live for the whole run — one per available CPU — instead of

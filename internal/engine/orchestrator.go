@@ -3,6 +3,8 @@ package engine
 import (
 	"context"
 	"fmt"
+
+	"unbiasedfl/internal/tensor"
 )
 
 // Orchestrator drives the canonical round protocol over an execution
@@ -15,6 +17,9 @@ type Orchestrator struct {
 	// not allocate.
 	tasks []ClientTask
 	seen  []bool
+	// Commit-hook buffers, reused across OnRoundCommit calls.
+	commit  RunState
+	cursors []ClientCursor
 }
 
 // Run executes the spec on the backend. It is the single implementation of
@@ -34,6 +39,56 @@ func (o *Orchestrator) Run(ctx context.Context) (*RunResult, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
+
+	nClients := s.Fed.NumClients()
+	global := s.Model.ZeroParams()
+	history := make([]RoundMetrics, 0, s.Rounds)
+	gradSq := make([]float64, nClients)
+	q := s.participationLevels()
+
+	// Resume restoration happens before Open: a cluster backend hands each
+	// node its cursor inside the welcome message, so the backend must know
+	// the cursors by the time its fleet boots.
+	start := 0
+	if r := s.Resume; r != nil {
+		if err := validateResume(r, s, len(global), nClients); err != nil {
+			return nil, err
+		}
+		start = r.NextRound
+		copy(global, r.Model)
+		history = append(history, r.History...)
+		ss, statefulSampler := s.Sampler.(StatefulSampler)
+		switch {
+		case r.Sampler != nil && !statefulSampler:
+			return nil, fmt.Errorf("engine: resume carries sampler state but the sampler is stateless")
+		case r.Sampler == nil && statefulSampler && start > 0:
+			return nil, fmt.Errorf("engine: resume lacks state for a stateful sampler")
+		case r.Sampler != nil:
+			if err := ss.RestoreSamplerState(r.Sampler); err != nil {
+				return nil, fmt.Errorf("engine: restore sampler: %w", err)
+			}
+		}
+		sb, statefulBackend := o.Backend.(StatefulBackend)
+		switch {
+		case len(r.Clients) > 0 && !statefulBackend:
+			return nil, fmt.Errorf("engine: resume carries client cursors but the backend is stateless")
+		case len(r.Clients) == 0 && statefulBackend && start > 0:
+			return nil, fmt.Errorf("engine: resume lacks client cursors")
+		case len(r.Clients) > 0:
+			if err := sb.RestoreClientCursors(r.Clients); err != nil {
+				return nil, fmt.Errorf("engine: restore client cursors: %w", err)
+			}
+			for n := range r.Clients {
+				// gradSq[n] only ever holds the client's running mean, which
+				// moves only when the client participates — so the cursor's
+				// mean reproduces it exactly.
+				if r.Clients[n].SqCount > 0 {
+					gradSq[n] = r.Clients[n].SqMean
+				}
+			}
+		}
+	}
+
 	if err := o.Backend.Open(ctx, s); err != nil {
 		return nil, fmt.Errorf("engine: open backend: %w", err)
 	}
@@ -44,13 +99,7 @@ func (o *Orchestrator) Run(ctx context.Context) (*RunResult, error) {
 		}
 	}()
 
-	nClients := s.Fed.NumClients()
-	global := s.Model.ZeroParams()
-	history := make([]RoundMetrics, 0, s.Rounds)
-	gradSq := make([]float64, nClients)
-	q := s.participationLevels()
-
-	for round := 0; round < s.Rounds; round++ {
+	for round := start; round < s.Rounds; round++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -88,10 +137,20 @@ func (o *Orchestrator) Run(ctx context.Context) (*RunResult, error) {
 			return nil, fmt.Errorf("round %d: model diverged", round)
 		}
 
+		// The round's record lists the clients whose updates actually landed.
+		// Strict backends return one update per task, so this is exactly the
+		// sampled set; a self-healing backend may return fewer (a crashed or
+		// deadline-missing node), and the shortfall is recorded here — the
+		// client is simply unavailable this round, which is the regime the
+		// unbiased aggregation rule already prices in.
+		ids := make([]int, len(updates))
+		for i, u := range updates {
+			ids[i] = u.Client
+		}
 		m := RoundMetrics{
 			Round:          round,
-			Participants:   len(participants),
-			ParticipantIDs: append([]int(nil), participants...),
+			Participants:   len(updates),
+			ParticipantIDs: ids,
 		}
 		if (round+1)%s.EvalEvery == 0 || round == s.Rounds-1 {
 			loss, err := s.Model.Loss(global, s.Fed.Train)
@@ -109,6 +168,11 @@ func (o *Orchestrator) Run(ctx context.Context) (*RunResult, error) {
 		history = append(history, m)
 		if s.OnRound != nil {
 			s.OnRound(m)
+		}
+		if s.OnRoundCommit != nil {
+			if err := o.commitRound(round+1, global, history); err != nil {
+				return nil, fmt.Errorf("round %d commit: %w", round, err)
+			}
 		}
 	}
 
@@ -130,6 +194,34 @@ func (o *Orchestrator) Run(ctx context.Context) (*RunResult, error) {
 		res.FinalAcc = last.TestAccuracy
 	}
 	return res, nil
+}
+
+// commitRound assembles the resumable state at the new round boundary and
+// hands it to the OnRoundCommit hook. The RunState and its cursor slice are
+// reused between calls; the hook owns the data only for the duration of its
+// call (see Spec.OnRoundCommit).
+func (o *Orchestrator) commitRound(nextRound int, global tensor.Vec, history []RoundMetrics) error {
+	s := &o.Spec
+	st := &o.commit
+	st.NextRound = nextRound
+	st.Model = global
+	st.History = history
+	st.Sampler = nil
+	if ss, ok := s.Sampler.(StatefulSampler); ok {
+		st.Sampler = ss.SamplerState()
+	}
+	st.Clients = nil
+	if sb, ok := o.Backend.(StatefulBackend); ok {
+		n := s.Fed.NumClients()
+		if cap(o.cursors) < n {
+			o.cursors = make([]ClientCursor, n)
+		}
+		st.Clients = o.cursors[:n]
+		if err := sb.ClientCursors(st.Clients); err != nil {
+			return err
+		}
+	}
+	return s.OnRoundCommit(st)
 }
 
 // checkDistinct rejects samplers that hand out the same client twice in one

@@ -50,7 +50,7 @@ func ParseBackend(name string) (Backend, error) {
 // GOMAXPROCS with nested pools. Results are identical either way.
 func (e *Environment) newBackend(parallel bool) engine.ExecutionBackend {
 	if e.Exec == BackendCluster {
-		return engine.NewClusterBackend(engine.ClusterOptions{})
+		return engine.NewClusterBackend(engine.ClusterOptions{RoundTimeout: e.RoundTimeout})
 	}
 	return engine.NewLocalBackend(engine.LocalOptions{Parallel: parallel})
 }

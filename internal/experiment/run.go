@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"time"
 
+	"unbiasedfl/internal/checkpoint"
+	"unbiasedfl/internal/engine"
 	"unbiasedfl/internal/fl"
 	"unbiasedfl/internal/game"
 	"unbiasedfl/internal/sim"
@@ -130,7 +132,17 @@ func runPricedParallel(
 				})
 			}
 		}
-		timed, err := sim.TimedRun(ctx, runner.Spec(), env.newBackend(parallel), env.Timing)
+		spec := runner.Spec()
+		mgr, err := env.openRunCheckpoint(&spec, scheme, run, seed)
+		if err != nil {
+			return nil, err
+		}
+		timed, err := sim.TimedRun(ctx, spec, env.newBackend(parallel), env.Timing)
+		if mgr != nil {
+			if cerr := mgr.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
 		if err != nil {
 			if ctxErr := ctx.Err(); ctxErr != nil {
 				return nil, ctxErr
@@ -188,6 +200,40 @@ func runPricedParallel(
 		sr.FinalAccuracy = last.Accuracy
 	}
 	return sr, nil
+}
+
+// openRunCheckpoint wires durability into one (scheme, run) training leg
+// when the environment carries a checkpoint prefix: the spec commits every
+// round boundary to "<prefix>-<scheme>-run<i>.ckpt", and — in resume mode —
+// picks up from whatever that file already holds. Returns nil with no error
+// when checkpointing is off.
+func (e *Environment) openRunCheckpoint(spec *engine.Spec, scheme string, run int, seed uint64) (*checkpoint.Manager, error) {
+	if e.Checkpoint == "" {
+		return nil, nil
+	}
+	path := fmt.Sprintf("%s-%s-run%d.ckpt", e.Checkpoint, scheme, run)
+	meta := checkpoint.Meta{
+		Label:   fmt.Sprintf("%s/run%d", scheme, run),
+		Seed:    seed,
+		Clients: e.Opts.NumClients,
+		Rounds:  e.Opts.Rounds,
+	}
+	var (
+		mgr *checkpoint.Manager
+		st  *engine.RunState
+		err error
+	)
+	if e.CheckpointResume {
+		mgr, st, err = checkpoint.Attach(path, meta, checkpoint.Options{})
+	} else {
+		mgr, err = checkpoint.Create(path, meta, checkpoint.Options{})
+	}
+	if err != nil {
+		return nil, err
+	}
+	spec.Resume = st
+	spec.OnRoundCommit = mgr.Commit
+	return mgr, nil
 }
 
 // schemeSeedSalt keeps per-scheme training seeds distinct, matching the

@@ -13,6 +13,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"unbiasedfl/internal/data"
 	"unbiasedfl/internal/fl"
@@ -153,6 +154,19 @@ type Environment struct {
 	// from this environment (BackendLocal by default). Results are
 	// bit-identical across backends; see internal/engine.
 	Exec Backend
+	// Checkpoint, when non-empty, is a path prefix under which every
+	// training run launched from this environment persists a per-run
+	// checkpoint ("<prefix>-<scheme>-run<i>.ckpt" plus its trace WAL); a
+	// rerun with CheckpointResume picks each run up at its last committed
+	// round and produces bit-identical results (see internal/checkpoint).
+	Checkpoint string
+	// CheckpointResume resumes runs from existing checkpoints under the
+	// prefix instead of discarding them.
+	CheckpointResume bool
+	// RoundTimeout, when positive and Exec is BackendCluster, runs every
+	// round under this deadline with self-healing degradation (see
+	// engine.ClusterOptions.RoundTimeout).
+	RoundTimeout time.Duration
 }
 
 // Equilibrium solves (or returns the memoized) Stackelberg equilibrium of

@@ -65,6 +65,26 @@ func (s *BernoulliSampler) Q() []float64 {
 // levels themselves.
 func (s *BernoulliSampler) EffectiveQ() []float64 { return s.Q() }
 
+// SamplerState implements engine.StatefulSampler: the coin stream's xoshiro
+// cursor, so a checkpointed run resumes the exact participation sequence.
+func (s *BernoulliSampler) SamplerState() []uint64 {
+	st := s.rng.State()
+	return []uint64{st[0], st[1], st[2], st[3]}
+}
+
+// RestoreSamplerState implements engine.StatefulSampler.
+func (s *BernoulliSampler) RestoreSamplerState(state []uint64) error {
+	if len(state) != 4 {
+		return fmt.Errorf("fl: sampler state has %d words, want 4", len(state))
+	}
+	rng, err := stats.RestoreRNG([4]uint64{state[0], state[1], state[2], state[3]})
+	if err != nil {
+		return err
+	}
+	s.rng = rng
+	return nil
+}
+
 // FullSampler includes every client in every round (full participation).
 type FullSampler struct {
 	n int
@@ -129,7 +149,8 @@ func (s *FixedSubsetSampler) Sample(int) []int {
 func (s *FixedSubsetSampler) NumClients() int { return s.n }
 
 var (
-	_ Sampler = (*BernoulliSampler)(nil)
-	_ Sampler = (*FullSampler)(nil)
-	_ Sampler = (*FixedSubsetSampler)(nil)
+	_ Sampler                = (*BernoulliSampler)(nil)
+	_ engine.StatefulSampler = (*BernoulliSampler)(nil)
+	_ Sampler                = (*FullSampler)(nil)
+	_ Sampler                = (*FixedSubsetSampler)(nil)
 )

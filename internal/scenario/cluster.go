@@ -17,6 +17,13 @@ type ClusterConfig struct {
 	// replies without slowing the suite). It shifts wall time and reply
 	// order only; the trace is unaffected.
 	StragglerUnit time.Duration
+	// RoundTimeout, when positive, switches the cluster backend into
+	// self-healing mode: every round runs under this deadline, and a node
+	// that crashes, disconnects, or misses it forfeits the round (recorded
+	// as unavailable, which the unbiased estimator already prices) while a
+	// background dialer revives it. Zero keeps the strict behaviour where
+	// any node failure fails the run.
+	RoundTimeout time.Duration
 }
 
 // nodeDelay compiles the schedule's straggler factors into the engine

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 
+	"unbiasedfl/internal/checkpoint"
 	"unbiasedfl/internal/engine"
 	"unbiasedfl/internal/experiment"
 	"unbiasedfl/internal/game"
@@ -26,11 +27,38 @@ const (
 )
 
 // RunConfig tunes a scenario run beyond the scenario itself: which execution
-// backend carries the local updates, and the cluster harness knobs when it
-// is BackendCluster.
+// backend carries the local updates, the cluster harness knobs when it is
+// BackendCluster, and the durability configuration.
 type RunConfig struct {
-	Backend Backend
-	Cluster ClusterConfig
+	Backend    Backend
+	Cluster    ClusterConfig
+	Checkpoint CheckpointConfig
+}
+
+// CheckpointConfig makes a scenario run durable: with a non-empty Path the
+// run commits a checkpoint at every round boundary, and a resumed run
+// replays to a Trace byte-identical to the uninterrupted one (the invariant
+// internal/checkpoint states and the resume sweep tests pin) — on either
+// backend, and even across backends.
+type CheckpointConfig struct {
+	// Path is the snapshot file location ("" disables checkpointing); the
+	// trace WAL lives beside it at Path+".wal".
+	Path string
+	// Resume continues from an existing checkpoint at Path when one exists
+	// (and starts fresh when none does). False discards any prior
+	// checkpoint there.
+	Resume bool
+	// Sync fsyncs every commit — machine-crash durability at real per-round
+	// I/O cost. Off, commits still survive a process kill (SIGKILL
+	// included); see checkpoint.Options.
+	Sync bool
+	// Interval snapshots every k-th boundary (0 = every round). The WAL
+	// gets every round regardless.
+	Interval int
+	// AfterCommit, when non-nil, runs after each boundary becomes durable
+	// with the number of committed rounds — the seam the crash/resume
+	// harness uses to kill the process at an exact boundary.
+	AfterCommit func(rounds int)
 }
 
 // Run compiles the scenario and executes it in-process through the full
@@ -83,6 +111,24 @@ func RunWith(ctx context.Context, sc Scenario, cfg RunConfig) (*Trace, error) {
 		Sampler:    sampler,
 		Aggregator: engine.UnbiasedAggregator{},
 	}
+	if cfg.Checkpoint.Path != "" {
+		mgr, st, err := openCheckpoint(sc, cfg.Checkpoint)
+		if err != nil {
+			return nil, err
+		}
+		defer func() { _ = mgr.Close() }()
+		spec.Resume = st
+		after := cfg.Checkpoint.AfterCommit
+		spec.OnRoundCommit = func(st *engine.RunState) error {
+			if err := mgr.Commit(st); err != nil {
+				return err
+			}
+			if after != nil {
+				after(st.NextRound)
+			}
+			return nil
+		}
+	}
 	backend, err := newBackend(cfg, sch)
 	if err != nil {
 		return nil, err
@@ -98,6 +144,19 @@ func RunWith(ctx context.Context, sc Scenario, cfg RunConfig) (*Trace, error) {
 	return assembleTrace(sc, env, outcome, q, sch, res)
 }
 
+// openCheckpoint attaches or creates the run's checkpoint. The scenario's
+// identity (name, seed, fleet, horizon) guards against resuming a
+// checkpoint into a different world.
+func openCheckpoint(sc Scenario, cc CheckpointConfig) (*checkpoint.Manager, *engine.RunState, error) {
+	meta := checkpoint.Meta{Label: sc.Name, Seed: sc.Seed, Clients: sc.Clients, Rounds: sc.Rounds}
+	opts := checkpoint.Options{Interval: cc.Interval, Sync: cc.Sync}
+	if cc.Resume {
+		return checkpoint.Attach(cc.Path, meta, opts)
+	}
+	mgr, err := checkpoint.Create(cc.Path, meta, opts)
+	return mgr, nil, err
+}
+
 // newBackend compiles the run configuration into an execution backend.
 func newBackend(cfg RunConfig, sch engine.FaultSchedule) (engine.ExecutionBackend, error) {
 	switch cfg.Backend {
@@ -105,8 +164,9 @@ func newBackend(cfg RunConfig, sch engine.FaultSchedule) (engine.ExecutionBacken
 		return engine.NewLocalBackend(engine.LocalOptions{Parallel: true}), nil
 	case BackendCluster:
 		return engine.NewClusterBackend(engine.ClusterOptions{
-			Timeout:   cfg.Cluster.Timeout,
-			NodeDelay: cfg.Cluster.nodeDelay(sch),
+			Timeout:      cfg.Cluster.Timeout,
+			NodeDelay:    cfg.Cluster.nodeDelay(sch),
+			RoundTimeout: cfg.Cluster.RoundTimeout,
 		}), nil
 	default:
 		return nil, fmt.Errorf("scenario: unknown backend %v", cfg.Backend)

@@ -69,6 +69,21 @@ func (r *RNG) Split() *RNG {
 	return NewRNG(r.Uint64() ^ 0xA5A5A5A55A5A5A5A)
 }
 
+// State exposes the generator's internal cursor — the full xoshiro256**
+// word vector — so a checkpoint can persist a stream mid-flight and
+// RestoreRNG can resume it bit-exactly.
+func (r *RNG) State() [4]uint64 { return r.s }
+
+// RestoreRNG reconstructs a generator at a cursor previously captured with
+// State. The all-zero vector is not a reachable xoshiro state, so it is
+// rejected rather than silently producing a degenerate stream.
+func RestoreRNG(state [4]uint64) (*RNG, error) {
+	if state[0]|state[1]|state[2]|state[3] == 0 {
+		return nil, errors.New("stats: all-zero RNG state")
+	}
+	return &RNG{s: state}, nil
+}
+
 // Float64 returns a uniform value in [0, 1).
 func (r *RNG) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)

@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"net"
 	"time"
 
 	"unbiasedfl/internal/data"
@@ -42,6 +41,11 @@ type ClientConfig struct {
 	// announced round number and may inject a straggler delay, a forced
 	// skip, or a mid-round crash. It runs on the client goroutine.
 	FaultFunc func(round int) RoundFault
+	// Retry tunes the dial: Run dials through DialRetry, so a device can
+	// outwait a coordinator that is still booting (or rebooting). The zero
+	// value keeps the historical single-shot dial. Fatal handshake errors
+	// never retry.
+	Retry RetryPolicy
 	// SGDRNG, when non-nil, supplies the stochastic-gradient randomness as
 	// a stream separate from the participation coins (which stay derived
 	// from Seed). This is the seam the byte-identity tests use to align a
@@ -84,13 +88,18 @@ func (c *Client) Run(ctx context.Context) (int, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	var dialer net.Dialer
-	conn, err := dialer.DialContext(ctx, "tcp", c.cfg.Addr)
+	policy := c.cfg.Retry
+	if policy.HandshakeTimeout <= 0 && c.cfg.Timeout > 0 {
+		policy.HandshakeTimeout = c.cfg.Timeout
+	}
+	// The jitter stream is salted so it never touches the participation
+	// coins derived from the same seed.
+	conn, err := DialRetry(ctx, c.cfg.Addr, policy, stats.NewRNG(c.cfg.Seed^0xC3D2E1F0C3D2E1F0))
 	if err != nil {
 		if ctxErr := ctx.Err(); ctxErr != nil {
 			return 0, ctxErr
 		}
-		return 0, fmt.Errorf("transport: dial: %w", err)
+		return 0, err
 	}
 	stop := watchCancel(ctx, conn)
 	defer stop()
@@ -103,14 +112,6 @@ func (c *Client) Run(ctx context.Context) (int, error) {
 		}
 		return err
 	}
-	if c.cfg.Timeout > 0 {
-		_ = conn.SetDeadline(time.Now().Add(c.cfg.Timeout))
-	}
-	if err := Handshake(conn); err != nil {
-		_ = conn.Close()
-		return 0, ctxify(err)
-	}
-	_ = conn.SetDeadline(time.Time{})
 	codec, err := NewCodec(conn, c.cfg.Timeout)
 	if err != nil {
 		_ = conn.Close()

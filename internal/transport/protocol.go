@@ -36,8 +36,9 @@ import (
 const (
 	// ProtocolVersion is the current wire-protocol version, bumped on every
 	// incompatible change (version 1: unframed gob; version 2: handshake +
-	// length-framed gob).
-	ProtocolVersion byte = 2
+	// length-framed gob; version 3: resumable executor cursors on
+	// MsgWelcome/MsgUpdate).
+	ProtocolVersion byte = 3
 	// MaxFrameSize bounds a single frame's payload. The largest legitimate
 	// frame is a MsgRoundStart carrying the flattened global model; 64 MiB
 	// covers ~8M float64 parameters with gob overhead to spare.
@@ -167,6 +168,22 @@ type Message struct {
 	// GradSqNorm reports the client's running mean squared gradient norm
 	// (MsgUpdate/MsgSkip), feeding the server's G_n estimates.
 	GradSqNorm float64
+	// Cursor carries resumable executor state: on MsgWelcome the coordinator
+	// positions the node's SGD stream (fresh boot, resume, or reconnect after
+	// a failure all look the same to the node); on MsgUpdate the node reports
+	// its post-update cursor so the coordinator's table stays authoritative
+	// even if the node later dies.
+	Cursor *Cursor
+}
+
+// Cursor is the wire form of one client executor's resumable state: the
+// xoshiro cursor of its private SGD stream and its Welford gradient-norm
+// accumulator.
+type Cursor struct {
+	RNG     [4]uint64
+	SqCount int
+	SqMean  float64
+	SqM2    float64
 }
 
 // Codec wraps a connection with framed gob encoding and deadlines. Each

@@ -1,0 +1,137 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"unbiasedfl/internal/stats"
+)
+
+// TestDialRetryOutwaitsLateListener: a coordinator that starts listening
+// after the first attempts fail must still be reached within the retry
+// budget.
+func TestDialRetryOutwaitsLateListener(t *testing.T) {
+	// Reserve an address, then close it so the first dials are refused.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+
+	ready := make(chan struct{})
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		ln2, err := net.Listen("tcp", addr)
+		if err != nil {
+			t.Error(err)
+			close(ready)
+			return
+		}
+		close(ready)
+		conn, err := ln2.Accept()
+		if err == nil {
+			_ = Handshake(conn)
+			_ = conn.Close()
+		}
+		_ = ln2.Close()
+	}()
+
+	conn, err := DialRetry(context.Background(), addr,
+		RetryPolicy{Attempts: 20, Base: 20 * time.Millisecond, Max: 100 * time.Millisecond},
+		stats.NewRNG(1))
+	if err != nil {
+		t.Fatalf("retry did not outwait the late listener: %v", err)
+	}
+	_ = conn.Close()
+	<-ready
+}
+
+// TestDialRetryDoesNotRetryFatal: a peer that answers the handshake with a
+// wrong version (or alien magic) must abort the dial immediately — retrying
+// can never fix a protocol mismatch.
+func TestDialRetryDoesNotRetryFatal(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		preable [5]byte
+		want    error
+	}{
+		{"version-mismatch", [5]byte{'U', 'F', 'L', 0, ProtocolVersion + 1}, ErrVersionMismatch},
+		{"bad-magic", [5]byte{'X', 'X', 'X', 'X', ProtocolVersion}, ErrBadMagic},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer func() { _ = ln.Close() }()
+			accepts := make(chan struct{}, 16)
+			go func() {
+				for {
+					conn, err := ln.Accept()
+					if err != nil {
+						return
+					}
+					accepts <- struct{}{}
+					_, _ = conn.Write(tc.preable[:])
+					// Drain the peer's preamble, then hang up.
+					buf := make([]byte, 5)
+					_, _ = conn.Read(buf)
+					_ = conn.Close()
+				}
+			}()
+
+			_, err = DialRetry(context.Background(), ln.Addr().String(),
+				RetryPolicy{Attempts: 10, Base: 5 * time.Millisecond}, nil)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("got %v, want %v", err, tc.want)
+			}
+			if got := len(accepts); got != 1 {
+				t.Fatalf("fatal handshake error was retried: %d dial attempts", got)
+			}
+		})
+	}
+}
+
+// TestDialRetryHonorsCancellation: cancelling mid-backoff returns promptly
+// with ctx.Err().
+func TestDialRetryHonorsCancellation(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close() // every dial will be refused
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = DialRetry(ctx, addr, RetryPolicy{Attempts: 1000, Base: 10 * time.Millisecond, Max: time.Hour}, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v to land", elapsed)
+	}
+}
+
+// TestDialRetryReportsLastError: exhausting the budget must surface the
+// underlying cause, not a bare count.
+func TestDialRetryReportsLastError(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+	_, err = DialRetry(context.Background(), addr, RetryPolicy{Attempts: 2, Base: time.Millisecond}, nil)
+	if err == nil {
+		t.Fatal("dial to a closed address succeeded")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"unbiasedfl/internal/data"
 	"unbiasedfl/internal/model"
 	"unbiasedfl/internal/stats"
+	"unbiasedfl/internal/testutil"
 )
 
 // rawDial opens a codec to the server (completing the version handshake)
@@ -112,6 +113,156 @@ func TestServerRejectsDuplicateID(t *testing.T) {
 	if err := <-done; err == nil {
 		t.Fatal("server accepted a duplicate client id")
 	}
+}
+
+// tolerantServer builds a fault-tolerant coordinator with a tight round
+// timeout, so dead or silent clients are detected within test patience.
+func tolerantServer(t *testing.T, clients int, timeout time.Duration) *Server {
+	t.Helper()
+	m, err := model.NewLogisticRegression(2, 2, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := make([]float64, clients)
+	w := make([]float64, clients)
+	for i := range q {
+		q[i] = 1
+		w[i] = 1 / float64(clients)
+	}
+	srv, err := NewServer(ServerConfig{
+		Addr: "127.0.0.1:0", NumClients: clients,
+		Q: q, Weights: w,
+		Rounds: 3, LocalSteps: 1, BatchSize: 4,
+		Schedule:       expDecay{Eta0: 0.05, Decay: 1},
+		Timeout:        timeout,
+		TolerateFaults: true,
+	}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// liveShard is a tiny 2-dim/2-class dataset for a real client riding along a
+// robustness scenario.
+func liveShard() *data.Dataset {
+	return &data.Dataset{
+		Dim: 2, Classes: 2,
+		X: [][]float64{{1, 1}, {0.5, -1}, {-1, 0.3}, {0.2, 0.8}},
+		Y: []int{0, 1, 1, 0},
+	}
+}
+
+// TestServerToleratesDeathAfterWelcome: a node that registers (so it holds a
+// slot and a welcome) and then dies must have its slot released — the
+// surviving fleet finishes all rounds, the dead client is recorded as
+// dropped, and no goroutine outlives the run.
+func TestServerToleratesDeathAfterWelcome(t *testing.T) {
+	baseline := testutil.GoroutineBaseline()
+	srv := tolerantServer(t, 2, 2*time.Second)
+	defer func() { _ = srv.Close() }()
+	done := make(chan struct {
+		res *ServerResult
+		err error
+	}, 1)
+	go func() {
+		res, err := srv.Run(context.Background())
+		done <- struct {
+			res *ServerResult
+			err error
+		}{res, err}
+	}()
+
+	m, err := model.NewLogisticRegression(2, 2, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := NewClient(ClientConfig{
+		Addr: srv.Addr(), ID: 0, Seed: 41, Timeout: 5 * time.Second,
+	}, m, liveShard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveDone := make(chan error, 1)
+	go func() {
+		_, err := live.Run(context.Background())
+		liveDone <- err
+	}()
+
+	dead := rawDial(t, srv.Addr(), &Message{Type: MsgHello, ClientID: 1})
+	if _, err := dead.Recv(); err != nil { // it held the welcome...
+		t.Fatal(err)
+	}
+	_ = dead.Close() // ...and died.
+
+	out := <-done
+	if out.err != nil {
+		t.Fatalf("fleet did not survive a post-welcome death: %v", out.err)
+	}
+	if err := <-liveDone; err != nil {
+		t.Fatalf("surviving client: %v", err)
+	}
+	if !out.res.Dropped[1] || out.res.ParticipationCounts[1] != 0 {
+		t.Fatalf("dead client not recorded as dropped: dropped=%v counts=%v",
+			out.res.Dropped, out.res.ParticipationCounts)
+	}
+	if out.res.ParticipationCounts[0] != 3 {
+		t.Fatalf("survivor joined %d/3 rounds", out.res.ParticipationCounts[0])
+	}
+	testutil.WaitNoLeaks(t, baseline, 10*time.Second)
+}
+
+// TestServerClosesConnOfSilentClient: a registered node that goes silent
+// mid-round must be dropped at the deadline AND have its server-side
+// connection closed (observable as EOF on the peer side) — the conn-leak
+// half of the slot-release contract.
+func TestServerClosesConnOfSilentClient(t *testing.T) {
+	baseline := testutil.GoroutineBaseline()
+	srv := tolerantServer(t, 2, 500*time.Millisecond)
+	defer func() { _ = srv.Close() }()
+	done := make(chan error, 1)
+	go func() {
+		_, err := srv.Run(context.Background())
+		done <- err
+	}()
+
+	m, err := model.NewLogisticRegression(2, 2, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := NewClient(ClientConfig{
+		Addr: srv.Addr(), ID: 0, Seed: 43, Timeout: 5 * time.Second,
+	}, m, liveShard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveDone := make(chan error, 1)
+	go func() {
+		_, err := live.Run(context.Background())
+		liveDone <- err
+	}()
+
+	silent := rawDial(t, srv.Addr(), &Message{Type: MsgHello, ClientID: 1})
+	defer func() { _ = silent.Close() }()
+	if _, err := silent.Recv(); err != nil { // welcome
+		t.Fatal(err)
+	}
+	if _, err := silent.Recv(); err != nil { // round 0 start — then say nothing
+		t.Fatal(err)
+	}
+
+	if err := <-done; err != nil {
+		t.Fatalf("fleet did not survive a silent client: %v", err)
+	}
+	if err := <-liveDone; err != nil {
+		t.Fatalf("surviving client: %v", err)
+	}
+	// The server must have severed the silent client's connection when it
+	// dropped it; from the peer side that is a read error, never a hang.
+	if _, err := silent.RecvDeadline(time.Now().Add(5 * time.Second)); err == nil {
+		t.Fatal("server left the silent client's connection open")
+	}
+	testutil.WaitNoLeaks(t, baseline, 10*time.Second)
 }
 
 // TestEndToEndTCPWithRidge runs the prototype with the second model family

@@ -30,8 +30,13 @@ type (
 	// ScenarioRunConfig selects the execution backend (and its knobs) for
 	// RunScenarioWith.
 	ScenarioRunConfig = scenario.RunConfig
-	// ClusterConfig tunes the multi-node loopback harness.
+	// ClusterConfig tunes the multi-node loopback harness, including the
+	// self-healing RoundTimeout.
 	ClusterConfig = scenario.ClusterConfig
+	// CheckpointConfig makes a scenario run durable: commit a checkpoint at
+	// every round boundary and resume a killed run to a byte-identical
+	// trace. See internal/checkpoint for the invariant.
+	CheckpointConfig = scenario.CheckpointConfig
 )
 
 // The fault kinds a schedule can inject.

@@ -3,6 +3,7 @@ package unbiasedfl
 import (
 	"context"
 	"errors"
+	"time"
 
 	"unbiasedfl/internal/experiment"
 	"unbiasedfl/internal/game"
@@ -29,10 +30,13 @@ type Session struct {
 // sessionConfig collects functional options before the environment is
 // built.
 type sessionConfig struct {
-	opts        Options
-	observer    Observer
-	sweepScheme string
-	backend     Backend
+	opts             Options
+	observer         Observer
+	sweepScheme      string
+	backend          Backend
+	checkpoint       string
+	checkpointResume bool
+	roundTimeout     time.Duration
 }
 
 // Option configures a Session at construction time.
@@ -94,6 +98,32 @@ func WithSweepScheme(name string) Option { return func(c *sessionConfig) { c.swe
 // engine runs the same orchestrated round protocol on both.
 func WithBackend(b Backend) Option { return func(c *sessionConfig) { c.backend = b } }
 
+// WithCheckpoint makes every training run launched from the session durable:
+// each (scheme, run) leg commits a checkpoint under the given path prefix at
+// every round boundary, discarding any prior checkpoints there. A killed
+// process rerun with WithCheckpointResume finishes each leg from its last
+// committed round with bit-identical results. See internal/checkpoint for
+// the invariant and the file format.
+func WithCheckpoint(prefix string) Option {
+	return func(c *sessionConfig) { c.checkpoint = prefix; c.checkpointResume = false }
+}
+
+// WithCheckpointResume is WithCheckpoint resuming from whatever checkpoints
+// already exist under the prefix (legs without one start fresh).
+func WithCheckpointResume(prefix string) Option {
+	return func(c *sessionConfig) { c.checkpoint = prefix; c.checkpointResume = true }
+}
+
+// WithRoundTimeout puts every cluster-backend round under a deadline with
+// self-healing degradation: a node that crashes, disconnects, or misses the
+// deadline is recorded as unavailable for that round (which the unbiased
+// estimator already prices) and revived in the background, instead of
+// failing or hanging the run. Zero (the default) keeps strict behaviour. It
+// has no effect on the local backend.
+func WithRoundTimeout(d time.Duration) Option {
+	return func(c *sessionConfig) { c.roundTimeout = d }
+}
+
 // NewSession generates data, calibrates the convergence-bound constants,
 // and assembles the CPL game for one of the paper's setups, returning a
 // Session ready to launch experiments. The (training-heavy) calibration
@@ -113,6 +143,9 @@ func NewSession(ctx context.Context, id SetupID, options ...Option) (*Session, e
 		return nil, err
 	}
 	env.Exec = cfg.backend
+	env.Checkpoint = cfg.checkpoint
+	env.CheckpointResume = cfg.checkpointResume
+	env.RoundTimeout = cfg.roundTimeout
 	return &Session{env: env, observer: cfg.observer, sweepScheme: cfg.sweepScheme}, nil
 }
 
