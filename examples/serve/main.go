@@ -1,0 +1,150 @@
+// Serving: drive the equilibrium-as-a-service daemon end to end from a
+// plain HTTP client. The example boots an in-process flserve on a loopback
+// port, quotes a hand-built CPL game under two schemes (the second quote
+// of each is answered from the sharded cache), starts a federation session
+// for a custom tiny scenario, follows its Server-Sent-Events stream live,
+// fetches the canonical trace, and shuts the daemon down gracefully —
+// exactly the flow an external tenant would run against cmd/flserve.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+
+	"unbiasedfl/internal/scenario"
+	"unbiasedfl/internal/serve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// Boot the daemon on an ephemeral loopback port.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := serve.New(serve.Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, ln) }()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("daemon up at %s\n\n", base)
+
+	// Quote the same game twice: the repeat is served from the cache.
+	quote := serve.QuoteRequest{
+		Scheme: "proposed",
+		Params: serve.ParamsJSON{
+			A:     []float64{0.4, 0.35, 0.25},
+			G:     []float64{0.5, 0.8, 1.1},
+			C:     []float64{40, 55, 70},
+			V:     []float64{3000, 4500, 6000},
+			Alpha: 1, Beta: 1, R: 100, B: 200,
+		},
+	}
+	for _, scheme := range []string{"proposed", "uniform"} {
+		quote.Scheme = scheme
+		for attempt := 1; attempt <= 2; attempt++ {
+			var resp serve.QuoteResponse
+			if err := post(base+"/v1/quote", quote, &resp); err != nil {
+				return err
+			}
+			if attempt == 1 {
+				fmt.Printf("%-8s spent %8.2f of budget, prices %v\n", scheme, resp.Spent, round2(resp.P))
+			}
+		}
+	}
+
+	// Start a session for a custom tiny scenario and follow its SSE stream.
+	sc := scenario.Scenario{
+		Name: "serve-demo", Description: "examples/serve fixture",
+		Setup: 1, Clients: 4, Rounds: 6, LocalSteps: 2,
+		BatchSize: 8, EvalEvery: 2, Calibration: 1, Seed: 7,
+	}
+	var st serve.SessionStatus
+	if err := post(base+"/v1/sessions", serve.SessionRequest{Spec: &sc}, &st); err != nil {
+		return err
+	}
+	fmt.Printf("\nsession %s (%s) accepted, streaming events:\n", st.ID, st.Label)
+
+	events, err := http.Get(base + "/v1/sessions/" + st.ID + "/events")
+	if err != nil {
+		return err
+	}
+	defer events.Body.Close()
+	lines := bufio.NewScanner(events.Body)
+	var typ string
+	for lines.Scan() {
+		line := lines.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			typ = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			fmt.Printf("  %-14s %s\n", typ, strings.TrimPrefix(line, "data: "))
+		}
+		if line == "" && (typ == "done" || typ == "error" || typ == "cancelled") {
+			break
+		}
+	}
+	if err := lines.Err(); err != nil {
+		return err
+	}
+
+	// Fetch the canonical trace — byte-identical to a direct facade run.
+	res, err := http.Get(base + "/v1/sessions/" + st.ID + "/result")
+	if err != nil {
+		return err
+	}
+	trace, err := io.ReadAll(res.Body)
+	res.Body.Close()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\ncanonical trace: %d bytes\n", len(trace))
+
+	// Graceful shutdown: cancel the serve context and wait for the drain.
+	cancel()
+	if err := <-done; err != nil {
+		return err
+	}
+	fmt.Println("daemon drained cleanly")
+	return nil
+}
+
+func post(url string, body, out any) error {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		msg, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("POST %s: %d: %s", url, resp.StatusCode, msg)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func round2(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(int(x*100)) / 100
+	}
+	return out
+}

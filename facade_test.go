@@ -2,6 +2,8 @@ package unbiasedfl_test
 
 import (
 	"context"
+	"errors"
+	"strings"
 	"testing"
 
 	"unbiasedfl"
@@ -131,5 +133,54 @@ func TestFacadeDefaults(t *testing.T) {
 	names := unbiasedfl.SchemeNames()
 	if len(names) < 3 || names[0] != unbiasedfl.SchemeNameProposed {
 		t.Fatalf("registry names %v", names)
+	}
+}
+
+// TestSessionIdentityAndClose pins the serving seam: every session gets a
+// unique stable ID, Close is idempotent, and a closed session refuses all
+// work with ErrSessionClosed.
+func TestSessionIdentityAndClose(t *testing.T) {
+	ctx := context.Background()
+	a, err := unbiasedfl.NewSession(ctx, unbiasedfl.Setup1, tinyFacadeOptions()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := unbiasedfl.NewSession(ctx, unbiasedfl.Setup1, tinyFacadeOptions()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID() == "" || b.ID() == "" {
+		t.Fatalf("empty session IDs: %q, %q", a.ID(), b.ID())
+	}
+	if a.ID() == b.ID() {
+		t.Fatalf("sessions share ID %q", a.ID())
+	}
+	if !strings.HasPrefix(a.ID(), "session-") {
+		t.Fatalf("session ID %q, want session-N", a.ID())
+	}
+
+	if err := a.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatalf("second Close not idempotent: %v", err)
+	}
+	if a.ID() == "" {
+		t.Fatal("ID lost after Close")
+	}
+
+	if _, err := a.Equilibrium(); !errors.Is(err, unbiasedfl.ErrSessionClosed) {
+		t.Fatalf("Equilibrium after Close: %v, want ErrSessionClosed", err)
+	}
+	if _, err := a.RunScheme(ctx, "proposed"); !errors.Is(err, unbiasedfl.ErrSessionClosed) {
+		t.Fatalf("RunScheme after Close: %v, want ErrSessionClosed", err)
+	}
+
+	// The sibling session is unaffected.
+	if _, err := b.Equilibrium(); err != nil {
+		t.Fatalf("open session Equilibrium: %v", err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -1,0 +1,39 @@
+package cli
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// APIError is the typed error payload every flserve endpoint returns on
+// failure: a stable machine-matchable code plus a human-readable message.
+type APIError struct {
+	// Code is a stable snake_case identifier ("bad_json", "unknown_scheme",
+	// "body_too_large", "sessions_full", ...) clients can switch on.
+	Code string `json:"code"`
+	// Message describes the failure for humans; its wording is not part of
+	// the API contract.
+	Message string `json:"message"`
+}
+
+// ErrorEnvelope is the JSON error envelope shared by every HTTP endpoint:
+//
+//	{"error": {"code": "unknown_scheme", "message": "..."}}
+//
+// Keeping it here (next to WriteJSON) gives the serving daemon and any
+// future HTTP surface one error shape, the same way the binaries share one
+// -json encoding path.
+type ErrorEnvelope struct {
+	Error APIError `json:"error"`
+}
+
+// WriteHTTPError writes the typed error envelope with the given status. It
+// mirrors WriteJSON's encoding discipline (two-space indent, trailing
+// newline).
+func WriteHTTPError(w http.ResponseWriter, status int, code, message string) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(ErrorEnvelope{Error: APIError{Code: code, Message: message}})
+}

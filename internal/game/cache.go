@@ -3,6 +3,7 @@ package game
 import (
 	"math"
 	"sync"
+	"sync/atomic"
 )
 
 // Fingerprint returns a 64-bit FNV-1a hash over every field of the game,
@@ -65,24 +66,70 @@ type cacheEntry struct {
 	out    *Outcome
 }
 
+// cacheShardCount is the number of lock shards — a power of two so the
+// fingerprint's low bits select a shard with a mask. Sixteen shards keep
+// lock contention negligible at serving concurrency while the per-shard
+// maps stay dense.
+const cacheShardCount = 16
+
+// cacheShard is one lock-striped slice of the entry map. The trailing pad
+// keeps neighbouring shard locks on separate cache lines so a hot shard's
+// lock traffic does not false-share with its neighbours.
+type cacheShard struct {
+	mu      sync.Mutex
+	entries map[cacheKey]*cacheEntry
+	_       [40]byte
+}
+
 // Cache memoizes equilibrium solves and scheme pricings by game
-// fingerprint, so repeated Session queries on the same world (the same
-// scheme re-priced inside Compare, repeated Equilibrium calls, adaptive
-// repricing epochs with unchanged estimates) solve once.
+// fingerprint, so repeated queries on the same world (the same scheme
+// re-priced inside Compare, repeated Equilibrium calls, adaptive repricing
+// epochs with unchanged estimates, high-QPS serving traffic) solve once.
+//
+// A Cache is safe for concurrent use at serving concurrency: entries are
+// sharded by fingerprint across lock-striped shards, so the hit path takes
+// only its shard's lock plus two atomic counter bumps, and concurrent
+// readers of distinct games never contend. The miss path (which just paid
+// for a full solve) additionally serializes on a store lock that owns the
+// global FIFO eviction order, keeping the capacity bound exact.
 //
 // Cached values are shared between callers and must be treated as
 // read-only, the same contract every solver result in this package already
 // carries. Pricing schemes routed through Price must be deterministic —
 // true of the built-ins and of anything derived from Params.OutcomeFor.
-// Eviction is FIFO at the configured capacity. A Cache is safe for
-// concurrent use.
+// Eviction is FIFO at the configured capacity.
 type Cache struct {
-	mu      sync.Mutex
+	shards    [cacheShardCount]cacheShard
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+
+	// storeMu owns the insertion bookkeeping: the FIFO order, the live size,
+	// and the capacity bound. Lock order is storeMu before any shard lock;
+	// the read path never touches storeMu.
+	storeMu sync.Mutex
 	max     int
-	entries map[cacheKey]*cacheEntry
+	size    int
 	order   []cacheKey
-	hits    uint64
-	misses  uint64
+}
+
+// CacheStats is a point-in-time snapshot of the cache counters. Hits,
+// Misses, and Evictions are monotone totals since construction; Entries is
+// the current population.
+type CacheStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Entries   int
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
 }
 
 // NewCache returns a cache holding at most max solved games (max <= 0
@@ -91,7 +138,11 @@ func NewCache(max int) *Cache {
 	if max <= 0 {
 		max = 256
 	}
-	return &Cache{max: max, entries: make(map[cacheKey]*cacheEntry)}
+	c := &Cache{max: max}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[cacheKey]*cacheEntry)
+	}
+	return c
 }
 
 // Solve returns the memoized Stackelberg equilibrium of p, solving it via
@@ -126,40 +177,77 @@ func (c *Cache) Price(ps PricingScheme, p *Params) (*Outcome, error) {
 
 // Stats reports the hit/miss counters.
 func (c *Cache) Stats() (hits, misses uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Snapshot reports all counters plus the current entry count, the shape the
+// serving layer's /metrics endpoint exports.
+func (c *Cache) Snapshot() CacheStats {
+	s := CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+	}
+	c.storeMu.Lock()
+	s.Entries = c.size
+	c.storeMu.Unlock()
+	return s
 }
 
 // Len reports the number of cached solves.
 func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
+	c.storeMu.Lock()
+	defer c.storeMu.Unlock()
+	return c.size
+}
+
+// shard selects the lock shard owning a fingerprint.
+func (c *Cache) shard(fp uint64) *cacheShard {
+	return &c.shards[fp&(cacheShardCount-1)]
 }
 
 func (c *Cache) lookup(key cacheKey, p *Params) *cacheEntry {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, ok := c.entries[key]
+	sh := c.shard(key.fp)
+	sh.mu.Lock()
+	e, ok := sh.entries[key]
+	sh.mu.Unlock()
+	// The entry (and its cloned Params) is immutable after store, so the
+	// collision re-check can run outside the shard lock.
 	if ok && e.params.Equal(p) {
-		c.hits++
+		c.hits.Add(1)
 		return e
 	}
-	c.misses++
+	c.misses.Add(1)
 	return nil
 }
 
 func (c *Cache) store(key cacheKey, p *Params, e *cacheEntry) {
 	e.params = p.Clone()
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, exists := c.entries[key]; !exists {
-		for len(c.entries) >= c.max && len(c.order) > 0 {
-			delete(c.entries, c.order[0])
-			c.order = c.order[1:]
-		}
-		c.order = append(c.order, key)
+	c.storeMu.Lock()
+	defer c.storeMu.Unlock()
+	sh := c.shard(key.fp)
+	sh.mu.Lock()
+	_, existed := sh.entries[key]
+	sh.entries[key] = e
+	sh.mu.Unlock()
+	if existed {
+		// Two concurrent misses on the same game both solved; the second
+		// overwrote the first's (equal) entry and the FIFO order already
+		// lists the key once.
+		return
 	}
-	c.entries[key] = e
+	c.order = append(c.order, key)
+	c.size++
+	for c.size > c.max {
+		// Every present key appears exactly once in order (all mutations
+		// happen under storeMu), so the victim is always still resident.
+		victim := c.order[0]
+		c.order = c.order[1:]
+		vs := c.shard(victim.fp)
+		vs.mu.Lock()
+		delete(vs.entries, victim)
+		vs.mu.Unlock()
+		c.size--
+		c.evictions.Add(1)
+	}
 }

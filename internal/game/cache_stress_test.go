@@ -1,0 +1,145 @@
+package game
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestCacheConcurrentStress hammers one Cache from many goroutines with a
+// mix of repeated games (hit traffic), per-goroutine unique games (miss +
+// eviction traffic), and Price calls on two schemes, and verifies under
+// -race that the sharded lock discipline holds and every returned value
+// still equals a fresh solve. Capacity is kept small so the FIFO eviction
+// path runs constantly while lookups race it.
+func TestCacheConcurrentStress(t *testing.T) {
+	const (
+		workers = 8
+		iters   = 60
+		hotSize = 4
+		// The 4 hot games occupy 12 keys (solve + two schemes each); 32 slots
+		// let most hot keys survive while the unique-miss stream keeps the
+		// FIFO eviction path constantly busy.
+		cap = 32
+	)
+	c := NewCache(cap)
+
+	hot := make([]*Params, hotSize)
+	want := make([]*Equilibrium, hotSize)
+	for i := range hot {
+		hot[i] = engineGame(t, uint64(900+i), 6)
+		eq, err := hot[i].SolveKKT()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = eq
+	}
+	proposed, err := SchemeByName(SchemeNameProposed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform, err := SchemeByName(SchemeNameUniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				// Hit traffic: a hot game solved through the cache must match
+				// its cold solve bit-for-bit whatever evictions raced it.
+				g := hot[(w+i)%hotSize]
+				eq, err := c.Solve(g)
+				if err != nil {
+					errs <- err
+					return
+				}
+				ref := want[(w+i)%hotSize]
+				for n := range eq.P {
+					if eq.P[n] != ref.P[n] || eq.Q[n] != ref.Q[n] {
+						t.Errorf("worker %d iter %d: cached equilibrium drifted from cold solve", w, i)
+						return
+					}
+				}
+				// Scheme pricing on the shared games exercises per-scheme keys
+				// on the same fingerprints.
+				if _, err := c.Price(proposed, g); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := c.Price(uniform, g); err != nil {
+					errs <- err
+					return
+				}
+				// Miss traffic: a unique game per (worker, iteration) forces
+				// inserts and FIFO evictions concurrent with the hits above.
+				fresh := engineGame(t, uint64(10_000+w*1000+i), 5)
+				if _, err := c.Solve(fresh); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	s := c.Snapshot()
+	if s.Entries > cap {
+		t.Fatalf("cache holds %d entries, capacity %d", s.Entries, cap)
+	}
+	if got := c.Len(); got != s.Entries {
+		t.Fatalf("Len() = %d, Snapshot().Entries = %d", got, s.Entries)
+	}
+	wantOps := uint64(workers * iters * 4)
+	if s.Hits+s.Misses != wantOps {
+		t.Fatalf("hits+misses = %d, want %d lookups", s.Hits+s.Misses, wantOps)
+	}
+	if s.Evictions == 0 {
+		t.Fatal("expected evictions under a capacity squeeze")
+	}
+	if s.Hits == 0 {
+		t.Fatal("expected hits on the hot games")
+	}
+	if s.HitRate() <= 0 || s.HitRate() >= 1 {
+		t.Fatalf("hit rate %v outside (0,1) for mixed traffic", s.HitRate())
+	}
+}
+
+// TestCacheSnapshotCounters pins the Snapshot shape on a deterministic
+// single-goroutine sequence: miss, hit, eviction.
+func TestCacheSnapshotCounters(t *testing.T) {
+	c := NewCache(2)
+	a := engineGame(t, 801, 5)
+	b := engineGame(t, 802, 5)
+	d := engineGame(t, 803, 5)
+	if _, err := c.Solve(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Solve(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Solve(b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Solve(d); err != nil { // evicts a (FIFO)
+		t.Fatal(err)
+	}
+	s := c.Snapshot()
+	if s.Hits != 1 || s.Misses != 3 || s.Evictions != 1 || s.Entries != 2 {
+		t.Fatalf("snapshot = %+v, want 1 hit / 3 misses / 1 eviction / 2 entries", s)
+	}
+	if _, err := c.Solve(a); err != nil { // a was evicted: a miss again
+		t.Fatal(err)
+	}
+	if s = c.Snapshot(); s.Misses != 4 {
+		t.Fatalf("re-solving the evicted game should miss; snapshot = %+v", s)
+	}
+}

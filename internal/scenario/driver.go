@@ -33,6 +33,14 @@ type RunConfig struct {
 	Backend    Backend
 	Cluster    ClusterConfig
 	Checkpoint CheckpointConfig
+	// Events, when non-nil, receives the run's typed progress stream:
+	// SchemeSolved once the market is priced, then RoundStart/RoundEnd per
+	// training round (Run is always 0 — a scenario is a single repetition).
+	// Events are delivered serially on the orchestration goroutine in an
+	// order that is deterministic for a fixed scenario — the same contract
+	// Session observers carry — and attaching an observer never perturbs the
+	// trace. This is the seam the serving daemon's SSE streams tap.
+	Events experiment.Observer
 }
 
 // CheckpointConfig makes a scenario run durable: with a non-empty Path the
@@ -99,6 +107,9 @@ func RunWith(ctx context.Context, sc Scenario, cfg RunConfig) (*Trace, error) {
 	// backend.
 	root := stats.NewRNG(sc.Seed ^ 0x9E3779B97F4A7C15)
 	sampler := engine.NewFaultSampler(q, sch, root.Split(), root.Split())
+	if cfg.Events != nil {
+		cfg.Events.OnEvent(experiment.SchemeSolved{Scheme: sc.Scheme, Outcome: outcome})
+	}
 	spec := engine.Spec{
 		Model:      env.Model,
 		Fed:        env.Fed,
@@ -110,6 +121,22 @@ func RunWith(ctx context.Context, sc Scenario, cfg RunConfig) (*Trace, error) {
 		Seed:       root.Uint64(),
 		Sampler:    sampler,
 		Aggregator: engine.UnbiasedAggregator{},
+	}
+	if obs := cfg.Events; obs != nil {
+		scheme := sc.Scheme
+		spec.OnRoundStart = func(round int) {
+			obs.OnEvent(experiment.RoundStart{Scheme: scheme, Round: round})
+		}
+		spec.OnRound = func(m engine.RoundMetrics) {
+			obs.OnEvent(experiment.RoundEnd{
+				Scheme:       scheme,
+				Round:        m.Round,
+				Participants: m.Participants,
+				Evaluated:    m.Evaluated,
+				Loss:         m.GlobalLoss,
+				Accuracy:     m.TestAccuracy,
+			})
+		}
 	}
 	if cfg.Checkpoint.Path != "" {
 		mgr, st, err := openCheckpoint(sc, cfg.Checkpoint)

@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"unbiasedfl/internal/experiment"
+)
+
+// SSE event types. Observer-derived types mirror the experiment event names;
+// lifecycle types are emitted by the session registry itself.
+const (
+	eventQueued      = "queued"
+	eventStarted     = "started"
+	eventSchemeSolve = "scheme_solved"
+	eventRoundStart  = "round_start"
+	eventRoundEnd    = "round_end"
+	eventSchemeDone  = "scheme_done"
+	eventSweepPoint  = "sweep_point"
+	eventDone        = "done"
+	eventError       = "error"
+	eventCancelled   = "cancelled"
+)
+
+// EncodeEvent renders a typed experiment event as its SSE (type, payload)
+// pair. The payload is json.Marshal over fixed-order structs, so for a
+// deterministic run the encoded stream is byte-deterministic too — the
+// property the SSE-vs-direct-Observer equivalence test pins.
+func EncodeEvent(e experiment.Event) (string, []byte, error) {
+	var (
+		typ string
+		v   any
+	)
+	switch ev := e.(type) {
+	case experiment.SchemeSolved:
+		typ = eventSchemeSolve
+		v = struct {
+			Scheme    string    `json:"scheme"`
+			Spent     float64   `json:"spent"`
+			ServerObj float64   `json:"server_obj"`
+			P         []float64 `json:"p"`
+			Q         []float64 `json:"q"`
+		}{ev.Scheme, ev.Outcome.Spent, ev.Outcome.ServerObj, ev.Outcome.P, ev.Outcome.Q}
+	case experiment.RoundStart:
+		typ = eventRoundStart
+		v = struct {
+			Scheme string `json:"scheme"`
+			Run    int    `json:"run"`
+			Round  int    `json:"round"`
+		}{ev.Scheme, ev.Run, ev.Round}
+	case experiment.RoundEnd:
+		typ = eventRoundEnd
+		v = struct {
+			Scheme       string  `json:"scheme"`
+			Run          int     `json:"run"`
+			Round        int     `json:"round"`
+			Participants int     `json:"participants"`
+			Evaluated    bool    `json:"evaluated"`
+			Loss         float64 `json:"loss"`
+			Accuracy     float64 `json:"accuracy"`
+		}{ev.Scheme, ev.Run, ev.Round, ev.Participants, ev.Evaluated, ev.Loss, ev.Accuracy}
+	case experiment.SchemeDone:
+		typ = eventSchemeDone
+		v = struct {
+			Scheme             string  `json:"scheme"`
+			FinalLoss          float64 `json:"final_loss"`
+			FinalAccuracy      float64 `json:"final_accuracy"`
+			TotalClientUtility float64 `json:"total_client_utility"`
+			NegativePayments   int     `json:"negative_payments"`
+		}{ev.Scheme, ev.Run.FinalLoss, ev.Run.FinalAccuracy, ev.Run.TotalClientUtility, ev.Run.NegativePayments}
+	case experiment.SweepPointDone:
+		typ = eventSweepPoint
+		v = struct {
+			Index int     `json:"index"`
+			Value float64 `json:"value"`
+		}{ev.Index, ev.Value}
+	default:
+		return "", nil, fmt.Errorf("serve: unknown event %T", e)
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		return "", nil, fmt.Errorf("serve: encode %s event: %w", typ, err)
+	}
+	return typ, b, nil
+}

@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"testing"
+	"time"
+
+	"unbiasedfl/internal/testutil"
+)
+
+// TestAbandonedSSESubscribersDoNotLeak pins the SSE design invariant: a
+// subscriber is the request goroutine itself (no per-subscriber goroutine
+// is spawned), so clients that vanish mid-stream leave nothing behind once
+// their connections close.
+func TestAbandonedSSESubscribersDoNotLeak(t *testing.T) {
+	baseline := testutil.GoroutineBaseline()
+
+	s, ts := newTestServer(t, Config{MaxSessions: 1})
+	blockingOverride(s)
+	st := createSession(t, ts.URL, SessionRequest{Scenario: "baseline"})
+
+	// Open several SSE streams and abandon them all mid-stream.
+	client := &http.Client{}
+	const subscribers = 8
+	cancels := make([]context.CancelFunc, 0, subscribers)
+	for i := 0; i < subscribers; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancels = append(cancels, cancel)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+			ts.URL+"/v1/sessions/"+st.ID+"/events", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Read the first frame so the handler is demonstrably mid-stream,
+		// then walk away without closing the body properly.
+		buf := make([]byte, 64)
+		if _, err := resp.Body.Read(buf); err != nil {
+			t.Fatalf("first SSE read: %v", err)
+		}
+	}
+
+	// Every subscriber must be registered before we abandon them.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.metrics.sseSubscribers.Load() != subscribers {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d SSE subscribers registered", s.metrics.sseSubscribers.Load(), subscribers)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	for _, cancel := range cancels {
+		cancel()
+	}
+	client.CloseIdleConnections()
+
+	// The handlers must unwind and deregister...
+	deadline = time.Now().Add(5 * time.Second)
+	for s.metrics.sseSubscribers.Load() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("%d SSE subscribers still registered after abandonment", s.metrics.sseSubscribers.Load())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// ...and the session's subscriber table must be empty again.
+	sess := s.registry.get(st.ID)
+	sess.mu.Lock()
+	stale := len(sess.subs)
+	sess.mu.Unlock()
+	if stale != 0 {
+		t.Fatalf("%d stale subscriber channels after abandonment", stale)
+	}
+
+	// Tear the session and test server down, then require the goroutine
+	// count to return to the pre-test baseline.
+	sess.cancel()
+	waitState(t, ts.URL, st.ID, StateCancelled, 5*time.Second)
+	ts.Close()
+	testutil.WaitNoLeaks(t, baseline, 10*time.Second)
+}

@@ -1,0 +1,340 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	neturl "net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// LoadOptions configures RunLoad, the closed-loop quote load generator
+// behind `flserve -load` and the CI serving-benchmark job.
+type LoadOptions struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8080". With the
+	// form "unix:/path/to.sock" the client dials the daemon's Unix domain
+	// socket instead (see Config.Addr).
+	BaseURL string
+	// Conns is the number of concurrent keep-alive connections (default 4).
+	Conns int
+	// Duration is the timed window (default 5s); the cache is primed with
+	// every distinct game before the window opens.
+	Duration time.Duration
+	// Distinct is how many distinct games the workload cycles through
+	// (default 32). After priming, every quote is a cache hit, so the
+	// steady-state hit rate is ~1 and throughput measures the cached path.
+	Distinct int
+	// Clients is the fleet size per game (default 12).
+	Clients int
+	// Scheme is the pricing scheme quoted (default "proposed").
+	Scheme string
+	// Batch, when > 1, drives POST /v1/quotes with Batch games per request
+	// instead of the single-quote endpoint; the report still counts
+	// individual quotes.
+	Batch int
+}
+
+func (o LoadOptions) withDefaults() LoadOptions {
+	if o.Conns <= 0 {
+		o.Conns = 4
+	}
+	if o.Duration <= 0 {
+		o.Duration = 5 * time.Second
+	}
+	if o.Distinct <= 0 {
+		o.Distinct = 32
+	}
+	if o.Clients <= 0 {
+		o.Clients = 12
+	}
+	if o.Scheme == "" {
+		o.Scheme = "proposed"
+	}
+	return o
+}
+
+// LoadReport is the measured result of one RunLoad window. Latencies are
+// client-observed (request write to response read) in microseconds.
+type LoadReport struct {
+	DurationS    float64 `json:"duration_s"`
+	Conns        int     `json:"conns"`
+	Distinct     int     `json:"distinct_games"`
+	Clients      int     `json:"clients_per_game"`
+	Scheme       string  `json:"scheme"`
+	Batch        int     `json:"batch,omitempty"`
+	Quotes       uint64  `json:"quotes"`
+	Errors       uint64  `json:"errors"`
+	QPS          float64 `json:"qps"`
+	CacheHits    uint64  `json:"cache_hits"`
+	CacheMisses  uint64  `json:"cache_misses"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	P50Micros    float64 `json:"p50_us"`
+	P90Micros    float64 `json:"p90_us"`
+	P99Micros    float64 `json:"p99_us"`
+}
+
+// loadBodies builds the deterministic request bodies the workload cycles
+// through — one single-quote body per distinct game, or batch bodies of up
+// to o.Batch games each — plus the number of quotes each body asks for.
+func loadBodies(o LoadOptions) (bodies [][]byte, quotesPer []int, err error) {
+	games := make([]ParamsJSON, o.Distinct)
+	for i := range games {
+		n := o.Clients
+		pj := ParamsJSON{
+			A:     make([]float64, n),
+			G:     make([]float64, n),
+			C:     make([]float64, n),
+			V:     make([]float64, n),
+			Alpha: 1,
+			Beta:  1,
+			R:     100,
+			B:     200 + float64(i),
+			QMax:  1,
+		}
+		var asum float64
+		for j := 0; j < n; j++ {
+			pj.A[j] = 1 + 0.05*float64(j) + 0.01*float64(i%7)
+			asum += pj.A[j]
+			pj.G[j] = 0.5 + 0.02*float64(j)
+			pj.C[j] = 40 + float64((i+j)%17)
+			pj.V[j] = 3000 + 50*float64(j)
+		}
+		for j := range pj.A { // data weights a_n must sum to 1
+			pj.A[j] /= asum
+		}
+		games[i] = pj
+	}
+	if o.Batch > 1 {
+		for at := 0; at < len(games); at += o.Batch {
+			chunk := games[at:min(at+o.Batch, len(games))]
+			b, err := json.Marshal(BatchQuoteRequest{Scheme: o.Scheme, Params: chunk})
+			if err != nil {
+				return nil, nil, err
+			}
+			bodies = append(bodies, b)
+			quotesPer = append(quotesPer, len(chunk))
+		}
+		return bodies, quotesPer, nil
+	}
+	for i := range games {
+		b, err := json.Marshal(QuoteRequest{Scheme: o.Scheme, Params: games[i]})
+		if err != nil {
+			return nil, nil, err
+		}
+		bodies = append(bodies, b)
+		quotesPer = append(quotesPer, 1)
+	}
+	return bodies, quotesPer, nil
+}
+
+// scrapeCacheCounters pulls the cache hit/miss counters from /metrics.
+func scrapeCacheCounters(ctx context.Context, client *http.Client, baseURL string) (hits, misses uint64, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/metrics", nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		for _, want := range []struct {
+			prefix string
+			dst    *uint64
+		}{
+			{"flserve_cache_hits_total ", &hits},
+			{"flserve_cache_misses_total ", &misses},
+		} {
+			if v, ok := strings.CutPrefix(line, want.prefix); ok {
+				n, perr := strconv.ParseUint(strings.TrimSpace(v), 10, 64)
+				if perr != nil {
+					return 0, 0, fmt.Errorf("serve: bad metric line %q: %v", line, perr)
+				}
+				*want.dst = n
+			}
+		}
+	}
+	return hits, misses, sc.Err()
+}
+
+// RunLoad drives the quote endpoint with Conns closed-loop workers for
+// Duration, after priming the cache with every distinct game, and reports
+// throughput, error count, cache hit rate over the window (from /metrics
+// counter deltas), and latency percentiles.
+func RunLoad(ctx context.Context, o LoadOptions) (*LoadReport, error) {
+	o = o.withDefaults()
+	if o.BaseURL == "" {
+		return nil, fmt.Errorf("serve: load needs a base URL")
+	}
+	bodies, quotesPer, err := loadBodies(o)
+	if err != nil {
+		return nil, err
+	}
+	// One keep-alive connection per worker: the default transport caps idle
+	// connections per host at 2, which would silently turn the extra
+	// workers into TCP-handshake benchmarks.
+	transport := &http.Transport{
+		MaxIdleConns:        o.Conns,
+		MaxIdleConnsPerHost: o.Conns,
+	}
+	if sock, ok := strings.CutPrefix(o.BaseURL, "unix:"); ok {
+		transport.DialContext = func(ctx context.Context, _, _ string) (net.Conn, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, "unix", sock)
+		}
+		o.BaseURL = "http://flserve" // dummy host; routing happens on the socket
+	}
+	client := &http.Client{Timeout: 30 * time.Second, Transport: transport}
+	url := o.BaseURL + "/v1/quote"
+	if o.Batch > 1 {
+		url = o.BaseURL + "/v1/quotes"
+	}
+
+	post := func(body []byte) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			return err
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("serve: quote returned %d", resp.StatusCode)
+		}
+		return nil
+	}
+
+	// Prime: solve every distinct game once so the timed window measures
+	// the cached path.
+	for _, b := range bodies {
+		if err := post(b); err != nil {
+			return nil, fmt.Errorf("serve: priming failed: %w", err)
+		}
+	}
+
+	hits0, misses0, err := scrapeCacheCounters(ctx, client, o.BaseURL)
+	if err != nil {
+		return nil, err
+	}
+
+	type workerResult struct {
+		quotes    uint64
+		errors    uint64
+		latencies []int64 // nanoseconds
+	}
+	parsed, err := neturl.Parse(url)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]workerResult, o.Conns)
+	deadline := time.Now().Add(o.Duration)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for wi := 0; wi < o.Conns; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			res := &results[wi]
+			// Each worker reuses one request shell, body reader, and read
+			// buffer: on a single-core host the client competes with the
+			// daemon for cycles, so per-request allocations directly tax the
+			// measured throughput.
+			rd := bytes.NewReader(nil)
+			req := (&http.Request{
+				Method:     http.MethodPost,
+				URL:        parsed,
+				Proto:      "HTTP/1.1",
+				ProtoMajor: 1,
+				ProtoMinor: 1,
+				Header:     http.Header{"Content-Type": []string{"application/json"}},
+				Host:       parsed.Host,
+			}).WithContext(ctx)
+			buf := make([]byte, 64<<10)
+			i := wi
+			for time.Now().Before(deadline) && ctx.Err() == nil {
+				idx := i % len(bodies)
+				body := bodies[idx]
+				i++
+				t0 := time.Now()
+				rd.Reset(body)
+				req.Body = io.NopCloser(rd)
+				req.ContentLength = int64(len(body))
+				resp, err := client.Do(req)
+				if err == nil {
+					for {
+						if _, rerr := resp.Body.Read(buf); rerr != nil {
+							break
+						}
+					}
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						err = fmt.Errorf("serve: quote returned %d", resp.StatusCode)
+					}
+				}
+				lat := time.Since(t0)
+				if err != nil {
+					res.errors++
+					continue
+				}
+				res.quotes += uint64(quotesPer[idx])
+				res.latencies = append(res.latencies, int64(lat))
+			}
+		}(wi)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	hits1, misses1, err := scrapeCacheCounters(ctx, client, o.BaseURL)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &LoadReport{
+		DurationS: elapsed.Seconds(),
+		Conns:     o.Conns,
+		Distinct:  o.Distinct,
+		Clients:   o.Clients,
+		Scheme:    o.Scheme,
+		Batch:     o.Batch,
+	}
+	var all []int64
+	for i := range results {
+		rep.Quotes += results[i].quotes
+		rep.Errors += results[i].errors
+		all = append(all, results[i].latencies...)
+	}
+	rep.QPS = float64(rep.Quotes) / elapsed.Seconds()
+	rep.CacheHits = hits1 - hits0
+	rep.CacheMisses = misses1 - misses0
+	if total := rep.CacheHits + rep.CacheMisses; total > 0 {
+		rep.CacheHitRate = float64(rep.CacheHits) / float64(total)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) float64 {
+		if len(all) == 0 {
+			return 0
+		}
+		idx := int(p * float64(len(all)-1))
+		return float64(all[idx]) / 1e3
+	}
+	rep.P50Micros = pct(0.50)
+	rep.P90Micros = pct(0.90)
+	rep.P99Micros = pct(0.99)
+	return rep, nil
+}

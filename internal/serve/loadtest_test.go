@@ -1,0 +1,36 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestRunLoadSmoke drives the load generator against an in-process server:
+// the priming pass must leave the timed window fully cache-hit.
+func TestRunLoadSmoke(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	rep, err := RunLoad(context.Background(), LoadOptions{
+		BaseURL:  ts.URL,
+		Conns:    2,
+		Duration: 300 * time.Millisecond,
+		Distinct: 4,
+		Clients:  5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Quotes == 0 {
+		t.Fatal("load window produced no quotes")
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("load window saw %d errors", rep.Errors)
+	}
+	if rep.CacheHitRate < 0.99 {
+		t.Fatalf("cache hit rate %.4f after priming, want ~1 (hits %d, misses %d)",
+			rep.CacheHitRate, rep.CacheHits, rep.CacheMisses)
+	}
+	if rep.QPS <= 0 || rep.P50Micros <= 0 {
+		t.Fatalf("degenerate report %+v", rep)
+	}
+}

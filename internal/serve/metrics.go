@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// quoteBuckets are the latency histogram bounds in seconds, spanning the
+// cached fast path (tens of microseconds) through cold large-fleet solves.
+var quoteBuckets = []float64{
+	25e-6, 50e-6, 100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3,
+	0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// histogram is a fixed-bucket latency histogram safe for concurrent
+// observation: per-bucket atomic counters plus an atomic nanosecond sum.
+type histogram struct {
+	counts []atomic.Uint64 // one per bucket bound; +Inf is implicit
+	count  atomic.Uint64
+	sumNs  atomic.Int64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]atomic.Uint64, len(quoteBuckets))}
+}
+
+func (h *histogram) observe(d time.Duration) {
+	s := d.Seconds()
+	for i, bound := range quoteBuckets {
+		if s <= bound {
+			h.counts[i].Add(1)
+			break
+		}
+	}
+	h.count.Add(1)
+	h.sumNs.Add(int64(d))
+}
+
+// writeProm emits the histogram in Prometheus exposition format with
+// cumulative buckets.
+func (h *histogram) writeProm(w io.Writer, name string) {
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	var cum uint64
+	for i, bound := range quoteBuckets {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(bound), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.count.Load())
+	fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(float64(h.sumNs.Load())/1e9))
+	fmt.Fprintf(w, "%s_count %d\n", name, h.count.Load())
+}
+
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// metrics aggregates the daemon's operational counters. Everything is
+// atomic; the /metrics handler assembles the exposition text on demand,
+// pulling cache and session-registry gauges from their owners.
+type metrics struct {
+	quoteLatency  *histogram
+	quoteRequests atomic.Uint64
+	quoteErrors   atomic.Uint64
+	solveRequests atomic.Uint64
+	batchRequests atomic.Uint64
+	batchQuotes   atomic.Uint64
+
+	sessionsStarted   atomic.Uint64
+	sessionsCompleted atomic.Uint64
+	sessionsFailed    atomic.Uint64
+	sessionsCancelled atomic.Uint64
+	sessionsRejected  atomic.Uint64
+	roundsCommitted   atomic.Uint64
+
+	sseSubscribers atomic.Int64
+}
+
+func newMetrics() *metrics {
+	return &metrics{quoteLatency: newHistogram()}
+}

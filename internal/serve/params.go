@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"errors"
+
+	"unbiasedfl/internal/game"
+)
+
+// ParamsJSON is the wire shape of a CPL game for the quote endpoints.
+// Slices are indexed by client; q_max defaults to 1 and q_min to the
+// library-wide participation floor when omitted.
+type ParamsJSON struct {
+	A     []float64 `json:"a"`
+	G     []float64 `json:"g"`
+	C     []float64 `json:"c"`
+	V     []float64 `json:"v"`
+	Alpha float64   `json:"alpha"`
+	Beta  float64   `json:"beta"`
+	R     float64   `json:"r"`
+	B     float64   `json:"b"`
+	QMax  float64   `json:"q_max"`
+	QMin  float64   `json:"q_min"`
+}
+
+// ToGame converts the wire shape into validated game parameters.
+func (pj *ParamsJSON) ToGame() (*game.Params, error) {
+	if pj == nil {
+		return nil, errors.New("serve: missing params")
+	}
+	p := &game.Params{
+		A:     pj.A,
+		G:     pj.G,
+		C:     pj.C,
+		V:     pj.V,
+		Alpha: pj.Alpha,
+		Beta:  pj.Beta,
+		R:     pj.R,
+		B:     pj.B,
+		QMax:  pj.QMax,
+		QMin:  pj.QMin,
+	}
+	if p.QMax == 0 {
+		p.QMax = 1
+	}
+	if p.QMin == 0 {
+		p.QMin = game.DefaultQMin
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// QuoteRequest asks for a priced market under one registered scheme.
+type QuoteRequest struct {
+	// Scheme is a pricing-registry name; empty selects the paper's proposed
+	// mechanism.
+	Scheme string     `json:"scheme,omitempty"`
+	Params ParamsJSON `json:"params"`
+}
+
+// QuoteResponse is the priced outcome.
+type QuoteResponse struct {
+	Scheme    string    `json:"scheme"`
+	P         []float64 `json:"p"`
+	Q         []float64 `json:"q"`
+	Spent     float64   `json:"spent"`
+	ServerObj float64   `json:"server_obj"`
+}
+
+// BatchQuoteRequest prices many games under one scheme in a single
+// round-trip — the shape sweep clients use, and the high-throughput path
+// when per-request HTTP overhead would dominate (each game still hits the
+// shared cache individually).
+type BatchQuoteRequest struct {
+	Scheme string       `json:"scheme,omitempty"`
+	Params []ParamsJSON `json:"params"`
+}
+
+// BatchQuoteResponse carries one quote per requested game, in order.
+type BatchQuoteResponse struct {
+	Quotes []QuoteResponse `json:"quotes"`
+}
+
+// SolveRequest asks for the raw Stackelberg equilibrium of a game.
+type SolveRequest struct {
+	Params ParamsJSON `json:"params"`
+}
+
+// SolveResponse is the solved equilibrium (Theorem 2).
+type SolveResponse struct {
+	Q           []float64 `json:"q"`
+	P           []float64 `json:"p"`
+	Lambda      float64   `json:"lambda"`
+	Spent       float64   `json:"spent"`
+	ServerObj   float64   `json:"server_obj"`
+	BudgetTight bool      `json:"budget_tight"`
+}

@@ -3,6 +3,8 @@ package unbiasedfl
 import (
 	"context"
 	"errors"
+	"fmt"
+	"sync/atomic"
 	"time"
 
 	"unbiasedfl/internal/experiment"
@@ -22,9 +24,23 @@ import (
 // concurrency-tolerant — each concurrent call gets its own serial event
 // stream).
 type Session struct {
+	id          string
 	env         *Environment
 	observer    Observer
 	sweepScheme string
+	closed      atomic.Bool
+}
+
+// ErrSessionClosed is returned by every Session method after Close.
+var ErrSessionClosed = errors.New("unbiasedfl: session closed")
+
+// sessionCounter numbers sessions process-wide; IDs are unique within a
+// process and stable in creation order, which is what registries (the
+// serving daemon's session table, logs, tests) need.
+var sessionCounter atomic.Uint64
+
+func newSessionID() string {
+	return fmt.Sprintf("session-%d", sessionCounter.Add(1))
 }
 
 // sessionConfig collects functional options before the environment is
@@ -146,7 +162,40 @@ func NewSession(ctx context.Context, id SetupID, options ...Option) (*Session, e
 	env.Checkpoint = cfg.checkpoint
 	env.CheckpointResume = cfg.checkpointResume
 	env.RoundTimeout = cfg.roundTimeout
-	return &Session{env: env, observer: cfg.observer, sweepScheme: cfg.sweepScheme}, nil
+	return &Session{id: newSessionID(), env: env, observer: cfg.observer, sweepScheme: cfg.sweepScheme}, nil
+}
+
+// ID returns the session's process-unique identifier, assigned at
+// construction — the handle multi-tenant hosts (the flserve daemon, logs)
+// key their registries on.
+func (s *Session) ID() string {
+	if s == nil {
+		return ""
+	}
+	return s.id
+}
+
+// Close retires the session: subsequent experiment launches return
+// ErrSessionClosed. It is idempotent — closing twice (or concurrently, as a
+// serving registry's cancel and cleanup paths may) is safe and returns nil
+// both times. Runs already in flight are not interrupted; cancel their
+// contexts for that.
+func (s *Session) Close() error {
+	if s != nil {
+		s.closed.Store(true)
+	}
+	return nil
+}
+
+// guard validates the receiver before launching work.
+func (s *Session) guard() error {
+	if s == nil || s.env == nil {
+		return errors.New("unbiasedfl: nil session")
+	}
+	if s.closed.Load() {
+		return ErrSessionClosed
+	}
+	return nil
 }
 
 // Environment exposes the session's prepared world (game parameters,
@@ -162,8 +211,8 @@ func (s *Session) Options() Options { return s.env.Opts }
 // session environment's equilibrium cache: repeated calls (and any scheme
 // run that prices the same game) solve once. Treat it as read-only.
 func (s *Session) Equilibrium() (*Equilibrium, error) {
-	if s == nil || s.env == nil {
-		return nil, errors.New("unbiasedfl: nil session")
+	if err := s.guard(); err != nil {
+		return nil, err
 	}
 	return s.env.Equilibrium()
 }
@@ -172,6 +221,9 @@ func (s *Session) Equilibrium() (*Equilibrium, error) {
 // the model under the induced participation levels, streaming progress to
 // the session observer.
 func (s *Session) RunScheme(ctx context.Context, scheme string) (*SchemeRun, error) {
+	if err := s.guard(); err != nil {
+		return nil, err
+	}
 	return experiment.RunScheme(ctx, s.env, scheme, s.observer)
 }
 
@@ -179,6 +231,9 @@ func (s *Session) RunScheme(ctx context.Context, scheme string) (*SchemeRun, err
 // environment — the paper's Fig. 4 comparison, extended to any scheme
 // added via RegisterScheme.
 func (s *Session) CompareSchemes(ctx context.Context) (*Comparison, error) {
+	if err := s.guard(); err != nil {
+		return nil, err
+	}
 	return experiment.Compare(ctx, s.env, s.observer)
 }
 
@@ -186,23 +241,35 @@ func (s *Session) CompareSchemes(ctx context.Context) (*Comparison, error) {
 // values of one parameter — the paper's Figs. 5–7. Points run concurrently;
 // SweepPointDone events still arrive in ascending index order.
 func (s *Session) RunSweep(ctx context.Context, kind SweepKind, values []float64) ([]SweepPoint, error) {
+	if err := s.guard(); err != nil {
+		return nil, err
+	}
 	return experiment.SweepScheme(ctx, s.env, s.sweepScheme, kind, values, s.observer)
 }
 
 // EquilibriumSweep is RunSweep without retraining: equilibrium economics
 // only (Table V).
 func (s *Session) EquilibriumSweep(ctx context.Context, kind SweepKind, values []float64) ([]SweepPoint, error) {
+	if err := s.guard(); err != nil {
+		return nil, err
+	}
 	return experiment.EquilibriumSweep(ctx, s.env, kind, values, s.observer)
 }
 
 // BoundFidelity measures how faithfully the Theorem-1 surrogate ranks real
 // training outcomes across random participation profiles (DESIGN.md X6).
 func (s *Session) BoundFidelity(ctx context.Context, profiles int) (*FidelityResult, error) {
+	if err := s.guard(); err != nil {
+		return nil, err
+	}
 	return experiment.BoundFidelity(ctx, s.env, profiles, s.env.Opts.Seed+99)
 }
 
 // ConvergenceRate measures the empirical optimality gap across training
 // horizons, validating Theorem 1's O(1/R) shape (DESIGN.md X9).
 func (s *Session) ConvergenceRate(ctx context.Context, horizons []int) ([]GapPoint, error) {
+	if err := s.guard(); err != nil {
+		return nil, err
+	}
 	return experiment.ConvergenceRate(ctx, s.env, horizons, s.env.Opts.Seed)
 }
