@@ -14,7 +14,8 @@
 // -round-timeout makes the server degrade gracefully around crashed or
 // silent devices instead of stranding the fleet; -dial-attempts (with
 // -dial-backoff/-dial-backoff-max) lets a device outwait a coordinator that
-// is still booting or rebooting.
+// is still booting or rebooting. -join introduces a device with the v4 join
+// handshake; -leave-after N makes it depart gracefully mid-run.
 package main
 
 import (
@@ -56,6 +57,9 @@ func run(ctx context.Context) error {
 		dialAttempts = flag.Int("dial-attempts", 1, "client: dial attempts before giving up (capped exponential backoff between attempts)")
 		dialBackoff  = flag.Duration("dial-backoff", transport.DefaultRetryBase, "client: initial dial backoff; doubles per retry")
 		dialMax      = flag.Duration("dial-backoff-max", transport.DefaultRetryMax, "client: dial backoff cap")
+
+		join       = flag.Bool("join", false, "client: introduce this device with a join handshake (protocol v4) instead of a plain hello — a prospective member asking to be admitted")
+		leaveAfter = flag.Int("leave-after", 0, "client: depart gracefully at the first round >= N — announce MsgLeave, await the coordinator's farewell, exit cleanly (0 = stay for the whole run)")
 	)
 	flag.Parse()
 
@@ -131,6 +135,8 @@ func run(ctx context.Context) error {
 			Retry: transport.RetryPolicy{
 				Attempts: *dialAttempts, Base: *dialBackoff, Max: *dialMax,
 			},
+			Join:       *join,
+			LeaveAfter: *leaveAfter,
 		}, env.Model, env.Fed.Clients[*id])
 		if err != nil {
 			return err

@@ -27,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"unbiasedfl"
@@ -78,6 +79,9 @@ func run(ctx context.Context) error {
 		jsonFlag = flag.Bool("json", false, "emit machine-readable JSON instead of a table")
 		progress = flag.Bool("progress", false, "stream per-round progress to stderr while training")
 
+		joinFlag  = flag.String("join", "", "membership churn: comma-separated client@round admissions (e.g. '5@3'); joined clients are absent until their epoch")
+		leaveFlag = flag.String("leave", "", "membership churn: comma-separated client@round graceful departures (e.g. '2@6')")
+
 		ckpt      = flag.String("checkpoint", "", "checkpoint path (scenario mode) or path prefix (scheme mode): commit run state every round so a killed run can resume")
 		resume    = flag.Bool("resume", false, "resume from the checkpoint at -checkpoint instead of starting fresh; the finished trace is byte-identical to an uninterrupted run")
 		roundTO   = flag.Duration("round-timeout", 0, "cluster backend: per-round deadline with self-healing degradation (0 = strict)")
@@ -96,6 +100,14 @@ func run(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
+	joins, err := parseChurn(*joinFlag)
+	if err != nil {
+		return fmt.Errorf("-join: %w", err)
+	}
+	leaves, err := parseChurn(*leaveFlag)
+	if err != nil {
+		return fmt.Errorf("-leave: %w", err)
+	}
 
 	if *scenario != "" {
 		// A scenario is a complete world: the plain-run flags don't apply,
@@ -104,7 +116,7 @@ func run(ctx context.Context) error {
 		var conflicting []string
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "scenario", "json", "backend", "checkpoint", "resume", "round-timeout", "kill-after":
+			case "scenario", "json", "backend", "checkpoint", "resume", "round-timeout", "kill-after", "join", "leave":
 			default:
 				conflicting = append(conflicting, "-"+f.Name)
 			}
@@ -122,7 +134,7 @@ func run(ctx context.Context) error {
 				AfterCommit: killAfterHook(*killAfter),
 			},
 		}
-		return runScenario(ctx, *scenario, cfg, *jsonFlag)
+		return runScenario(ctx, *scenario, cfg, joins, leaves, *jsonFlag)
 	}
 
 	name := *scheme
@@ -141,6 +153,9 @@ func run(ctx context.Context) error {
 		unbiasedfl.WithSeed(*seed),
 		unbiasedfl.WithBackend(exec),
 		unbiasedfl.WithRoundTimeout(*roundTO),
+	}
+	if plan := churnPlan(*clients, joins, leaves); plan != nil {
+		options = append(options, unbiasedfl.WithMembership(plan))
 	}
 	if *ckpt != "" {
 		if *resume {
@@ -229,9 +244,86 @@ func killAfterHook(n int) func(int) {
 	}
 }
 
+// churnEvent is one parsed client@round membership change.
+type churnEvent struct {
+	Client, Round int
+}
+
+// parseChurn parses a comma-separated list of client@round entries.
+func parseChurn(s string) ([]churnEvent, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []churnEvent
+	for _, part := range strings.Split(s, ",") {
+		var ev churnEvent
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d@%d", &ev.Client, &ev.Round); err != nil {
+			return nil, fmt.Errorf("%q is not client@round", part)
+		}
+		out = append(out, ev)
+	}
+	return out, nil
+}
+
+// churnPlan compiles parsed -join/-leave events into a membership plan for a
+// scheme-mode session (nil when there is no churn). The initial roster is
+// every client that is not scheduled to join; the facade validates the rest.
+func churnPlan(clients int, joins, leaves []churnEvent) *unbiasedfl.MembershipPlan {
+	if len(joins) == 0 && len(leaves) == 0 {
+		return nil
+	}
+	events := map[int]*unbiasedfl.MembershipEvent{}
+	rounds := []int{}
+	at := func(r int) *unbiasedfl.MembershipEvent {
+		if ev, ok := events[r]; ok {
+			return ev
+		}
+		ev := &unbiasedfl.MembershipEvent{Round: r}
+		events[r] = ev
+		rounds = append(rounds, r)
+		return ev
+	}
+	joiner := map[int]bool{}
+	for _, j := range joins {
+		at(j.Round).Join = append(at(j.Round).Join, j.Client)
+		joiner[j.Client] = true
+	}
+	for _, l := range leaves {
+		at(l.Round).Leave = append(at(l.Round).Leave, l.Client)
+	}
+	sort.Ints(rounds)
+	plan := &unbiasedfl.MembershipPlan{}
+	for n := 0; n < clients; n++ {
+		if !joiner[n] {
+			plan.Initial = append(plan.Initial, n)
+		}
+	}
+	for _, r := range rounds {
+		ev := events[r]
+		sort.Ints(ev.Join)
+		sort.Ints(ev.Leave)
+		plan.Events = append(plan.Events, *ev)
+	}
+	return plan
+}
+
+// churnFaults lowers parsed -join/-leave events onto a scenario's fault
+// schedule, where membership churn is declared as FaultJoin/FaultLeave
+// entries.
+func churnFaults(joins, leaves []churnEvent) []unbiasedfl.ClientFault {
+	var out []unbiasedfl.ClientFault
+	for _, j := range joins {
+		out = append(out, unbiasedfl.ClientFault{Client: j.Client, Kind: unbiasedfl.FaultJoin, Round: j.Round})
+	}
+	for _, l := range leaves {
+		out = append(out, unbiasedfl.ClientFault{Client: l.Client, Kind: unbiasedfl.FaultLeave, Round: l.Round})
+	}
+	return out
+}
+
 // runScenario replays one named scenario under the given run configuration
 // and prints its canonical trace (identical whichever backend carried it).
-func runScenario(ctx context.Context, name string, cfg unbiasedfl.ScenarioRunConfig, jsonOut bool) error {
+func runScenario(ctx context.Context, name string, cfg unbiasedfl.ScenarioRunConfig, joins, leaves []churnEvent, jsonOut bool) error {
 	if name == "list" {
 		if jsonOut {
 			type entry struct {
@@ -253,6 +345,9 @@ func runScenario(ctx context.Context, name string, cfg unbiasedfl.ScenarioRunCon
 	if err != nil {
 		return err
 	}
+	// -join/-leave overlay membership churn onto the named world; the
+	// scenario validator checks coherence against its fleet and horizon.
+	sc.Faults = append(sc.Faults, churnFaults(joins, leaves)...)
 	trace, err := unbiasedfl.RunScenarioWith(ctx, sc, cfg)
 	if err != nil {
 		return err
@@ -272,6 +367,20 @@ func runScenario(ctx context.Context, name string, cfg unbiasedfl.ScenarioRunCon
 		}
 		fmt.Printf("%6d | %9.4f | %11.4f | %6d | %s\n",
 			n, trace.Equilibrium.Q[n], trace.EmpiricalQ[n], trace.Participation[n], droppedAt)
+	}
+	if len(trace.Membership) > 0 {
+		fmt.Println("\nmembership epochs:")
+		for _, ep := range trace.Membership {
+			fmt.Printf("  epoch %d (round %d): %d active, spent %.2f",
+				ep.Epoch, ep.Round, ep.Active, ep.Spent)
+			if len(ep.Joined) > 0 {
+				fmt.Printf(", joined %v", ep.Joined)
+			}
+			if len(ep.Left) > 0 {
+				fmt.Printf(", left %v", ep.Left)
+			}
+			fmt.Println()
+		}
 	}
 	fmt.Printf("\nfinal: loss %.4f, accuracy %.4f; total client utility %.2f; negative payments %d\n",
 		trace.FinalLoss, trace.FinalAccuracy, trace.TotalClientUtility, trace.NegativePayments)

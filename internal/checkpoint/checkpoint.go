@@ -51,8 +51,9 @@ const (
 	snapshotMagic = "UFLK"
 	walMagic      = "UFLW"
 	// FormatVersion is the on-disk format version; decoding any other
-	// version fails with ErrBadVersion.
-	FormatVersion byte = 1
+	// version fails with ErrBadVersion. Version 2 added the membership
+	// epoch counter to the snapshot.
+	FormatVersion byte = 2
 	headerLen          = 5 // magic + version byte
 	// maxFrame bounds a single frame so corrupt length words cannot drive
 	// pathological allocations.
@@ -97,9 +98,13 @@ type Meta struct {
 type Snapshot struct {
 	Meta      Meta
 	NextRound int
-	Model     []float64
-	Sampler   []uint64
-	Clients   []engine.ClientCursor
+	// Epoch is the membership epoch at the boundary (0 for a fixed-roster
+	// run). The roster itself is re-derived from the run's MembershipPlan on
+	// resume; the counter cross-checks that replay.
+	Epoch   int
+	Model   []float64
+	Sampler []uint64
+	Clients []engine.ClientCursor
 }
 
 // appendFrame appends one length|payload|CRC frame to dst.
@@ -182,6 +187,9 @@ func DecodeSnapshot(b []byte) (*Snapshot, error) {
 	}
 	if s.NextRound < 1 || s.NextRound > s.Meta.Rounds {
 		return nil, fmt.Errorf("%w: snapshot at round boundary %d of a %d-round run", ErrCorrupt, s.NextRound, s.Meta.Rounds)
+	}
+	if s.Epoch < 0 {
+		return nil, fmt.Errorf("%w: snapshot at negative membership epoch %d", ErrCorrupt, s.Epoch)
 	}
 	if len(s.Model) == 0 {
 		return nil, fmt.Errorf("%w: snapshot with empty model", ErrCorrupt)

@@ -295,3 +295,73 @@ func TestSyncOptionCommits(t *testing.T) {
 		t.Fatalf("sync-mode checkpoint unreadable: %v", err)
 	}
 }
+
+// TestAttachZeroLengthWAL: a crash inside Create — after the WAL file was
+// opened and truncated but before its header reached the disk — leaves a
+// zero-length WAL next to no snapshot. Attach must classify that as a fresh
+// start and recover cleanly, not error.
+func TestAttachZeroLengthWAL(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	if err := os.WriteFile(WALPath(path), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, st, err := Attach(path, testMeta, Options{})
+	if err != nil {
+		t.Fatalf("attach over a zero-length WAL: %v", err)
+	}
+	if st != nil {
+		t.Fatalf("zero-length WAL produced state %+v, want fresh start", st)
+	}
+	if err := m.Commit(fakeState(1)); err != nil {
+		t.Fatalf("commit after recovery: %v", err)
+	}
+	_ = m.Close()
+	m, st, err = Attach(path, testMeta, Options{})
+	if err != nil || st == nil || st.NextRound != 1 {
+		t.Fatalf("re-attach after recovery: state %+v, err %v", st, err)
+	}
+	_ = m.Close()
+}
+
+// TestAttachWALEndingInBareTrailer: a crash can tear a WAL append at any
+// byte; the trickiest cut leaves exactly 4 bytes — the size of (and here,
+// byte-for-byte equal to) a CRC trailer. Attach must treat it as a torn
+// tail, truncate back to the last clean record boundary, and resume.
+func TestAttachWALEndingInBareTrailer(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	commitThrough(t, path, 3, Options{})
+	raw, err := os.ReadFile(WALPath(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := int64(len(raw))
+	wal, err := os.OpenFile(WALPath(path), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-append the file's final 4 bytes: a stray, bare CRC trailer.
+	if _, err := wal.Write(raw[len(raw)-4:]); err != nil {
+		t.Fatal(err)
+	}
+	_ = wal.Close()
+
+	m, st, err := Attach(path, testMeta, Options{})
+	if err != nil {
+		t.Fatalf("attach over a bare-trailer tail: %v", err)
+	}
+	if st == nil || st.NextRound != 3 || len(st.History) != 3 {
+		t.Fatalf("resumed state %+v, want boundary 3 with 3 history rounds", st)
+	}
+	// The torn bytes are gone; the WAL sits at the clean boundary again.
+	fi, err := os.Stat(WALPath(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != clean {
+		t.Fatalf("WAL is %d bytes after attach, want %d", fi.Size(), clean)
+	}
+	if err := m.Commit(fakeState(4)); err != nil {
+		t.Fatalf("commit after truncation: %v", err)
+	}
+	_ = m.Close()
+}

@@ -134,6 +134,7 @@ func Resume(path string, meta Meta, opts Options) (*Manager, *engine.RunState, e
 
 	st := &engine.RunState{
 		NextRound: snap.NextRound,
+		Epoch:     snap.Epoch,
 		Model:     snap.Model,
 		Sampler:   snap.Sampler,
 		Clients:   snap.Clients,
@@ -195,6 +196,7 @@ func (m *Manager) writeSnapshot(st *engine.RunState) error {
 	raw, err := EncodeSnapshot(&Snapshot{
 		Meta:      m.meta,
 		NextRound: st.NextRound,
+		Epoch:     st.Epoch,
 		Model:     st.Model,
 		Sampler:   st.Sampler,
 		Clients:   st.Clients,

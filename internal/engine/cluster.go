@@ -84,6 +84,12 @@ type clusterSlot struct {
 	// gen counts node goroutines spawned for this slot; an exiting
 	// goroutine only clears pending if it is still the current generation.
 	gen int
+	// parked holds a prospective member's connection: a node that sent
+	// MsgJoin before its membership epoch. It is welcomed — handed its
+	// cursor and marked ready — at the epoch boundary (ApplyEpoch), which is
+	// the only moment a roster may change.
+	parked   *transport.Codec
+	parkConn net.Conn
 }
 
 // ClusterBackend executes local updates as a real multi-node federation: a
@@ -117,6 +123,8 @@ type ClusterBackend struct {
 	cursors  []ClientCursor // authoritative per-client executor cursors
 	resume   []ClientCursor // staged by RestoreClientCursors before Open
 	conns    []net.Conn     // every conn ever accepted, for teardown sweeps
+	active   []bool         // current roster (all true without a membership plan)
+	retired  []bool         // clients that permanently left (never respawned, never re-admitted)
 	closed   bool
 	booting  bool
 	ready    int // number of currently ready slots
@@ -239,6 +247,35 @@ func (b *ClusterBackend) Open(ctx context.Context, spec *Spec) error {
 		b.cursors = initialCursors(spec.Seed, nClients)
 	}
 
+	// Membership: only the roster in effect at the starting boundary boots
+	// now. Future joiners dial in immediately anyway — their MsgJoin parks
+	// at the coordinator until their epoch — and clients that already left
+	// (a resume past their departure) are retired outright. A failover
+	// coordinator attaching to a checkpoint therefore re-welcomes exactly
+	// the surviving fleet.
+	startRound := 0
+	if spec.Resume != nil {
+		startRound = spec.Resume.NextRound
+	}
+	b.active = spec.Membership.ActiveAt(startRound, nClients)
+	b.retired = make([]bool, nClients)
+	if plan := spec.Membership; plan != nil {
+		for i := range plan.Events {
+			if plan.Events[i].Round >= startRound {
+				break
+			}
+			for _, n := range plan.Events[i].Leave {
+				b.retired[n] = true
+			}
+		}
+	}
+	activeCount := 0
+	for _, a := range b.active {
+		if a {
+			activeCount++
+		}
+	}
+
 	// On cancellation, close the listener and every connection: reads fail
 	// immediately and stay failed, which the dispatch path, the accept loop,
 	// and the node loops all translate into a prompt unwind. The broadcast
@@ -260,13 +297,19 @@ func (b *ClusterBackend) Open(ctx context.Context, spec *Spec) error {
 	b.acceptWG.Add(1)
 	go b.acceptLoop()
 	for n := 0; n < nClients; n++ {
-		b.spawnNode(n)
+		if b.active[n] {
+			b.spawnNode(n, false)
+		}
+	}
+	for _, n := range spec.Membership.joinsAfter(startRound) {
+		b.spawnNode(n, true)
 	}
 
-	// Wait until every node has registered, a node died on boot, or the
-	// context went away.
+	// Wait until the starting roster has registered (parked joiners are not
+	// waited on — they are admitted at their epoch), a node died on boot, or
+	// the context went away.
 	b.mu.Lock()
-	for b.ready < nClients && b.bootErr == nil && ctx.Err() == nil {
+	for b.ready < activeCount && b.bootErr == nil && ctx.Err() == nil {
 		b.cond.Wait()
 	}
 	bootErr := b.bootErr
@@ -285,8 +328,10 @@ func (b *ClusterBackend) Open(ctx context.Context, spec *Spec) error {
 }
 
 // spawnNode launches (or revives) the node goroutine for client n with its
-// own cancel handle. Callers must not hold b.mu.
-func (b *ClusterBackend) spawnNode(n int) {
+// own cancel handle. join selects the prospective-member handshake (MsgJoin,
+// parked until the client's epoch) over the member hello. Callers must not
+// hold b.mu.
+func (b *ClusterBackend) spawnNode(n int, join bool) {
 	nodeCtx, cancel := context.WithCancel(b.runCtx)
 	b.mu.Lock()
 	b.slots[n].cancel = cancel
@@ -296,7 +341,7 @@ func (b *ClusterBackend) spawnNode(n int) {
 	b.nodeWG.Add(1)
 	go func() {
 		defer b.nodeWG.Done()
-		err := b.runNode(nodeCtx, n)
+		err := b.runNode(nodeCtx, n, join)
 		b.mu.Lock()
 		if b.slots[n].gen == gen {
 			b.slots[n].pending = false
@@ -347,6 +392,13 @@ func (b *ClusterBackend) acceptLoop() {
 // coordinator's authoritative cursor for the client, which is what makes a
 // reviving node (and a resumed run) continue the exact stream the fleet
 // would have produced uninterrupted.
+//
+// Members open with MsgHello; prospective members open with MsgJoin. A join
+// from a client whose epoch has not arrived yet is parked — the welcome is
+// withheld until ApplyEpoch admits it at the boundary. A join from an
+// already-active client (the coordinator re-spawning a joiner) is welcomed
+// immediately, and a retired client is refused outright: leaves are
+// permanent.
 func (b *ClusterBackend) register(conn net.Conn) error {
 	b.mu.Lock()
 	if b.closed {
@@ -376,12 +428,27 @@ func (b *ClusterBackend) register(conn net.Conn) error {
 	_ = conn.SetDeadline(time.Time{})
 
 	b.mu.Lock()
-	if hello.Type != transport.MsgHello || hello.ClientID < 0 ||
-		hello.ClientID >= len(b.slots) || b.slots[hello.ClientID].ready {
+	id := hello.ClientID
+	valid := (hello.Type == transport.MsgHello || hello.Type == transport.MsgJoin) &&
+		id >= 0 && id < len(b.slots) && !b.slots[id].ready && !b.retired[id]
+	if valid && hello.Type == transport.MsgHello && !b.active[id] {
+		valid = false // members say hello; prospects must ask to join
+	}
+	if !valid {
 		b.mu.Unlock()
 		return fmt.Errorf("engine: cluster got invalid hello (type %v, id %d)", hello.Type, hello.ClientID)
 	}
-	id := hello.ClientID
+	if hello.Type == transport.MsgJoin && !b.active[id] {
+		if b.slots[id].parked != nil {
+			b.mu.Unlock()
+			return fmt.Errorf("engine: duplicate join from client %d", id)
+		}
+		b.slots[id].parked = codec
+		b.slots[id].parkConn = conn
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return nil
+	}
 	cursor := b.cursors[id]
 	b.mu.Unlock()
 
@@ -563,16 +630,150 @@ func (b *ClusterBackend) failClient(client int, cause error) {
 		slot.codec = nil
 		slot.conn = nil
 	}
-	respawn := !b.closed && !slot.ready && !slot.pending && b.runCtx.Err() == nil &&
-		b.respawns[client] < b.opts.MaxRespawns
+	respawn := !b.closed && !slot.ready && !slot.pending && !b.retired[client] &&
+		b.runCtx.Err() == nil && b.respawns[client] < b.opts.MaxRespawns
 	if respawn {
 		slot.pending = true
 		b.respawns[client]++
 	}
 	b.mu.Unlock()
 	if respawn {
-		b.spawnNode(client)
+		b.spawnNode(client, false)
 	}
+}
+
+// ApplyEpoch implements EpochBackend: at a membership boundary the
+// coordinator admits the epoch's joiners — welcoming their parked MsgJoin
+// handshakes with the authoritative cursor, or waiting out a dial still in
+// flight — and gracefully retires its leavers (MsgLeave, MsgBye, close).
+// It runs on the orchestration goroutine between rounds, so no dispatch is
+// in flight on any touched connection.
+func (b *ClusterBackend) ApplyEpoch(ctx context.Context, r Roster) error {
+	if b.spec == nil {
+		return errors.New("engine: cluster backend not open")
+	}
+	for _, n := range r.Joined {
+		if err := b.admit(ctx, n); err != nil {
+			return err
+		}
+	}
+	for _, n := range r.Left {
+		if err := b.retire(ctx, n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// admit activates client n and completes its join: the parked handshake is
+// welcomed at the coordinator's cursor, or — if the prospective node's
+// dialer died before its epoch — one fresh node is spawned and waited for.
+// Joining is a deliberate scheduled event, not a tolerable fault, so a
+// failed admission fails the run even in self-healing mode.
+func (b *ClusterBackend) admit(ctx context.Context, n int) error {
+	b.mu.Lock()
+	b.active[n] = true
+	slot := &b.slots[n]
+	respawned := false
+	for !slot.ready && slot.parked == nil {
+		if err := ctx.Err(); err != nil {
+			b.mu.Unlock()
+			return err
+		}
+		if err := b.nodeErrs[n]; err != nil {
+			if respawned {
+				b.mu.Unlock()
+				return fmt.Errorf("engine: admit node %d: %w", n, err)
+			}
+			respawned = true
+			b.nodeErrs[n] = nil
+			b.mu.Unlock()
+			b.spawnNode(n, true)
+			b.mu.Lock()
+			continue
+		}
+		b.cond.Wait()
+	}
+	if slot.ready {
+		// The join registered through the accept path after activation.
+		b.mu.Unlock()
+		return nil
+	}
+	codec, conn := slot.parked, slot.parkConn
+	slot.parked, slot.parkConn = nil, nil
+	cursor := b.cursors[n]
+	spec := b.spec
+	b.mu.Unlock()
+
+	if err := codec.Send(&transport.Message{
+		Type:        transport.MsgWelcome,
+		ClientID:    n,
+		Q:           1,
+		Coordinated: true,
+		LocalSteps:  spec.LocalSteps,
+		BatchSize:   spec.BatchSize,
+		Rounds:      spec.Rounds,
+		Cursor: &transport.Cursor{
+			RNG: cursor.RNG, SqCount: cursor.SqCount,
+			SqMean: cursor.SqMean, SqM2: cursor.SqM2,
+		},
+	}); err != nil {
+		_ = conn.Close()
+		return ctxErrOr(ctx, fmt.Errorf("engine: welcome joining node %d: %w", n, err))
+	}
+	b.mu.Lock()
+	slot.codec = codec
+	slot.conn = conn
+	slot.ready = true
+	slot.pending = false
+	b.ready++
+	b.cond.Broadcast()
+	b.mu.Unlock()
+	return nil
+}
+
+// retire permanently removes client n: a live node gets the graceful
+// MsgLeave → MsgBye farewell before its socket closes; a currently-down
+// node (healing mode) is simply marked retired so no revival dialer ever
+// brings it back. In self-healing mode a farewell that fails is tolerated —
+// the node is gone either way and the slot is already retired.
+func (b *ClusterBackend) retire(ctx context.Context, n int) error {
+	b.mu.Lock()
+	b.active[n] = false
+	b.retired[n] = true
+	slot := &b.slots[n]
+	up := slot.ready
+	codec := slot.codec
+	if !up && slot.cancel != nil {
+		slot.cancel() // kill any revival dialer; the slot is retired
+	}
+	b.mu.Unlock()
+	if !up {
+		return nil
+	}
+
+	err := codec.Send(&transport.Message{Type: transport.MsgLeave})
+	if err == nil {
+		var bye *transport.Message
+		bye, err = codec.RecvDeadline(time.Now().Add(b.opts.Timeout))
+		if err == nil && (bye.Type != transport.MsgBye || bye.ClientID != n) {
+			err = fmt.Errorf("expected bye, got type %v id %d", bye.Type, bye.ClientID)
+		}
+	}
+	b.mu.Lock()
+	if slot.ready {
+		slot.ready = false
+		b.ready--
+	}
+	if slot.conn != nil {
+		_ = slot.conn.Close()
+	}
+	slot.codec, slot.conn = nil, nil
+	b.mu.Unlock()
+	if err != nil && !b.opts.healing() {
+		return ctxErrOr(ctx, fmt.Errorf("engine: retire node %d: %w", n, err))
+	}
+	return nil
 }
 
 // Close implements ExecutionBackend: it ends the session (MsgDone to every
@@ -651,10 +852,13 @@ func (b *ClusterBackend) closeConns() {
 // runNode is one device of the cluster: it dials the coordinator (with
 // retry — a reviving node may race the coordinator severing its old conn),
 // completes the handshake, restores its executor from the cursor in the
-// welcome, and serves coordinated round starts until MsgDone. ctx is the
+// welcome, and serves coordinated round starts until MsgDone (session over)
+// or MsgLeave (graceful retirement, acknowledged with MsgBye). ctx is the
 // node's private context: severed by failClient, teardown, or the run
-// context going away.
-func (b *ClusterBackend) runNode(ctx context.Context, n int) error {
+// context going away. With join set the node is a prospective member: it
+// opens with MsgJoin and waits — unbounded, its epoch may be rounds away —
+// for the coordinator to admit it with a welcome.
+func (b *ClusterBackend) runNode(ctx context.Context, n int, join bool) error {
 	spec := b.spec
 	// Deterministic backoff jitter, salted per client and decoupled from
 	// every model-visible stream.
@@ -675,10 +879,19 @@ func (b *ClusterBackend) runNode(ctx context.Context, n int) error {
 		return err
 	}
 	hsDeadline := time.Now().Add(b.opts.HandshakeTimeout)
-	if err := codec.Send(&transport.Message{Type: transport.MsgHello, ClientID: n}); err != nil {
+	helloType := transport.MsgHello
+	if join {
+		helloType = transport.MsgJoin
+	}
+	if err := codec.Send(&transport.Message{Type: helloType, ClientID: n}); err != nil {
 		return ctxErrOr(ctx, err)
 	}
-	welcome, err := codec.RecvDeadline(hsDeadline)
+	var welcome *transport.Message
+	if join {
+		welcome, err = codec.Recv()
+	} else {
+		welcome, err = codec.RecvDeadline(hsDeadline)
+	}
 	if err != nil {
 		return ctxErrOr(ctx, err)
 	}
@@ -712,6 +925,12 @@ func (b *ClusterBackend) runNode(ctx context.Context, n int) error {
 		}
 		switch msg.Type {
 		case transport.MsgDone:
+			return nil
+		case transport.MsgLeave:
+			// Graceful retirement at an epoch boundary: acknowledge and go.
+			if err := codec.Send(&transport.Message{Type: transport.MsgBye, ClientID: n}); err != nil {
+				return ctxErrOr(ctx, err)
+			}
 			return nil
 		case transport.MsgRoundStart:
 			var fault transport.RoundFault
@@ -785,4 +1004,5 @@ func ctxErrOr(ctx context.Context, err error) error {
 var (
 	_ ExecutionBackend = (*ClusterBackend)(nil)
 	_ StatefulBackend  = (*ClusterBackend)(nil)
+	_ EpochBackend     = (*ClusterBackend)(nil)
 )

@@ -146,6 +146,24 @@ type Spec struct {
 	Sampler    Sampler
 	Aggregator Aggregator
 
+	// Membership, when non-nil, makes the roster elastic: clients join and
+	// permanently leave at the plan's round boundaries. The sampler still
+	// draws coins for the whole population every round (stream discipline);
+	// inactive clients are filtered from the participant set, and the data
+	// weights are renormalized over the active subset so the aggregate stays
+	// an unbiased estimator of the active fleet's gradient. Nil keeps the
+	// classic fixed roster.
+	Membership *MembershipPlan
+	// OnEpoch, when non-nil, fires once per membership epoch — at the start
+	// of the run with the initial roster, then at every event boundary —
+	// before the epoch's first round executes. It is the re-pricing seam:
+	// layers above re-solve the equilibrium for the new fleet here and feed
+	// the sampler its new q. On resume the hook is replayed for every epoch
+	// up to the boundary, so deterministic hooks reconstruct their state
+	// exactly. A non-nil error aborts the run. Ignored when Membership is
+	// nil.
+	OnEpoch func(Roster) error
+
 	// OnRoundStart, when non-nil, is invoked before every round's local
 	// updates begin — the streaming-observer entry hook. It runs on the
 	// orchestration goroutine; keep it fast.
@@ -191,6 +209,11 @@ func (s Spec) Validate() error {
 		return errors.New("engine: nil schedule")
 	case s.EvalEvery <= 0:
 		return errors.New("engine: eval interval must be positive")
+	}
+	if s.Membership != nil {
+		if err := s.Membership.Validate(s.Fed.NumClients(), s.Rounds); err != nil {
+			return err
+		}
 	}
 	return nil
 }

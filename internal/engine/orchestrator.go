@@ -45,6 +45,7 @@ func (o *Orchestrator) Run(ctx context.Context) (*RunResult, error) {
 	history := make([]RoundMetrics, 0, s.Rounds)
 	gradSq := make([]float64, nClients)
 	q := s.participationLevels()
+	weights := s.Fed.Weights
 
 	// Resume restoration happens before Open: a cluster backend hands each
 	// node its cursor inside the welcome message, so the backend must know
@@ -89,6 +90,45 @@ func (o *Orchestrator) Run(ctx context.Context) (*RunResult, error) {
 		}
 	}
 
+	// Membership: establish the roster at the starting boundary and fire the
+	// OnEpoch hook for every epoch already behind us — epoch zero always, and
+	// on resume each event that fired before the boundary, in order. Replay
+	// is what lets a deterministic re-pricing hook (warm ≡ cold solves)
+	// reconstruct the sampler's q and its own ledger exactly, so a resumed
+	// elastic run stays byte-identical to its uninterrupted twin.
+	plan := s.Membership
+	var active []bool
+	var wbuf []float64
+	epoch, evIdx := 0, 0
+	if plan != nil {
+		active = plan.ActiveAt(0, nClients)
+		if s.OnEpoch != nil {
+			if err := s.OnEpoch(Roster{Epoch: 0, Round: 0, Active: active}); err != nil {
+				return nil, fmt.Errorf("engine: epoch 0: %w", err)
+			}
+		}
+		for evIdx < len(plan.Events) && plan.Events[evIdx].Round < start {
+			ev := &plan.Events[evIdx]
+			evIdx++
+			epoch++
+			for _, n := range ev.Join {
+				active[n] = true
+			}
+			for _, n := range ev.Leave {
+				active[n] = false
+			}
+			if s.OnEpoch != nil {
+				roster := Roster{Epoch: epoch, Round: ev.Round, Active: active, Joined: ev.Join, Left: ev.Leave}
+				if err := s.OnEpoch(roster); err != nil {
+					return nil, fmt.Errorf("engine: replay epoch %d: %w", epoch, err)
+				}
+			}
+		}
+		q = s.participationLevels()
+		wbuf = make([]float64, nClients)
+		weights = renormWeights(wbuf, s.Fed.Weights, active)
+	}
+
 	if err := o.Backend.Open(ctx, s); err != nil {
 		return nil, fmt.Errorf("engine: open backend: %w", err)
 	}
@@ -103,10 +143,41 @@ func (o *Orchestrator) Run(ctx context.Context) (*RunResult, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		// Epoch boundary: the event at this round fires before the round
+		// executes. The backend churns its node fleet first (admitting
+		// joiners, retiring leavers), then the hook re-prices, then the
+		// aggregation inputs are refreshed from the new roster.
+		if plan != nil && evIdx < len(plan.Events) && plan.Events[evIdx].Round == round {
+			ev := &plan.Events[evIdx]
+			evIdx++
+			epoch++
+			for _, n := range ev.Join {
+				active[n] = true
+			}
+			for _, n := range ev.Leave {
+				active[n] = false
+			}
+			roster := Roster{Epoch: epoch, Round: round, Active: active, Joined: ev.Join, Left: ev.Leave}
+			if eb, ok := o.Backend.(EpochBackend); ok {
+				if err := eb.ApplyEpoch(ctx, roster); err != nil {
+					return nil, ctxErrOr(ctx, fmt.Errorf("engine: epoch %d apply: %w", epoch, err))
+				}
+			}
+			if s.OnEpoch != nil {
+				if err := s.OnEpoch(roster); err != nil {
+					return nil, fmt.Errorf("engine: epoch %d: %w", epoch, err)
+				}
+			}
+			q = s.participationLevels()
+			weights = renormWeights(wbuf, s.Fed.Weights, active)
+		}
 		if s.OnRoundStart != nil {
 			s.OnRoundStart(round)
 		}
 		participants := s.Sampler.Sample(round)
+		if plan != nil {
+			participants = filterActive(participants, active)
+		}
 		lr := s.Schedule.LR(round)
 		if err := o.checkDistinct(participants, nClients); err != nil {
 			return nil, err
@@ -130,7 +201,7 @@ func (o *Orchestrator) Run(ctx context.Context) (*RunResult, error) {
 		for _, u := range updates {
 			gradSq[u.Client] = u.GradSqNorm
 		}
-		if err := s.Aggregator.Aggregate(global, updates, s.Fed.Weights, q); err != nil {
+		if err := s.Aggregator.Aggregate(global, updates, weights, q); err != nil {
 			return nil, fmt.Errorf("round %d aggregate: %w", round, err)
 		}
 		if !global.IsFinite() {
@@ -170,7 +241,7 @@ func (o *Orchestrator) Run(ctx context.Context) (*RunResult, error) {
 			s.OnRound(m)
 		}
 		if s.OnRoundCommit != nil {
-			if err := o.commitRound(round+1, global, history); err != nil {
+			if err := o.commitRound(round+1, epoch, global, history); err != nil {
 				return nil, fmt.Errorf("round %d commit: %w", round, err)
 			}
 		}
@@ -200,10 +271,11 @@ func (o *Orchestrator) Run(ctx context.Context) (*RunResult, error) {
 // hands it to the OnRoundCommit hook. The RunState and its cursor slice are
 // reused between calls; the hook owns the data only for the duration of its
 // call (see Spec.OnRoundCommit).
-func (o *Orchestrator) commitRound(nextRound int, global tensor.Vec, history []RoundMetrics) error {
+func (o *Orchestrator) commitRound(nextRound, epoch int, global tensor.Vec, history []RoundMetrics) error {
 	s := &o.Spec
 	st := &o.commit
 	st.NextRound = nextRound
+	st.Epoch = epoch
 	st.Model = global
 	st.History = history
 	st.Sampler = nil

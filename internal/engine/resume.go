@@ -28,6 +28,11 @@ type RunState struct {
 	// NextRound is the first round the resumed run will execute; rounds
 	// 0..NextRound-1 are already reflected in Model and History.
 	NextRound int
+	// Epoch is the membership epoch in effect at the boundary (0 for a
+	// fixed-roster run). The roster itself is re-derived from the spec's
+	// MembershipPlan on resume; the recorded counter cross-checks that the
+	// resuming spec carries the same plan the checkpoint was written under.
+	Epoch int
 	// Model is the global parameter vector after round NextRound-1.
 	Model tensor.Vec
 	// Sampler is the sampler's opaque stream state (see StatefulSampler).
@@ -47,7 +52,7 @@ func (st *RunState) Clone() *RunState {
 	if st == nil {
 		return nil
 	}
-	out := &RunState{NextRound: st.NextRound}
+	out := &RunState{NextRound: st.NextRound, Epoch: st.Epoch}
 	out.Model = append(tensor.Vec(nil), st.Model...)
 	out.Sampler = append([]uint64(nil), st.Sampler...)
 	out.Clients = append([]ClientCursor(nil), st.Clients...)
@@ -122,6 +127,10 @@ func validateResume(r *RunState, s *Spec, modelLen, nClients int) error {
 		return fmt.Errorf("engine: resume history has %d rounds, want %d", len(r.History), r.NextRound)
 	case len(r.Clients) != 0 && len(r.Clients) != nClients:
 		return fmt.Errorf("engine: resume carries %d client cursors, fleet has %d", len(r.Clients), nClients)
+	}
+	if want := s.Membership.EpochAt(r.NextRound); r.Epoch != want {
+		return fmt.Errorf("engine: resume at epoch %d, but the spec's membership plan puts boundary %d in epoch %d",
+			r.Epoch, r.NextRound, want)
 	}
 	if !r.Model.IsFinite() {
 		return errors.New("engine: resume model is not finite")

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"fmt"
+
 	"unbiasedfl/internal/stats"
 )
 
@@ -91,6 +93,18 @@ func (s *FaultSampler) Sample(round int) []int {
 
 // NumClients implements Sampler.
 func (s *FaultSampler) NumClients() int { return len(s.q) }
+
+// SetQ replaces the priced participation levels — the membership-epoch
+// re-pricing seam. The sampler keeps its own copy, so later mutation of the
+// argument cannot skew the coin stream. The coin streams themselves are
+// untouched: only the thresholds move.
+func (s *FaultSampler) SetQ(q []float64) error {
+	if len(q) != len(s.q) {
+		return fmt.Errorf("engine: SetQ with %d levels for a %d-client fleet", len(q), len(s.q))
+	}
+	s.q = append(s.q[:0:0], q...)
+	return nil
+}
 
 // EffectiveQ implements the LevelsSampler seam with the server's belief
 // (the priced q), not the fault-adjusted truth.

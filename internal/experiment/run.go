@@ -86,6 +86,18 @@ func runPricedParallel(
 	// game's floor (they almost never participate but remain reachable).
 	q := env.Params.ClampQ(outcome.Q)
 
+	// Elastic runs re-price the sub-game over each epoch's active fleet. The
+	// scheme is resolved once here; each run gets its own warm repricer so
+	// run legs stay independent.
+	var epochScheme game.PricingScheme
+	if env.Membership != nil {
+		ps, err := game.SchemeByName(scheme)
+		if err != nil {
+			return nil, err
+		}
+		epochScheme = ps
+	}
+
 	var (
 		times  [][]float64
 		losses [][]float64
@@ -133,6 +145,20 @@ func runPricedParallel(
 			}
 		}
 		spec := runner.Spec()
+		if env.Membership != nil {
+			rp, err := game.NewRepricer(env.Params, epochScheme)
+			if err != nil {
+				return nil, err
+			}
+			liveQ := append([]float64(nil), q...)
+			spec.Membership = env.Membership
+			spec.OnEpoch = func(r engine.Roster) error {
+				if _, err := rp.Reprice(r.Active, liveQ, nil); err != nil {
+					return fmt.Errorf("epoch %d re-pricing: %w", r.Epoch, err)
+				}
+				return sampler.SetQ(liveQ)
+			}
+		}
 		mgr, err := env.openRunCheckpoint(&spec, scheme, run, seed)
 		if err != nil {
 			return nil, err

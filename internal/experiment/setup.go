@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"unbiasedfl/internal/data"
+	"unbiasedfl/internal/engine"
 	"unbiasedfl/internal/fl"
 	"unbiasedfl/internal/game"
 	"unbiasedfl/internal/model"
@@ -167,6 +168,12 @@ type Environment struct {
 	// round under this deadline with self-healing degradation (see
 	// engine.ClusterOptions.RoundTimeout).
 	RoundTimeout time.Duration
+	// Membership, when non-nil, makes every training run launched from this
+	// environment elastic: clients join and leave at the plan's round
+	// boundaries, the market is re-priced over each epoch's active fleet
+	// (warm-started, bit-identical to cold solves), and aggregation weights
+	// are renormalized over the members present. See engine.MembershipPlan.
+	Membership *engine.MembershipPlan
 }
 
 // Equilibrium solves (or returns the memoized) Stackelberg equilibrium of

@@ -65,6 +65,22 @@ func (s *BernoulliSampler) Q() []float64 {
 // levels themselves.
 func (s *BernoulliSampler) EffectiveQ() []float64 { return s.Q() }
 
+// SetQ replaces the participation levels in place — the membership-epoch
+// re-pricing seam. The coin stream is untouched: only thresholds move, so
+// the willingness pattern for unchanged levels is unperturbed.
+func (s *BernoulliSampler) SetQ(q []float64) error {
+	if len(q) != len(s.q) {
+		return fmt.Errorf("fl: SetQ with %d levels for a %d-client fleet", len(q), len(s.q))
+	}
+	for n, qn := range q {
+		if qn < 0 || qn > 1 {
+			return fmt.Errorf("fl: q[%d] = %v outside [0,1]", n, qn)
+		}
+	}
+	copy(s.q, q)
+	return nil
+}
+
 // SamplerState implements engine.StatefulSampler: the coin stream's xoshiro
 // cursor, so a checkpointed run resumes the exact participation sequence.
 func (s *BernoulliSampler) SamplerState() []uint64 {

@@ -1,0 +1,139 @@
+package game
+
+import (
+	"errors"
+	"fmt"
+)
+
+// EpochPricing summarizes one re-priced membership epoch: the spend and the
+// Theorem-1 server objective of the equilibrium over the epoch's active
+// fleet.
+type EpochPricing struct {
+	Spent     float64
+	ServerObj float64
+}
+
+// Repricer re-solves the Stage-I pricing decision for active subsets of a
+// fleet — the economic half of an elastic federation. Each membership epoch
+// plays the same CPL game restricted to the clients present: the data
+// weights a_n are renormalized over the active set (they must sum to one —
+// exactly the weights the unbiased aggregator now uses), the per-client
+// G/c/v constants carry over, and the budget, horizon, and box constraints
+// stay the server's.
+//
+// For the paper's proposed scheme the sub-games run through one persistent
+// warm Solver: successive epochs differ by a few clients, so the saved
+// multiplier bracket makes each re-solve nearly free — and, by the engine's
+// bracket-independence guarantee, bit-identical to a cold solve (pinned by
+// TestRepriceWarmEqualsCold). Other registered schemes re-price through
+// their own Price method.
+//
+// A Repricer is not safe for concurrent use; drive it from the
+// orchestration goroutine (the OnEpoch hook).
+type Repricer struct {
+	base   *Params
+	scheme PricingScheme
+	solver *Solver
+	sub    *Params
+	idx    []int
+	eq     Equilibrium
+}
+
+// NewRepricer builds a repricer over the full-fleet game base for the given
+// scheme. The base params are cloned; later mutation of the caller's copy
+// does not affect re-pricing.
+func NewRepricer(base *Params, scheme PricingScheme) (*Repricer, error) {
+	if base == nil {
+		return nil, errors.New("game: nil params")
+	}
+	if scheme == nil {
+		return nil, errors.New("game: nil pricing scheme")
+	}
+	if err := base.Validate(); err != nil {
+		return nil, err
+	}
+	return &Repricer{
+		base:   base.Clone(),
+		scheme: scheme,
+		solver: NewSolver(),
+		sub:    &Params{},
+	}, nil
+}
+
+// Reprice solves the sub-game over the active clients and scatters the
+// clamped participation levels — and, when prices is non-nil, the posted
+// prices — back into the full-fleet-indexed slices. Inactive entries are
+// left untouched: a departed client's last q is simply never used again,
+// and a not-yet-joined client keeps its pre-join level until its epoch.
+func (r *Repricer) Reprice(active []bool, q, prices []float64) (EpochPricing, error) {
+	n := r.base.N()
+	if len(active) != n || len(q) != n {
+		return EpochPricing{}, fmt.Errorf("game: reprice over %d/%d entries for a %d-client game",
+			len(active), len(q), n)
+	}
+	r.idx = r.idx[:0]
+	for i, a := range active {
+		if a {
+			r.idx = append(r.idx, i)
+		}
+	}
+	if len(r.idx) == 0 {
+		return EpochPricing{}, errors.New("game: reprice with no active clients")
+	}
+
+	// Build the sub-game: subset G/C/V, renormalize A to sum one over the
+	// active set, keep every scalar of the server's problem.
+	m := len(r.idx)
+	sub := r.sub
+	sub.A = growFloats(sub.A, m)
+	sub.G = growFloats(sub.G, m)
+	sub.C = growFloats(sub.C, m)
+	sub.V = growFloats(sub.V, m)
+	var asum float64
+	for _, i := range r.idx {
+		asum += r.base.A[i]
+	}
+	for k, i := range r.idx {
+		sub.A[k] = r.base.A[i] / asum
+		sub.G[k] = r.base.G[i]
+		sub.C[k] = r.base.C[i]
+		sub.V[k] = r.base.V[i]
+	}
+	sub.Alpha, sub.Beta = r.base.Alpha, r.base.Beta
+	sub.R, sub.B = r.base.R, r.base.B
+	sub.QMax, sub.QMin = r.base.QMax, r.base.QMin
+
+	var subQ, subP []float64
+	var out EpochPricing
+	if r.scheme.Name() == SchemeNameProposed {
+		// Warm path: the persistent solver reuses the previous epoch's
+		// multiplier bracket; bit-identical to the scheme's cold Price.
+		if err := r.solver.SolveInto(sub, &r.eq); err != nil {
+			return EpochPricing{}, err
+		}
+		subQ, subP = r.eq.Q, r.eq.P
+		out = EpochPricing{Spent: r.eq.Spent, ServerObj: r.eq.ServerObj}
+	} else {
+		res, err := r.scheme.Price(sub)
+		if err != nil {
+			return EpochPricing{}, err
+		}
+		subQ, subP = res.Q, res.P
+		out = EpochPricing{Spent: res.Spent, ServerObj: res.ServerObj}
+	}
+
+	for k, i := range r.idx {
+		qi := subQ[k]
+		if qi < sub.QMin {
+			qi = sub.QMin
+		}
+		if qi > sub.QMax {
+			qi = sub.QMax
+		}
+		q[i] = qi
+		if prices != nil {
+			prices[i] = subP[k]
+		}
+	}
+	return out, nil
+}

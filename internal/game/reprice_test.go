@@ -1,0 +1,174 @@
+package game
+
+import (
+	"math"
+	"testing"
+)
+
+// epochMasks is a roster walk over a 12-client fleet of the kind an elastic
+// federation produces: a partial initial roster, a join wave, then two leave
+// waves. Every mask keeps at least one client active.
+func epochMasks() [][]bool {
+	return [][]bool{
+		{false, true, true, true, true, true, true, true, true, true, false, false},
+		{true, true, true, true, true, true, true, true, true, true, true, false},
+		{true, false, true, true, false, true, true, true, true, true, true, false},
+		{true, false, true, true, false, true, false, true, true, false, true, true},
+	}
+}
+
+// TestRepriceWarmEqualsCold pins the guarantee the elastic engine leans on
+// (and reprice.go's doc comment promises): re-pricing epoch k through a
+// Repricer that has already solved epochs 0..k-1 — so its persistent Solver
+// carries the previous epoch's multiplier bracket — yields participation
+// levels, prices, and economics bit-identical to a Repricer seeing that
+// sub-game stone cold.
+func TestRepriceWarmEqualsCold(t *testing.T) {
+	base := testParams(t, 42, 12, 50, 4000, 200)
+	proposed, err := SchemeByName(SchemeNameProposed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := NewRepricer(base, proposed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	q := make([]float64, base.N())
+	p := make([]float64, base.N())
+	for epoch, active := range epochMasks() {
+		wp, err := warm.Reprice(active, q, p)
+		if err != nil {
+			t.Fatalf("epoch %d: warm reprice: %v", epoch, err)
+		}
+
+		cold, err := NewRepricer(base, proposed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cq := make([]float64, base.N())
+		cp := make([]float64, base.N())
+		ep, err := cold.Reprice(active, cq, cp)
+		if err != nil {
+			t.Fatalf("epoch %d: cold reprice: %v", epoch, err)
+		}
+
+		if math.Float64bits(wp.Spent) != math.Float64bits(ep.Spent) ||
+			math.Float64bits(wp.ServerObj) != math.Float64bits(ep.ServerObj) {
+			t.Fatalf("epoch %d: warm economics (%v, %v) != cold (%v, %v)",
+				epoch, wp.Spent, wp.ServerObj, ep.Spent, ep.ServerObj)
+		}
+		for i, a := range active {
+			if !a {
+				continue
+			}
+			if math.Float64bits(q[i]) != math.Float64bits(cq[i]) {
+				t.Fatalf("epoch %d: q[%d] warm %v != cold %v", epoch, i, q[i], cq[i])
+			}
+			if math.Float64bits(p[i]) != math.Float64bits(cp[i]) {
+				t.Fatalf("epoch %d: price[%d] warm %v != cold %v", epoch, i, p[i], cp[i])
+			}
+			if q[i] < base.QMin || q[i] > base.QMax {
+				t.Fatalf("epoch %d: q[%d] = %v outside [%v, %v]", epoch, i, q[i], base.QMin, base.QMax)
+			}
+		}
+	}
+}
+
+// TestRepriceLeavesInactiveEntriesAlone: a departed client's last level and
+// price must survive a re-price untouched — the scatter only writes active
+// indices.
+func TestRepriceLeavesInactiveEntriesAlone(t *testing.T) {
+	base := testParams(t, 7, 6, 50, 4000, 200)
+	proposed, err := SchemeByName(SchemeNameProposed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := NewRepricer(base, proposed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sentinel = -123.5
+	q := []float64{sentinel, 0, sentinel, 0, 0, sentinel}
+	p := []float64{sentinel, 0, sentinel, 0, 0, sentinel}
+	active := []bool{false, true, false, true, true, false}
+	if _, err := rp.Reprice(active, q, p); err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 2, 5} {
+		if q[i] != sentinel || p[i] != sentinel {
+			t.Fatalf("inactive entry %d overwritten: q=%v p=%v", i, q[i], p[i])
+		}
+	}
+	for _, i := range []int{1, 3, 4} {
+		if q[i] < base.QMin || q[i] > base.QMax {
+			t.Fatalf("active entry %d not re-priced: q=%v", i, q[i])
+		}
+	}
+}
+
+// TestRepriceBenchmarkScheme: non-proposed schemes re-price through their
+// own Price method over the same renormalized sub-game; the scattered
+// levels obey the box constraints and successive identical epochs agree
+// bit-for-bit (the benchmark schemes are closed-form, so "warm" is trivially
+// cold — this pins that the sub-game construction itself is deterministic).
+func TestRepriceBenchmarkScheme(t *testing.T) {
+	base := testParams(t, 11, 8, 50, 4000, 200)
+	uniform, err := SchemeByName(SchemeNameUniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := NewRepricer(base, uniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	active := []bool{true, true, false, true, true, false, true, true}
+	q1 := make([]float64, 8)
+	ep1, err := rp.Reprice(active, q1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2 := make([]float64, 8)
+	ep2, err := rp.Reprice(active, q2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(ep1.Spent) != math.Float64bits(ep2.Spent) {
+		t.Fatalf("identical epochs disagree: %v vs %v", ep1.Spent, ep2.Spent)
+	}
+	for i := range q1 {
+		if math.Float64bits(q1[i]) != math.Float64bits(q2[i]) {
+			t.Fatalf("q[%d] drifts across identical epochs: %v vs %v", i, q1[i], q2[i])
+		}
+		if active[i] && (q1[i] < base.QMin || q1[i] > base.QMax) {
+			t.Fatalf("q[%d] = %v outside box", i, q1[i])
+		}
+	}
+}
+
+func TestRepriceRejectsBadInput(t *testing.T) {
+	base := testParams(t, 3, 5, 50, 4000, 200)
+	proposed, err := SchemeByName(SchemeNameProposed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := NewRepricer(base, proposed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rp.Reprice(make([]bool, 4), make([]float64, 5), nil); err == nil {
+		t.Fatal("short active mask accepted")
+	}
+	if _, err := rp.Reprice(make([]bool, 5), make([]float64, 4), nil); err == nil {
+		t.Fatal("short q slice accepted")
+	}
+	if _, err := rp.Reprice(make([]bool, 5), make([]float64, 5), nil); err == nil {
+		t.Fatal("empty active set accepted")
+	}
+	if _, err := NewRepricer(nil, proposed); err == nil {
+		t.Fatal("nil params accepted")
+	}
+	if _, err := NewRepricer(base, nil); err == nil {
+		t.Fatal("nil scheme accepted")
+	}
+}

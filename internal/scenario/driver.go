@@ -122,6 +122,47 @@ func RunWith(ctx context.Context, sc Scenario, cfg RunConfig) (*Trace, error) {
 		Sampler:    sampler,
 		Aggregator: engine.UnbiasedAggregator{},
 	}
+
+	// Elastic membership: compile the join/leave faults into a round-boundary
+	// plan and hang the re-pricing hook on it. At every epoch (including the
+	// initial roster, and including epochs replayed on resume) the hook
+	// re-solves the sub-game over the active clients — through one persistent
+	// warm solver whose results are bit-identical to cold solves — pushes the
+	// new participation levels into the sampler's thresholds, and appends a
+	// ledger row. The headline Equilibrium stays the full-fleet pricing; the
+	// ledger carries the per-epoch economics.
+	var ledger []TraceEpoch
+	if plan := compileMembership(sc.Clients, sc.Faults); plan != nil {
+		ps, err := game.SchemeByName(sc.Scheme)
+		if err != nil {
+			return nil, err
+		}
+		rp, err := game.NewRepricer(env.Params, ps)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %q repricer: %w", sc.Name, err)
+		}
+		liveQ := append([]float64(nil), q...)
+		spec.Membership = plan
+		spec.OnEpoch = func(r engine.Roster) error {
+			ep, err := rp.Reprice(r.Active, liveQ, nil)
+			if err != nil {
+				return fmt.Errorf("epoch %d re-pricing: %w", r.Epoch, err)
+			}
+			if err := sampler.SetQ(liveQ); err != nil {
+				return err
+			}
+			ledger = append(ledger, TraceEpoch{
+				Epoch:     r.Epoch,
+				Round:     r.Round,
+				Joined:    append([]int(nil), r.Joined...),
+				Left:      append([]int(nil), r.Left...),
+				Active:    r.NumActive(),
+				Spent:     ep.Spent,
+				ServerObj: ep.ServerObj,
+			})
+			return nil
+		}
+	}
 	if obs := cfg.Events; obs != nil {
 		scheme := sc.Scheme
 		spec.OnRoundStart = func(round int) {
@@ -168,7 +209,7 @@ func RunWith(ctx context.Context, sc Scenario, cfg RunConfig) (*Trace, error) {
 		return nil, fmt.Errorf("scenario %q: %w", sc.Name, err)
 	}
 
-	return assembleTrace(sc, env, outcome, q, sch, res)
+	return assembleTrace(sc, env, outcome, q, sch, res, ledger)
 }
 
 // openCheckpoint attaches or creates the run's checkpoint. The scenario's
@@ -266,6 +307,7 @@ func applyEconomics(p *game.Params, sc Scenario) error {
 func assembleTrace(
 	sc Scenario, env *experiment.Environment, outcome *game.Outcome,
 	q []float64, sch engine.FaultSchedule, res *engine.RunResult,
+	ledger []TraceEpoch,
 ) (*Trace, error) {
 	counts := make([]int, sc.Clients)
 	roundTrace := make([]TraceRound, 0, len(res.History))
@@ -319,6 +361,7 @@ func assembleTrace(
 		Participation:      counts,
 		EmpiricalQ:         empirical,
 		DroppedAt:          append([]int(nil), sch.DropRound...),
+		Membership:         ledger,
 		RoundTrace:         roundTrace,
 		FinalLoss:          res.FinalLoss,
 		FinalAccuracy:      res.FinalAcc,

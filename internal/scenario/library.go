@@ -88,6 +88,18 @@ func library() []Scenario {
 			Seed:      17,
 		},
 		{
+			Name:        "elastic",
+			Description: "mid-run membership churn: client 5 joins at round 3, client 2 leaves gracefully at round 6, the market re-priced at every epoch",
+			Setup:       experiment.Setup2,
+			Clients:     6, TotalSamples: 600,
+			Rounds: 12, LocalSteps: 4, BatchSize: 8,
+			Seed: 19,
+			Faults: []ClientFault{
+				{Client: 5, Kind: FaultJoin, Round: 3},
+				{Client: 2, Kind: FaultLeave, Round: 6},
+			},
+		},
+		{
 			Name:        "mixed",
 			Description: "the storm: stragglers, a mid-run dropout, churn, sharpened label skew, and a squeezed budget under weighted pricing",
 			Setup:       experiment.Setup2,

@@ -47,6 +47,16 @@ const (
 	// probability Availability each round, independent of its strategic
 	// participation coin.
 	FaultFlaky
+	// FaultJoin admits the client at the Round epoch boundary: it is absent
+	// from the initial roster and becomes a member when round Round begins.
+	// Unlike the exogenous faults, membership changes are visible to the
+	// server, which re-prices the sub-game over the active fleet at every
+	// epoch (see engine.MembershipPlan).
+	FaultJoin
+	// FaultLeave retires the client permanently and gracefully at the Round
+	// epoch boundary — an announced, acknowledged departure, as opposed to
+	// FaultDropout's silent crash. The server re-prices without it.
+	FaultLeave
 )
 
 // String implements fmt.Stringer.
@@ -58,6 +68,10 @@ func (k FaultKind) String() string {
 		return "dropout"
 	case FaultFlaky:
 		return "flaky"
+	case FaultJoin:
+		return "join"
+	case FaultLeave:
+		return "leave"
 	default:
 		return fmt.Sprintf("FaultKind(%d)", int(k))
 	}
@@ -68,7 +82,8 @@ type ClientFault struct {
 	// Client is the index of the afflicted device.
 	Client int
 	Kind   FaultKind
-	// Round is the dropout round (FaultDropout).
+	// Round is the dropout round (FaultDropout) or the epoch boundary at
+	// which the membership change takes effect (FaultJoin, FaultLeave).
 	Round int
 	// DelayFactor multiplies the client's latency (FaultStraggler, > 1 for
 	// a straggler).
@@ -94,6 +109,10 @@ func (f ClientFault) validate(numClients int) error {
 	case FaultFlaky:
 		if f.Availability <= 0 || f.Availability >= 1 {
 			return fmt.Errorf("scenario: flaky client %d needs availability in (0,1)", f.Client)
+		}
+	case FaultJoin, FaultLeave:
+		if f.Round < 1 {
+			return fmt.Errorf("scenario: %v for client %d needs a round >= 1 (membership only changes at interior epoch boundaries)", f.Kind, f.Client)
 		}
 	default:
 		return fmt.Errorf("scenario: client %d has unknown fault kind %d", f.Client, int(f.Kind))
@@ -203,6 +222,14 @@ func (s Scenario) Validate() error {
 			return fmt.Errorf("scenario: client %d has duplicate %v faults", f.Client, f.Kind)
 		}
 		seen[key] = true
+	}
+	// Membership churn gets the engine's full coherence check (rounds in
+	// range, joins before leaves, fleet never empty) at declaration time
+	// rather than at run time.
+	if plan := compileMembership(s.Clients, s.Faults); plan != nil {
+		if err := plan.Validate(s.Clients, s.Rounds); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -17,6 +17,24 @@ type TraceEquilibrium struct {
 	ServerObj float64 `json:"server_obj"`
 }
 
+// TraceEpoch is one membership epoch of an elastic run: who joined or left
+// at its boundary, the resulting roster size, and the economics of the
+// re-priced sub-game over the active fleet. Epoch 0 is the initial roster
+// (no joins or leaves). The ledger is rebuilt identically on resume — the
+// orchestrator replays past epochs through the re-pricing hook — so it is
+// part of the byte-identity contract like every other trace field.
+type TraceEpoch struct {
+	Epoch  int   `json:"epoch"`
+	Round  int   `json:"round"`
+	Joined []int `json:"joined,omitempty"`
+	Left   []int `json:"left,omitempty"`
+	Active int   `json:"active"`
+	// Spent and ServerObj are the re-priced sub-game's Σ P_n q_n and
+	// Theorem-1 objective over the epoch's active clients.
+	Spent     float64 `json:"spent"`
+	ServerObj float64 `json:"server_obj"`
+}
+
 // TraceRound is one training round of the trace. Loss and Accuracy are
 // meaningful only when Evaluated.
 type TraceRound struct {
@@ -54,6 +72,10 @@ type Trace struct {
 	EmpiricalQ    []float64 `json:"empirical_q"`
 	// DroppedAt[n] is the round client n permanently left, or -1.
 	DroppedAt []int `json:"dropped_at"`
+
+	// Membership is the epoch ledger of an elastic run: one row per
+	// membership epoch, in order. Empty for a fixed-roster scenario.
+	Membership []TraceEpoch `json:"membership,omitempty"`
 
 	RoundTrace []TraceRound `json:"round_trace"`
 

@@ -90,6 +90,7 @@ type Server struct {
 	mux      *http.ServeMux
 
 	draining   atomic.Bool
+	ready      atomic.Bool
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 	wg         sync.WaitGroup
@@ -133,6 +134,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/sessions/{id}/events", s.handleSessionEvents)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/result", s.handleSessionResult)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 }
 
@@ -169,6 +171,9 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		Handler:     s.mux,
 		ReadTimeout: 30 * time.Second,
 	}
+	// The listener is bound and the route table is wired: the daemon can
+	// accept traffic, so readiness (distinct from liveness) flips here.
+	s.ready.Store(true)
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
 
@@ -769,6 +774,32 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, struct {
 		Status string `json:"status"`
 	}{"ok"})
+}
+
+// handleReadyz is the readiness probe, distinct from /healthz liveness: it
+// reports 200 only once Serve has the listener accepting traffic AND the
+// pricing-scheme and scenario registries are populated — the two tables
+// every serving request resolves through. Boot-wait loops (CI, orchestrator
+// readiness gates) should poll this, not /healthz, which answers "ok" for a
+// handler that is wired but not yet serving.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	status := func(code int, st string) {
+		writeJSON(w, code, struct {
+			Status string `json:"status"`
+		}{st})
+	}
+	switch {
+	case s.draining.Load():
+		status(http.StatusServiceUnavailable, "draining")
+	case !s.ready.Load():
+		status(http.StatusServiceUnavailable, "starting")
+	case len(game.SchemeNames()) == 0:
+		status(http.StatusServiceUnavailable, "no pricing schemes registered")
+	case len(scenario.Names()) == 0:
+		status(http.StatusServiceUnavailable, "no scenarios registered")
+	default:
+		status(http.StatusOK, "ready")
+	}
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

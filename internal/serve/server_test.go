@@ -355,3 +355,37 @@ func TestBatchQuoteMatchesSingle(t *testing.T) {
 		}
 	}
 }
+
+// TestReadyzLifecycle: /readyz is distinct from /healthz — it stays 503
+// until Serve has bound the listener (the ready latch), flips to 200, and
+// returns to 503 the moment a drain starts, while /healthz keeps answering
+// for the process-liveness probe.
+func TestReadyzLifecycle(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	readyz := func() (int, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := decodeResp[struct {
+			Status string `json:"status"`
+		}](t, resp)
+		return resp.StatusCode, body.Status
+	}
+
+	// Handler wired but Serve not running yet: alive, not ready.
+	if code, status := readyz(); code != http.StatusServiceUnavailable || status != "starting" {
+		t.Fatalf("pre-serve readyz = %d %q, want 503 starting", code, status)
+	}
+
+	s.ready.Store(true) // what Serve does once the listener is bound
+	if code, status := readyz(); code != http.StatusOK || status != "ready" {
+		t.Fatalf("ready readyz = %d %q, want 200 ready", code, status)
+	}
+
+	s.draining.Store(true)
+	if code, status := readyz(); code != http.StatusServiceUnavailable || status != "draining" {
+		t.Fatalf("draining readyz = %d %q, want 503 draining", code, status)
+	}
+}

@@ -53,6 +53,15 @@ type ClientConfig struct {
 	// streams. Nil keeps the historical behaviour: one Seed-derived stream
 	// for both.
 	SGDRNG *stats.RNG
+	// Join makes the device introduce itself with MsgJoin (protocol v4)
+	// instead of MsgHello — a prospective member asking to be admitted. The
+	// prototype server treats both identically; a membership-aware
+	// coordinator withholds the welcome until the next epoch boundary.
+	Join bool
+	// LeaveAfter, when positive, makes the device depart gracefully: on the
+	// first round start with Round >= LeaveAfter it sends MsgLeave, waits
+	// for the coordinator's MsgBye, and exits cleanly. Zero disables.
+	LeaveAfter int
 }
 
 // Client is one device in the prototype: it owns a local shard, dials the
@@ -119,7 +128,11 @@ func (c *Client) Run(ctx context.Context) (int, error) {
 	}
 	defer func() { _ = codec.Close() }()
 
-	if err := codec.Send(&Message{Type: MsgHello, ClientID: c.cfg.ID}); err != nil {
+	helloType := MsgHello
+	if c.cfg.Join {
+		helloType = MsgJoin
+	}
+	if err := codec.Send(&Message{Type: helloType, ClientID: c.cfg.ID}); err != nil {
 		return 0, ctxify(err)
 	}
 	welcome, err := codec.Recv()
@@ -158,7 +171,30 @@ func (c *Client) Run(ctx context.Context) (int, error) {
 		switch msg.Type {
 		case MsgDone:
 			return participated, nil
+		case MsgLeave:
+			// Coordinator-initiated retirement: acknowledge and exit.
+			if err := codec.Send(&Message{Type: MsgBye, ClientID: c.cfg.ID}); err != nil {
+				return participated, ctxify(err)
+			}
+			return participated, nil
 		case MsgRoundStart:
+			if c.cfg.LeaveAfter > 0 && msg.Round >= c.cfg.LeaveAfter {
+				// Device-initiated graceful departure: announce, await the
+				// farewell, exit cleanly.
+				if err := codec.Send(&Message{
+					Type: MsgLeave, ClientID: c.cfg.ID, Round: msg.Round,
+				}); err != nil {
+					return participated, ctxify(err)
+				}
+				bye, err := codec.Recv()
+				if err != nil {
+					return participated, ctxify(err)
+				}
+				if bye.Type != MsgBye {
+					return participated, fmt.Errorf("transport: expected bye, got %v", bye.Type)
+				}
+				return participated, nil
+			}
 			var fault RoundFault
 			if c.cfg.FaultFunc != nil {
 				fault = c.cfg.FaultFunc(msg.Round)

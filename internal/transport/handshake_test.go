@@ -5,8 +5,10 @@ import (
 	"context"
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"io"
 	"net"
+	"strings"
 	"testing"
 	"time"
 
@@ -230,5 +232,36 @@ func TestDecodeFrameReusesBuffer(t *testing.T) {
 	}
 	if _, err := DecodeFrame(bytes.NewReader(nil), nil); !errors.Is(err, io.EOF) {
 		t.Fatalf("empty input: want io.EOF, got %v", err)
+	}
+}
+
+// TestVersionMismatchNamesBothVersions pins the diagnosability requirement
+// for mixed-version clusters: the ErrVersionMismatch text carries BOTH the
+// peer's version and this build's, so one log line identifies which side of
+// a skewed fleet is stale.
+func TestVersionMismatchNamesBothVersions(t *testing.T) {
+	local, peer := net.Pipe()
+	defer func() { _ = local.Close() }()
+	defer func() { _ = peer.Close() }()
+	go func() {
+		defer func() { _ = peer.Close() }()
+		buf := make([]byte, 5)
+		if _, err := io.ReadFull(peer, buf); err != nil {
+			return
+		}
+		out := append(append([]byte(nil), handshakeMagic[:]...), ProtocolVersion+1)
+		_, _ = peer.Write(out)
+	}()
+	err := Handshake(local)
+	if !errors.Is(err, ErrVersionMismatch) {
+		t.Fatalf("want ErrVersionMismatch, got %v", err)
+	}
+	for _, want := range []string{
+		fmt.Sprintf("peer speaks version %d", ProtocolVersion+1),
+		fmt.Sprintf("this build speaks %d", ProtocolVersion),
+	} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not name %q", err, want)
+		}
 	}
 }

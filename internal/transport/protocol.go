@@ -37,8 +37,9 @@ const (
 	// ProtocolVersion is the current wire-protocol version, bumped on every
 	// incompatible change (version 1: unframed gob; version 2: handshake +
 	// length-framed gob; version 3: resumable executor cursors on
-	// MsgWelcome/MsgUpdate).
-	ProtocolVersion byte = 3
+	// MsgWelcome/MsgUpdate; version 4: membership churn — MsgJoin handshake
+	// for prospective members, MsgLeave/MsgBye graceful retirement).
+	ProtocolVersion byte = 4
 	// MaxFrameSize bounds a single frame's payload. The largest legitimate
 	// frame is a MsgRoundStart carrying the flattened global model; 64 MiB
 	// covers ~8M float64 parameters with gob overhead to spare.
@@ -141,6 +142,16 @@ const (
 	MsgSkip
 	// MsgDone ends the session.
 	MsgDone
+	// MsgJoin is a prospective member's hello (protocol v4): the peer asks
+	// to enter the federation and is welcomed — with its authoritative
+	// cursor — at the next membership-epoch boundary.
+	MsgJoin
+	// MsgLeave requests a graceful permanent departure (protocol v4). The
+	// coordinator sends it to retire a node at an epoch boundary; the
+	// prototype client sends it to announce its own exit.
+	MsgLeave
+	// MsgBye acknowledges a MsgLeave; the connection closes after it.
+	MsgBye
 )
 
 // Message is the single wire envelope. Unused fields stay at their zero

@@ -95,6 +95,10 @@ type ServerResult struct {
 	ParticipationCounts []int
 	// Dropped marks clients lost mid-run (only with TolerateFaults).
 	Dropped []bool
+	// Left marks clients that departed gracefully via MsgLeave. Unlike a
+	// drop, a leave is an observed, acknowledged event — it is not an error
+	// even without TolerateFaults.
+	Left []bool
 }
 
 // Server coordinates FL over real TCP sockets: it waits for NumClients
@@ -147,8 +151,8 @@ func (s *Server) registerClient(conn net.Conn, codecs []*Codec) (int, *Codec, er
 	if err := conn.SetDeadline(time.Time{}); err != nil {
 		return 0, nil, fmt.Errorf("transport: clear handshake deadline: %w", err)
 	}
-	if hello.Type != MsgHello {
-		return 0, nil, fmt.Errorf("transport: expected hello, got %v", hello.Type)
+	if hello.Type != MsgHello && hello.Type != MsgJoin {
+		return 0, nil, fmt.Errorf("transport: expected hello or join, got %v", hello.Type)
 	}
 	id := hello.ClientID
 	if id < 0 || id >= s.cfg.NumClients {
@@ -253,6 +257,7 @@ func (s *Server) Run(ctx context.Context) (*ServerResult, error) {
 		GradSqNorm:          make([]float64, s.cfg.NumClients),
 		ParticipationCounts: make([]int, s.cfg.NumClients),
 		Dropped:             make([]bool, s.cfg.NumClients),
+		Left:                make([]bool, s.cfg.NumClients),
 	}
 	for round := 0; round < s.cfg.Rounds; round++ {
 		if err := ctx.Err(); err != nil {
@@ -266,7 +271,7 @@ func (s *Server) Run(ctx context.Context) (*ServerResult, error) {
 		errs := make([]error, s.cfg.NumClients)
 		for id, codec := range codecs {
 			id, codec := id, codec
-			if result.Dropped[id] {
+			if result.Dropped[id] || result.Left[id] {
 				continue
 			}
 			wg.Add(1)
@@ -317,6 +322,12 @@ func (s *Server) Run(ctx context.Context) (*ServerResult, error) {
 				result.GradSqNorm[id] = reply.GradSqNorm
 			case MsgSkip:
 				result.GradSqNorm[id] = math.Max(result.GradSqNorm[id], reply.GradSqNorm)
+			case MsgLeave:
+				// Graceful departure: farewell the device and release its
+				// connection. Observed and acknowledged, so never an error.
+				result.Left[id] = true
+				_ = codecs[id].Send(&Message{Type: MsgBye, ClientID: id})
+				_ = codecs[id].Close()
 			default:
 				return nil, fmt.Errorf("transport: unexpected reply %v from client %d", reply.Type, id)
 			}
@@ -325,7 +336,7 @@ func (s *Server) Run(ctx context.Context) (*ServerResult, error) {
 
 	done := &Message{Type: MsgDone}
 	for id, codec := range codecs {
-		if result.Dropped[id] {
+		if result.Dropped[id] || result.Left[id] {
 			continue
 		}
 		if err := codec.Send(done); err != nil {

@@ -3,6 +3,7 @@ package unbiasedfl
 import (
 	"context"
 
+	"unbiasedfl/internal/engine"
 	"unbiasedfl/internal/scenario"
 )
 
@@ -27,6 +28,16 @@ type (
 	TraceRound = scenario.TraceRound
 	// TraceEquilibrium is the priced market state a trace ran under.
 	TraceEquilibrium = scenario.TraceEquilibrium
+	// TraceEpoch is one membership epoch of an elastic trace: who joined or
+	// left at the boundary and the re-priced sub-game's economics.
+	TraceEpoch = scenario.TraceEpoch
+	// MembershipPlan schedules mid-run membership churn for a session: an
+	// initial roster plus join/leave events at round boundaries. Pass it to
+	// WithMembership. Scenario runs express churn as FaultJoin/FaultLeave
+	// entries instead.
+	MembershipPlan = engine.MembershipPlan
+	// MembershipEvent is one epoch boundary of a MembershipPlan.
+	MembershipEvent = engine.MembershipEvent
 	// ScenarioRunConfig selects the execution backend (and its knobs) for
 	// RunScenarioWith.
 	ScenarioRunConfig = scenario.RunConfig
@@ -48,6 +59,12 @@ const (
 	// FaultFlaky makes a client reachable only with probability
 	// Availability each round.
 	FaultFlaky = scenario.FaultFlaky
+	// FaultJoin admits a client at the Round epoch boundary; it is absent
+	// from the initial roster.
+	FaultJoin = scenario.FaultJoin
+	// FaultLeave retires a client permanently and gracefully at the Round
+	// epoch boundary.
+	FaultLeave = scenario.FaultLeave
 )
 
 // RunScenario compiles and executes the scenario through the full data →

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"unbiasedfl/internal/engine"
 	"unbiasedfl/internal/experiment"
 	"unbiasedfl/internal/game"
 )
@@ -53,6 +54,7 @@ type sessionConfig struct {
 	checkpoint       string
 	checkpointResume bool
 	roundTimeout     time.Duration
+	membership       *engine.MembershipPlan
 }
 
 // Option configures a Session at construction time.
@@ -130,6 +132,19 @@ func WithCheckpointResume(prefix string) Option {
 	return func(c *sessionConfig) { c.checkpoint = prefix; c.checkpointResume = true }
 }
 
+// WithMembership makes every training run launched from the session elastic:
+// clients join and leave the federation at the plan's round boundaries. At
+// each epoch the market is re-priced over the active fleet (through a
+// warm-started solver whose results are bit-identical to cold solves), the
+// sampler's participation thresholds are updated, and aggregation weights are
+// renormalized over the members present. Joins and permanent leaves happen
+// only at round commits, so durable runs replay the epoch sequence
+// byte-identically on resume. The plan is validated against the session's
+// fleet size and horizon at construction time.
+func WithMembership(plan *MembershipPlan) Option {
+	return func(c *sessionConfig) { c.membership = plan }
+}
+
 // WithRoundTimeout puts every cluster-backend round under a deadline with
 // self-healing degradation: a node that crashes, disconnects, or misses the
 // deadline is recorded as unavailable for that round (which the unbiased
@@ -154,6 +169,11 @@ func NewSession(ctx context.Context, id SetupID, options ...Option) (*Session, e
 	if _, err := game.SchemeByName(cfg.sweepScheme); err != nil {
 		return nil, err
 	}
+	if cfg.membership != nil {
+		if err := cfg.membership.Validate(cfg.opts.NumClients, cfg.opts.Rounds); err != nil {
+			return nil, err
+		}
+	}
 	env, err := experiment.BuildSetup(ctx, id, cfg.opts)
 	if err != nil {
 		return nil, err
@@ -162,6 +182,7 @@ func NewSession(ctx context.Context, id SetupID, options ...Option) (*Session, e
 	env.Checkpoint = cfg.checkpoint
 	env.CheckpointResume = cfg.checkpointResume
 	env.RoundTimeout = cfg.roundTimeout
+	env.Membership = cfg.membership
 	return &Session{id: newSessionID(), env: env, observer: cfg.observer, sweepScheme: cfg.sweepScheme}, nil
 }
 
