@@ -7,6 +7,11 @@
 // fleet, faults, economics and all — and prints its canonical trace
 // (-scenario list enumerates the library).
 //
+// With -generate it derives a scenario from an arbitrary byte seed through
+// the property-based generator — the same worlds the fuzz harness explores —
+// and runs it. The seed is taken literally, as hex after a "hex:" prefix, or
+// from a Go fuzz corpus file with "@path".
+//
 // Durability: -checkpoint commits the run state every round; a process
 // killed mid-run (even with SIGKILL — try -kill-after) rerun with -resume
 // finishes from the last committed round and prints a trace byte-identical
@@ -17,6 +22,8 @@
 //
 //	flsim -setup 2 -scheme proposed [-rounds 120] [-clients 12] [-runs 3] [-backend local|cluster] [-json] [-progress]
 //	flsim -scenario straggler-heavy [-backend local|cluster] [-json]
+//	flsim -generate hex:deadbeef [-json]
+//	flsim -generate @internal/scenario/testdata/fuzz/FuzzScenario/seed-ascii
 //	flsim -scenario baseline -checkpoint run.ckpt [-kill-after 5]
 //	flsim -scenario baseline -checkpoint run.ckpt -resume -json
 //	flsim -scenario list
@@ -24,10 +31,12 @@ package main
 
 import (
 	"context"
+	"encoding/hex"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 
 	"unbiasedfl"
@@ -69,6 +78,7 @@ func run(ctx context.Context) error {
 		setup    = flag.Int("setup", 1, "experimental setup (1, 2, or 3)")
 		scheme   = flag.String("scheme", "proposed", "pricing scheme (any registered name; built-ins: proposed, uniform, weighted)")
 		scenario = flag.String("scenario", "", "replay a named scenario instead of a plain run ('list' enumerates the library)")
+		generate = flag.String("generate", "", "run a generated scenario derived from this byte seed (literal bytes, 'hex:<digits>', or '@path' to a Go fuzz corpus file)")
 		clients  = flag.Int("clients", 12, "number of clients")
 		rounds   = flag.Int("rounds", 120, "training rounds R")
 		steps    = flag.Int("steps", 10, "local SGD steps E")
@@ -107,6 +117,39 @@ func run(ctx context.Context) error {
 	leaves, err := parseChurn(*leaveFlag)
 	if err != nil {
 		return fmt.Errorf("-leave: %w", err)
+	}
+
+	if *generate != "" {
+		// A generated world is fully determined by its seed: like -scenario,
+		// any plain-run override would be silently meaningless. Durability
+		// flags stay off too — a generated world is for exploration, not for
+		// long-lived resumable runs (name a scenario for those).
+		var conflicting []string
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "generate", "json", "backend", "round-timeout":
+			default:
+				conflicting = append(conflicting, "-"+f.Name)
+			}
+		})
+		if len(conflicting) > 0 {
+			return fmt.Errorf("-generate derives a self-contained world from its seed; %s do(es) not apply (only -json, -backend, and -round-timeout combine)",
+				strings.Join(conflicting, ", "))
+		}
+		seedBytes, err := parseGenerateSeed(*generate)
+		if err != nil {
+			return fmt.Errorf("-generate: %w", err)
+		}
+		sc := unbiasedfl.GenerateScenario(seedBytes)
+		cfg := unbiasedfl.ScenarioRunConfig{
+			Backend: exec,
+			Cluster: unbiasedfl.ClusterConfig{RoundTimeout: *roundTO},
+		}
+		trace, err := unbiasedfl.RunScenarioWith(ctx, sc, cfg)
+		if err != nil {
+			return err
+		}
+		return printTrace(trace, *jsonFlag)
 	}
 
 	if *scenario != "" {
@@ -352,6 +395,49 @@ func runScenario(ctx context.Context, name string, cfg unbiasedfl.ScenarioRunCon
 	if err != nil {
 		return err
 	}
+	return printTrace(trace, jsonOut)
+}
+
+// parseGenerateSeed decodes the -generate argument into the raw byte seed the
+// scenario generator consumes: "@path" extracts the bytes from a Go fuzz
+// corpus file (the "go test fuzz v1" format the native harness writes),
+// "hex:" prefixes hex-decode, and anything else is taken as literal bytes —
+// so a crash input the fuzzer minimized can be replayed as a full simulation
+// without hand-decoding it.
+func parseGenerateSeed(arg string) ([]byte, error) {
+	switch {
+	case strings.HasPrefix(arg, "@"):
+		raw, err := os.ReadFile(strings.TrimPrefix(arg, "@"))
+		if err != nil {
+			return nil, err
+		}
+		lines := strings.Split(string(raw), "\n")
+		if len(lines) == 0 || strings.TrimSpace(lines[0]) != "go test fuzz v1" {
+			return nil, fmt.Errorf("%s is not a Go fuzz corpus file (missing 'go test fuzz v1' header)", arg[1:])
+		}
+		for _, line := range lines[1:] {
+			line = strings.TrimSpace(line)
+			if !strings.HasPrefix(line, "[]byte(") || !strings.HasSuffix(line, ")") {
+				continue
+			}
+			quoted := strings.TrimSuffix(strings.TrimPrefix(line, "[]byte("), ")")
+			s, err := strconv.Unquote(quoted)
+			if err != nil {
+				return nil, fmt.Errorf("corpus entry %q: %w", line, err)
+			}
+			return []byte(s), nil
+		}
+		return nil, fmt.Errorf("%s has no []byte(...) entry", arg[1:])
+	case strings.HasPrefix(arg, "hex:"):
+		return hex.DecodeString(strings.TrimPrefix(arg, "hex:"))
+	default:
+		return []byte(arg), nil
+	}
+}
+
+// printTrace renders a scenario trace — named or generated — as JSON or the
+// human-readable table.
+func printTrace(trace *unbiasedfl.Trace, jsonOut bool) error {
 	if jsonOut {
 		return cli.WriteJSON(os.Stdout, trace)
 	}
@@ -381,6 +467,22 @@ func runScenario(ctx context.Context, name string, cfg unbiasedfl.ScenarioRunCon
 			}
 			fmt.Println()
 		}
+	}
+	if adv := trace.Adversary; adv != nil {
+		fmt.Println("\nadversaries:")
+		if len(adv.Misreporting) > 0 {
+			fmt.Printf("  misreporting costs: clients %v\n", adv.Misreporting)
+		}
+		if len(adv.Deviating) > 0 {
+			fmt.Printf("  deviating from priced q: clients %v\n", adv.Deviating)
+		}
+		if len(adv.Poisoning) > 0 {
+			fmt.Printf("  poisoning updates: clients %v\n", adv.Poisoning)
+		}
+		fmt.Printf("  vs truthful pricing: server bound %+.6f, client utility %+.2f\n",
+			adv.ServerObjInflation, adv.UtilityShift)
+		fmt.Printf("  vs honest twin run: loss %+.4f, accuracy %+.4f\n",
+			adv.LossInflation, -adv.AccuracyDrop)
 	}
 	fmt.Printf("\nfinal: loss %.4f, accuracy %.4f; total client utility %.2f; negative payments %d\n",
 		trace.FinalLoss, trace.FinalAccuracy, trace.TotalClientUtility, trace.NegativePayments)

@@ -146,6 +146,16 @@ type Spec struct {
 	Sampler    Sampler
 	Aggregator Aggregator
 
+	// Tamper, when non-nil, is applied to every participant update as soon
+	// as the backend returns it and before aggregation — the
+	// gradient-poisoning seam. It may mutate the update in place (backends
+	// rebuild deltas on every dispatch, so in-place scaling is safe). It runs
+	// on the orchestration goroutine, after the backend's work: a tampered
+	// run is therefore byte-identical across execution backends, and —
+	// being a pure function of (round, update) — replays identically on
+	// resume.
+	Tamper func(round int, u *ClientUpdate)
+
 	// Membership, when non-nil, makes the roster elastic: clients join and
 	// permanently leave at the plan's round boundaries. The sampler still
 	// draws coins for the whole population every round (stream discipline);

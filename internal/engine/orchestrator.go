@@ -198,6 +198,11 @@ func (o *Orchestrator) Run(ctx context.Context) (*RunResult, error) {
 			}
 			return nil, fmt.Errorf("round %d: %w", round, err)
 		}
+		if s.Tamper != nil {
+			for i := range updates {
+				s.Tamper(round, &updates[i])
+			}
+		}
 		for _, u := range updates {
 			gradSq[u.Client] = u.GradSqNorm
 		}

@@ -16,6 +16,13 @@ type FaultSchedule struct {
 	Availability []float64
 	// Delay[n] is the straggler latency multiplier (1 = nominal).
 	Delay []float64
+	// QFactor[n] multiplies client n's actual willingness probability
+	// (1 = honest): a strategic deviation from the priced participation
+	// level. The server's belief — EffectiveQ, and with it the aggregation
+	// weights — stays the priced q, which is exactly what makes deviation an
+	// attack on the unbiasedness guarantee rather than a re-pricing. Nil
+	// means every client is honest (schedules predating the field).
+	QFactor []float64
 }
 
 // NewFaultSchedule returns a fault-free schedule for numClients clients.
@@ -24,13 +31,23 @@ func NewFaultSchedule(numClients int) FaultSchedule {
 		DropRound:    make([]int, numClients),
 		Availability: make([]float64, numClients),
 		Delay:        make([]float64, numClients),
+		QFactor:      make([]float64, numClients),
 	}
 	for n := 0; n < numClients; n++ {
 		sch.DropRound[n] = -1
 		sch.Availability[n] = 1
 		sch.Delay[n] = 1
+		sch.QFactor[n] = 1
 	}
 	return sch
+}
+
+// qFactor returns client n's willingness multiplier (1 = honest).
+func (s FaultSchedule) qFactor(n int) float64 {
+	if s.QFactor == nil {
+		return 1
+	}
+	return s.QFactor[n]
 }
 
 // Dropped reports whether client n has permanently left by round.
@@ -41,11 +58,45 @@ func (s FaultSchedule) Dropped(n, round int) bool {
 // HasFaults reports whether any client deviates from the clean fleet.
 func (s FaultSchedule) HasFaults() bool {
 	for n := range s.Delay {
-		if s.DropRound[n] >= 0 || s.Availability[n] != 1 || s.Delay[n] != 1 {
+		if s.DropRound[n] >= 0 || s.Availability[n] != 1 || s.Delay[n] != 1 || s.qFactor(n) != 1 {
 			return true
 		}
 	}
 	return false
+}
+
+// WillingProb returns the exact acceptance probability of client n's
+// willingness coin when priced at qn — including any strategic deviation
+// factor. It mirrors FaultSampler's draw rules, so it is the analytic truth
+// the unbiasedness checker measures sampled aggregates against.
+func (s FaultSchedule) WillingProb(n int, qn float64) float64 {
+	eff := qn * s.qFactor(n)
+	if qn <= 0 || qn >= 1 {
+		// No coin exists at the clamps (Bernoulli is deterministic there), so
+		// a deviator cannot randomize: it participates iff its effective
+		// probability still saturates.
+		if eff >= 1 {
+			return 1
+		}
+		return 0
+	}
+	switch {
+	case eff <= 0:
+		return 0
+	case eff >= 1:
+		return 1
+	}
+	return eff
+}
+
+// ParticipationProb returns client n's true marginal probability of joining
+// the given round when priced at qn: willingness × availability, zero once
+// dropped. This is the p_n of Lemma 1's E[aggregate] = Σ_n p_n (a_n/q_n) Δ_n.
+func (s FaultSchedule) ParticipationProb(n, round int, qn float64) float64 {
+	if s.Dropped(n, round) {
+		return 0
+	}
+	return s.WillingProb(n, qn) * s.Availability[n]
 }
 
 // FaultSampler composes the priced strategic participation (Bernoulli q_n)
@@ -77,7 +128,7 @@ func NewFaultSampler(q []float64, sch FaultSchedule, will, avail *stats.RNG) *Fa
 func (s *FaultSampler) Sample(round int) []int {
 	var out []int
 	for n, qn := range s.q {
-		willing := s.will.Bernoulli(qn)
+		willing := s.willing(n, qn)
 		if s.sch.Dropped(n, round) {
 			continue
 		}
@@ -89,6 +140,26 @@ func (s *FaultSampler) Sample(round int) []int {
 		}
 	}
 	return out
+}
+
+// willing draws client n's strategic participation coin. A deviating client
+// (QFactor ≠ 1) shows up with probability QFactor·q_n instead of the priced
+// q_n, but consumes exactly the coins its honest self would — one Float64
+// draw iff q_n ∈ (0,1), none at the clamps, matching Bernoulli — so every
+// other client sees an unchanged willingness stream whether or not anyone
+// deviates. That is the same discipline that makes a faulted trace
+// attributable to its faults alone (see the stream comment above); its
+// acceptance probability is FaultSchedule.WillingProb exactly.
+func (s *FaultSampler) willing(n int, qn float64) bool {
+	f := s.sch.qFactor(n)
+	if f == 1 {
+		return s.will.Bernoulli(qn)
+	}
+	eff := qn * f
+	if qn <= 0 || qn >= 1 {
+		return eff >= 1
+	}
+	return s.will.Float64() < eff
 }
 
 // NumClients implements Sampler.

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 
+	"unbiasedfl/internal/adversary"
 	"unbiasedfl/internal/checkpoint"
 	"unbiasedfl/internal/engine"
 	"unbiasedfl/internal/experiment"
@@ -89,10 +90,11 @@ func RunWith(ctx context.Context, sc Scenario, cfg RunConfig) (*Trace, error) {
 		ctx = context.Background()
 	}
 	sc = sc.withDefaults()
-	env, outcome, q, sch, err := prepare(ctx, sc)
+	w, err := prepare(ctx, sc)
 	if err != nil {
 		return nil, err
 	}
+	env, outcome, q, sch := w.env, w.outcome, w.q, w.sch
 	for n, factor := range sch.Delay {
 		if factor == 1 {
 			continue
@@ -122,6 +124,13 @@ func RunWith(ctx context.Context, sc Scenario, cfg RunConfig) (*Trace, error) {
 		Sampler:    sampler,
 		Aggregator: engine.UnbiasedAggregator{},
 	}
+	// Gradient poisoning rides the orchestrator's tamper seam, so it is
+	// byte-identical on every execution backend and replays exactly on
+	// resume.
+	spec.Tamper, err = adversary.Tamper(sc.Clients, w.adv.poisons)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: %w", sc.Name, err)
+	}
 
 	// Elastic membership: compile the join/leave faults into a round-boundary
 	// plan and hang the re-pricing hook on it. At every epoch (including the
@@ -137,7 +146,10 @@ func RunWith(ctx context.Context, sc Scenario, cfg RunConfig) (*Trace, error) {
 		if err != nil {
 			return nil, err
 		}
-		rp, err := game.NewRepricer(env.Params, ps)
+		// The repricer works from the market the server believes in — the
+		// reported params when someone misreports — so a Stage-I lie keeps
+		// distorting every epoch's sub-game, exactly as it would in the field.
+		rp, err := game.NewRepricer(w.pricing, ps)
 		if err != nil {
 			return nil, fmt.Errorf("scenario %q repricer: %w", sc.Name, err)
 		}
@@ -209,7 +221,94 @@ func RunWith(ctx context.Context, sc Scenario, cfg RunConfig) (*Trace, error) {
 		return nil, fmt.Errorf("scenario %q: %w", sc.Name, err)
 	}
 
-	return assembleTrace(sc, env, outcome, q, sch, res, ledger)
+	trace, err := assembleTrace(sc, env, outcome, q, sch, res, ledger)
+	if err != nil {
+		return nil, err
+	}
+	if w.adv.present() {
+		if trace.Adversary, err = adversaryImpact(ctx, sc, w, trace); err != nil {
+			return nil, fmt.Errorf("scenario %q adversary metrics: %w", sc.Name, err)
+		}
+	}
+	return trace, nil
+}
+
+// adversaryImpact scores the realized (adversarial) run against its truthful
+// counterfactuals: the market priced on true costs, and an honest training
+// twin replayed with the same seed, exogenous faults, and membership churn
+// but none of the adversarial behaviours.
+func adversaryImpact(ctx context.Context, sc Scenario, w *world, realized *Trace) (*TraceAdversary, error) {
+	truthQ := w.env.Params.ClampQ(w.truthful.Q)
+	truthUtil, err := w.env.Params.TotalClientUtility(w.truthful.P, truthQ, nil)
+	if err != nil {
+		return nil, err
+	}
+	honestLoss, honestAcc, err := runHonestTwin(ctx, sc, w, truthQ)
+	if err != nil {
+		return nil, err
+	}
+	adv := &TraceAdversary{
+		TruthfulSpent:       w.truthful.Spent,
+		TruthfulServerObj:   w.truthful.ServerObj,
+		ServerObjInflation:  w.outcome.ServerObj - w.truthful.ServerObj,
+		UtilityShift:        realized.TotalClientUtility - truthUtil,
+		HonestFinalLoss:     honestLoss,
+		HonestFinalAccuracy: honestAcc,
+		LossInflation:       realized.FinalLoss - honestLoss,
+		AccuracyDrop:        honestAcc - realized.FinalAccuracy,
+	}
+	adv.Misreporting, adv.Deviating, adv.Poisoning = w.adv.clients()
+	return adv, nil
+}
+
+// runHonestTwin replays the scenario with every adversarial behaviour
+// stripped — truthful pricing, obedient participation, clean updates — on the
+// already-built environment. The twin re-derives the root stream exactly as
+// the realized run did, so the two runs differ only by the adversary, never
+// by stream displacement.
+func runHonestTwin(ctx context.Context, sc Scenario, w *world, truthQ []float64) (loss, acc float64, err error) {
+	faults := honestFaults(sc.Faults)
+	sch := compileSchedule(sc.Clients, faults)
+	root := stats.NewRNG(sc.Seed ^ 0x9E3779B97F4A7C15)
+	sampler := engine.NewFaultSampler(append([]float64(nil), truthQ...), sch, root.Split(), root.Split())
+	spec := engine.Spec{
+		Model:      w.env.Model,
+		Fed:        w.env.Fed,
+		Rounds:     sc.Rounds,
+		LocalSteps: sc.LocalSteps,
+		BatchSize:  sc.BatchSize,
+		Schedule:   expDecaySchedule(),
+		EvalEvery:  sc.EvalEvery,
+		Seed:       root.Uint64(),
+		Sampler:    sampler,
+		Aggregator: engine.UnbiasedAggregator{},
+	}
+	if plan := compileMembership(sc.Clients, faults); plan != nil {
+		ps, err := game.SchemeByName(sc.Scheme)
+		if err != nil {
+			return 0, 0, err
+		}
+		rp, err := game.NewRepricer(w.env.Params, ps)
+		if err != nil {
+			return 0, 0, err
+		}
+		liveQ := append([]float64(nil), truthQ...)
+		spec.Membership = plan
+		spec.OnEpoch = func(r engine.Roster) error {
+			if _, err := rp.Reprice(r.Active, liveQ, nil); err != nil {
+				return fmt.Errorf("honest twin epoch %d re-pricing: %w", r.Epoch, err)
+			}
+			return sampler.SetQ(liveQ)
+		}
+	}
+	res, err := engine.Run(ctx, spec, engine.NewLocalBackend(engine.LocalOptions{Parallel: true}))
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return 0, 0, ctxErr
+		}
+		return 0, 0, fmt.Errorf("honest twin: %w", err)
+	}
+	return res.FinalLoss, res.FinalAcc, nil
 }
 
 // openCheckpoint attaches or creates the run's checkpoint. The scenario's
@@ -246,42 +345,78 @@ func expDecaySchedule() engine.Schedule {
 	return engine.ExpDecay{Eta0: 0.1, Decay: 0.996}
 }
 
-// prepare compiles a defaulted scenario into its priced world: the built
-// environment (with economics skew applied), the scheme's outcome, the
-// clamped participation vector, and the compiled fault schedule. Every
-// execution backend goes through this single path, so all backends price
-// the same market for the same Scenario.
-func prepare(ctx context.Context, sc Scenario) (
-	*experiment.Environment, *game.Outcome, []float64, engine.FaultSchedule, error,
-) {
+// world is a scenario compiled to its priced market: the built environment
+// (with economics skew applied), the pricing the server actually computed —
+// on reported costs when anyone misreports — alongside the truthful
+// counterfactual, the clamped participation vector, the compiled fault
+// schedule, and the adversarial roster. Every execution backend goes through
+// this single path, so all backends price the same market for the same
+// Scenario.
+type world struct {
+	env *experiment.Environment
+	// outcome is the pricing the server posted; truthful is the pricing a
+	// fully honest Stage-I would have produced. They are the same object when
+	// nobody misreports.
+	outcome  *game.Outcome
+	truthful *game.Outcome
+	// pricing is the game the server believes in — reported params under
+	// misreporting, env.Params otherwise. Epoch re-pricing works from it;
+	// utility scoring always works from env.Params (true costs).
+	pricing *game.Params
+	q       []float64
+	sch     engine.FaultSchedule
+	adv     adversarySpec
+}
+
+// prepare compiles a defaulted scenario into its world.
+func prepare(ctx context.Context, sc Scenario) (*world, error) {
 	if err := sc.Validate(); err != nil {
-		return nil, nil, nil, engine.FaultSchedule{}, err
+		return nil, err
 	}
 	ps, err := game.SchemeByName(sc.Scheme)
 	if err != nil {
-		return nil, nil, nil, engine.FaultSchedule{}, err
+		return nil, err
 	}
 	env, err := experiment.BuildSetup(ctx, sc.Setup, sc.options())
 	if err != nil {
-		return nil, nil, nil, engine.FaultSchedule{}, err
+		return nil, err
 	}
 	if err := applyEconomics(env.Params, sc); err != nil {
-		return nil, nil, nil, engine.FaultSchedule{}, err
+		return nil, err
 	}
-	outcome, err := priceThrough(env, ps)
+	adv := compileAdversary(sc.Faults)
+	pricing, err := adversary.ReportedParams(env.Params, adv.misreports)
 	if err != nil {
-		return nil, nil, nil, engine.FaultSchedule{}, fmt.Errorf("scenario %q pricing: %w", sc.Name, err)
+		return nil, fmt.Errorf("scenario %q: %w", sc.Name, err)
 	}
-	return env, outcome, env.Params.ClampQ(outcome.Q), compileSchedule(sc.Clients, sc.Faults), nil
+	truthful, err := priceThrough(env, ps, env.Params)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q pricing: %w", sc.Name, err)
+	}
+	outcome := truthful
+	if pricing != env.Params {
+		if outcome, err = priceThrough(env, ps, pricing); err != nil {
+			return nil, fmt.Errorf("scenario %q misreported pricing: %w", sc.Name, err)
+		}
+	}
+	return &world{
+		env:      env,
+		outcome:  outcome,
+		truthful: truthful,
+		pricing:  pricing,
+		q:        env.Params.ClampQ(outcome.Q),
+		sch:      compileSchedule(sc.Clients, sc.Faults),
+		adv:      adv,
+	}, nil
 }
 
 // priceThrough resolves the outcome through the environment's memo-cache
 // when one is attached.
-func priceThrough(env *experiment.Environment, ps game.PricingScheme) (*game.Outcome, error) {
+func priceThrough(env *experiment.Environment, ps game.PricingScheme, params *game.Params) (*game.Outcome, error) {
 	if env.Cache != nil {
-		return env.Cache.Price(ps, env.Params)
+		return env.Cache.Price(ps, params)
 	}
-	return ps.Price(env.Params)
+	return ps.Price(params)
 }
 
 // applyEconomics rescales the generated cost/valuation draws and the budget

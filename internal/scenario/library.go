@@ -117,6 +117,29 @@ func library() []Scenario {
 				{Client: 5, Kind: FaultFlaky, Availability: 0.7},
 			},
 		},
+		{
+			Name:        "strategic",
+			Description: "strategic clients: client 2 reports 3x its true cost at Stage-I, client 4 shows up at half its priced q at Stage-II; the adversary section scores both lies against the truthful market",
+			Setup:       experiment.Setup2,
+			Clients:     6, TotalSamples: 600,
+			Rounds: 16, LocalSteps: 4, BatchSize: 8,
+			Seed: 20,
+			Faults: []ClientFault{
+				{Client: 2, Kind: FaultMisreport, Factor: 3},
+				{Client: 4, Kind: FaultDeviate, Factor: 0.5},
+			},
+		},
+		{
+			Name:        "poisoned",
+			Description: "gradient poisoning: client 1 sign-flips and doubles its model delta from round 4 onward; the adversary section measures the accuracy lost against an honest twin",
+			Setup:       experiment.Setup2,
+			Clients:     6, TotalSamples: 600,
+			Rounds: 16, LocalSteps: 4, BatchSize: 8,
+			Seed: 21,
+			Faults: []ClientFault{
+				{Client: 1, Kind: FaultPoison, Factor: -2, Round: 4},
+			},
+		},
 	}
 }
 

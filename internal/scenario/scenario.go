@@ -25,6 +25,7 @@ package scenario
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"unbiasedfl/internal/experiment"
 	"unbiasedfl/internal/game"
@@ -57,6 +58,19 @@ const (
 	// epoch boundary — an announced, acknowledged departure, as opposed to
 	// FaultDropout's silent crash. The server re-prices without it.
 	FaultLeave
+	// FaultMisreport makes the client strategic at Stage-I: it reports
+	// Factor× its true marginal cost to the pricing mechanism, so the whole
+	// market is priced against a lie. Utilities and the trace's adversary
+	// section are still scored at true costs.
+	FaultMisreport
+	// FaultDeviate makes the client strategic at Stage-II: it participates
+	// with probability Factor·q_n instead of the priced q_n, while the
+	// server keeps aggregating under its priced belief.
+	FaultDeviate
+	// FaultPoison makes the client malicious during training: from round
+	// Round onward its model delta is scaled by Factor (negative = sign
+	// flip) before aggregation.
+	FaultPoison
 )
 
 // String implements fmt.Stringer.
@@ -72,6 +86,12 @@ func (k FaultKind) String() string {
 		return "join"
 	case FaultLeave:
 		return "leave"
+	case FaultMisreport:
+		return "misreport"
+	case FaultDeviate:
+		return "deviate"
+	case FaultPoison:
+		return "poison"
 	default:
 		return fmt.Sprintf("FaultKind(%d)", int(k))
 	}
@@ -82,8 +102,9 @@ type ClientFault struct {
 	// Client is the index of the afflicted device.
 	Client int
 	Kind   FaultKind
-	// Round is the dropout round (FaultDropout) or the epoch boundary at
-	// which the membership change takes effect (FaultJoin, FaultLeave).
+	// Round is the dropout round (FaultDropout), the epoch boundary at
+	// which the membership change takes effect (FaultJoin, FaultLeave), or
+	// the first poisoned round (FaultPoison).
 	Round int
 	// DelayFactor multiplies the client's latency (FaultStraggler, > 1 for
 	// a straggler).
@@ -91,28 +112,51 @@ type ClientFault struct {
 	// Availability is the per-round probability the client is reachable at
 	// all (FaultFlaky, in (0,1)).
 	Availability float64
+	// Factor parameterizes the adversarial kinds: the cost-misreport
+	// multiplier (FaultMisreport, > 0), the willingness multiplier
+	// (FaultDeviate, >= 0), or the delta scale (FaultPoison, any finite
+	// value — negative flips the update).
+	Factor float64
 }
 
-func (f ClientFault) validate(numClients int) error {
+func (f ClientFault) validate(numClients, rounds int) error {
 	if f.Client < 0 || f.Client >= numClients {
 		return fmt.Errorf("scenario: fault client %d out of range [0,%d)", f.Client, numClients)
 	}
 	switch f.Kind {
 	case FaultStraggler:
-		if f.DelayFactor <= 0 {
-			return fmt.Errorf("scenario: straggler client %d needs a positive delay factor", f.Client)
+		if !(f.DelayFactor > 0) || math.IsInf(f.DelayFactor, 0) {
+			return fmt.Errorf("scenario: straggler client %d needs a positive finite delay factor", f.Client)
 		}
 	case FaultDropout:
 		if f.Round < 0 {
 			return fmt.Errorf("scenario: dropout client %d needs a non-negative round", f.Client)
 		}
+		if f.Round >= rounds {
+			return fmt.Errorf("scenario: dropout client %d at round %d is past the %d-round horizon", f.Client, f.Round, rounds)
+		}
 	case FaultFlaky:
-		if f.Availability <= 0 || f.Availability >= 1 {
+		if !(f.Availability > 0) || f.Availability >= 1 {
 			return fmt.Errorf("scenario: flaky client %d needs availability in (0,1)", f.Client)
 		}
 	case FaultJoin, FaultLeave:
 		if f.Round < 1 {
 			return fmt.Errorf("scenario: %v for client %d needs a round >= 1 (membership only changes at interior epoch boundaries)", f.Kind, f.Client)
+		}
+	case FaultMisreport:
+		if !(f.Factor > 0) || math.IsInf(f.Factor, 0) {
+			return fmt.Errorf("scenario: misreporting client %d needs a positive finite cost factor", f.Client)
+		}
+	case FaultDeviate:
+		if !(f.Factor >= 0) || math.IsInf(f.Factor, 0) {
+			return fmt.Errorf("scenario: deviating client %d needs a finite non-negative willingness factor", f.Client)
+		}
+	case FaultPoison:
+		if math.IsNaN(f.Factor) || math.IsInf(f.Factor, 0) {
+			return fmt.Errorf("scenario: poisoning client %d needs a finite delta factor", f.Client)
+		}
+		if f.Round < 0 || f.Round >= rounds {
+			return fmt.Errorf("scenario: poisoning client %d needs a start round in [0,%d)", f.Client, rounds)
 		}
 	default:
 		return fmt.Errorf("scenario: client %d has unknown fault kind %d", f.Client, int(f.Kind))
@@ -204,6 +248,11 @@ func (s Scenario) Validate() error {
 		return errors.New("scenario: non-positive economics scale")
 	case s.CostSpread < 0:
 		return errors.New("scenario: negative cost spread")
+	case math.IsNaN(s.CostScale) || math.IsInf(s.CostScale, 0) ||
+		math.IsNaN(s.CostSpread) || math.IsInf(s.CostSpread, 0) ||
+		math.IsNaN(s.ValueScale) || math.IsInf(s.ValueScale, 0) ||
+		math.IsNaN(s.BudgetScale) || math.IsInf(s.BudgetScale, 0):
+		return errors.New("scenario: non-finite economics scale")
 	}
 	if _, err := game.SchemeByName(s.Scheme); err != nil {
 		return err
@@ -214,7 +263,7 @@ func (s Scenario) Validate() error {
 	}
 	seen := make(map[faultKey]bool, len(s.Faults))
 	for _, f := range s.Faults {
-		if err := f.validate(s.Clients); err != nil {
+		if err := f.validate(s.Clients, s.Rounds); err != nil {
 			return err
 		}
 		key := faultKey{f.Client, f.Kind}

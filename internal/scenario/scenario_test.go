@@ -3,6 +3,7 @@ package scenario
 import (
 	"bytes"
 	"context"
+	"math"
 	"runtime"
 	"strings"
 	"testing"
@@ -231,6 +232,45 @@ func TestScenarioValidate(t *testing.T) {
 		{"unknown kind", func(s *Scenario) {
 			s.Faults = []ClientFault{{Client: 0, Kind: FaultKind(99)}}
 		}, "unknown fault kind"},
+		{"negative delay factor", func(s *Scenario) {
+			s.Faults = []ClientFault{{Client: 0, Kind: FaultStraggler, DelayFactor: -2}}
+		}, "delay factor"},
+		{"NaN delay factor", func(s *Scenario) {
+			s.Faults = []ClientFault{{Client: 0, Kind: FaultStraggler, DelayFactor: math.NaN()}}
+		}, "delay factor"},
+		{"infinite delay factor", func(s *Scenario) {
+			s.Faults = []ClientFault{{Client: 0, Kind: FaultStraggler, DelayFactor: math.Inf(1)}}
+		}, "delay factor"},
+		{"NaN availability", func(s *Scenario) {
+			s.Faults = []ClientFault{{Client: 0, Kind: FaultFlaky, Availability: math.NaN()}}
+		}, "availability"},
+		{"dropout past horizon", func(s *Scenario) {
+			s.Faults = []ClientFault{{Client: 0, Kind: FaultDropout, Round: 4}}
+		}, "past the 4-round horizon"},
+		{"misreport needs positive factor", func(s *Scenario) {
+			s.Faults = []ClientFault{{Client: 0, Kind: FaultMisreport, Factor: 0}}
+		}, "cost factor"},
+		{"misreport NaN factor", func(s *Scenario) {
+			s.Faults = []ClientFault{{Client: 0, Kind: FaultMisreport, Factor: math.NaN()}}
+		}, "cost factor"},
+		{"deviate negative factor", func(s *Scenario) {
+			s.Faults = []ClientFault{{Client: 0, Kind: FaultDeviate, Factor: -0.5}}
+		}, "willingness factor"},
+		{"deviate infinite factor", func(s *Scenario) {
+			s.Faults = []ClientFault{{Client: 0, Kind: FaultDeviate, Factor: math.Inf(1)}}
+		}, "willingness factor"},
+		{"poison NaN factor", func(s *Scenario) {
+			s.Faults = []ClientFault{{Client: 0, Kind: FaultPoison, Factor: math.NaN()}}
+		}, "delta factor"},
+		{"poison round past horizon", func(s *Scenario) {
+			s.Faults = []ClientFault{{Client: 0, Kind: FaultPoison, Factor: 2, Round: 4}}
+		}, "start round"},
+		{"NaN cost scale", func(s *Scenario) {
+			s.CostScale = math.NaN()
+		}, "non-finite economics"},
+		{"infinite budget scale", func(s *Scenario) {
+			s.BudgetScale = math.Inf(1)
+		}, "non-finite economics"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

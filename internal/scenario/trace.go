@@ -35,6 +35,39 @@ type TraceEpoch struct {
 	ServerObj float64 `json:"server_obj"`
 }
 
+// TraceAdversary quantifies what a scenario's adversarial clients cost the
+// mechanism. Every metric compares the realized (adversarial) run against its
+// truthful counterfactual: the equilibrium metrics against the market priced
+// on true costs, and the training metrics against an honest twin replayed
+// with the same seed, exogenous faults, and membership churn but no
+// misreports, deviations, or poisoning.
+type TraceAdversary struct {
+	// Misreporting, Deviating, and Poisoning list the adversarial clients by
+	// behaviour, ascending.
+	Misreporting []int `json:"misreporting,omitempty"`
+	Deviating    []int `json:"deviating,omitempty"`
+	Poisoning    []int `json:"poisoning,omitempty"`
+
+	// TruthfulSpent and TruthfulServerObj are the Σ P_n q_n and Theorem-1
+	// objective of the market priced on true costs; ServerObjInflation is how
+	// much the realized (misreported) market's objective exceeds it — the
+	// equilibrium-degradation metric.
+	TruthfulSpent      float64 `json:"truthful_spent"`
+	TruthfulServerObj  float64 `json:"truthful_server_obj"`
+	ServerObjInflation float64 `json:"server_obj_inflation"`
+	// UtilityShift is the fleet's total utility (scored at true costs) under
+	// the realized market minus under the truthful one: what the lie moved.
+	UtilityShift float64 `json:"utility_shift"`
+
+	// HonestFinalLoss/Accuracy are the honest twin's end-of-run metrics;
+	// LossInflation and AccuracyDrop are the realized run's degradation
+	// relative to them — the accuracy-degradation metrics.
+	HonestFinalLoss     float64 `json:"honest_final_loss"`
+	HonestFinalAccuracy float64 `json:"honest_final_accuracy"`
+	LossInflation       float64 `json:"loss_inflation"`
+	AccuracyDrop        float64 `json:"accuracy_drop"`
+}
+
 // TraceRound is one training round of the trace. Loss and Accuracy are
 // meaningful only when Evaluated.
 type TraceRound struct {
@@ -76,6 +109,12 @@ type Trace struct {
 	// Membership is the epoch ledger of an elastic run: one row per
 	// membership epoch, in order. Empty for a fixed-roster scenario.
 	Membership []TraceEpoch `json:"membership,omitempty"`
+
+	// Adversary records the adversarial roster and degradation metrics. Nil
+	// for a scenario with no adversarial faults, so honest traces — including
+	// every pre-existing golden — are byte-identical to before the field
+	// existed.
+	Adversary *TraceAdversary `json:"adversary,omitempty"`
 
 	RoundTrace []TraceRound `json:"round_trace"`
 

@@ -1,0 +1,93 @@
+package testutil
+
+import (
+	"fmt"
+	"math"
+)
+
+// Welford is a numerically stable streaming accumulator for mean and
+// variance (Welford's online algorithm). It deliberately does not share code
+// with internal/stats: the test infrastructure that judges the estimator must
+// not be built from the code under test. The zero value is ready to use.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds one observation into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// Count returns the number of observations.
+func (w *Welford) Count() int { return w.n }
+
+// Mean returns the sample mean (0 with no observations).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the unbiased sample variance (0 with fewer than two
+// observations).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Variance()) }
+
+// SE returns the standard error of the mean (0 with no observations).
+func (w *Welford) SE() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.Std() / math.Sqrt(float64(w.n))
+}
+
+// ZScore returns the z statistic of the sample mean against target: the
+// number of standard errors separating them. A degenerate sample (zero
+// spread) yields 0 when the mean sits within tol of the target and +Inf when
+// it does not — a deterministic estimator is either exactly right or plainly
+// wrong, there is no sampling noise to hide behind.
+func ZScore(w *Welford, target, tol float64) float64 {
+	se := w.SE()
+	if se == 0 {
+		if math.Abs(w.Mean()-target) <= tol {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (w.Mean() - target) / se
+}
+
+// CheckUnbiased asserts that the accumulated sample is consistent with having
+// mean target: |z| must stay within zmax (tol absorbs float round-off for
+// degenerate, zero-variance samples). It returns a descriptive error when the
+// estimator looks biased — the metamorphic unbiasedness relation's verdict.
+func CheckUnbiased(w *Welford, target, zmax, tol float64) error {
+	if w.Count() < 2 {
+		return fmt.Errorf("testutil: need at least 2 observations, have %d", w.Count())
+	}
+	z := ZScore(w, target, tol)
+	if math.IsNaN(z) || math.Abs(z) > zmax {
+		return fmt.Errorf(
+			"testutil: biased estimator: mean %.6g vs target %.6g (z=%.2f over %d reps, se=%.3g, |z|max %.2f)",
+			w.Mean(), target, z, w.Count(), w.SE(), zmax)
+	}
+	return nil
+}
+
+// AlmostEqual reports whether a and b agree to within a relative-ish
+// tolerance: |a−b| ≤ tol·max(1, |a|, |b|). NaNs never compare equal.
+func AlmostEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= tol*scale
+}

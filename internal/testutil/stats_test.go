@@ -1,0 +1,156 @@
+package testutil
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestWelfordAgainstClosedForm: the streaming moments must match the direct
+// two-pass formulas on a fixed sample.
+func TestWelfordAgainstClosedForm(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+	}{
+		{"small ints", []float64{1, 2, 3, 4, 5}},
+		{"constant", []float64{7, 7, 7, 7}},
+		{"mixed signs", []float64{-3.5, 0, 2.25, -1, 8, 4.5}},
+		{"large offset", []float64{1e9 + 1, 1e9 + 2, 1e9 + 3}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var w Welford
+			mean := 0.0
+			for _, x := range tc.xs {
+				w.Add(x)
+				mean += x
+			}
+			mean /= float64(len(tc.xs))
+			variance := 0.0
+			for _, x := range tc.xs {
+				variance += (x - mean) * (x - mean)
+			}
+			variance /= float64(len(tc.xs) - 1)
+			if w.Count() != len(tc.xs) {
+				t.Fatalf("count = %d, want %d", w.Count(), len(tc.xs))
+			}
+			if !AlmostEqual(w.Mean(), mean, 1e-12) {
+				t.Fatalf("mean = %v, want %v", w.Mean(), mean)
+			}
+			if !AlmostEqual(w.Variance(), variance, 1e-9) {
+				t.Fatalf("variance = %v, want %v", w.Variance(), variance)
+			}
+			wantSE := math.Sqrt(variance / float64(len(tc.xs)))
+			if !AlmostEqual(w.SE(), wantSE, 1e-9) {
+				t.Fatalf("se = %v, want %v", w.SE(), wantSE)
+			}
+		})
+	}
+}
+
+// TestWelfordDegenerate: the zero value and single observations must not
+// divide by zero.
+func TestWelfordDegenerate(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 || w.SE() != 0 {
+		t.Fatal("zero-value Welford must report zero moments")
+	}
+	w.Add(3)
+	if w.Mean() != 3 || w.Variance() != 0 {
+		t.Fatalf("single observation: mean %v variance %v", w.Mean(), w.Variance())
+	}
+}
+
+// TestCheckUnbiased is the table over the z-test verdicts — including the
+// known-biased estimator that MUST fail, the case that proves the checker has
+// teeth.
+func TestCheckUnbiased(t *testing.T) {
+	// A deterministic linear congruential stream keeps the test seeded and
+	// library-free.
+	lcg := uint64(0x2545F4914F6CDD1D)
+	noise := func() float64 {
+		lcg = lcg*6364136223846793005 + 1442695040888963407
+		return float64(lcg>>11)/(1<<53) - 0.5
+	}
+	sample := func(center float64, n int) *Welford {
+		var w Welford
+		for i := 0; i < n; i++ {
+			w.Add(center + noise())
+		}
+		return &w
+	}
+	t.Run("unbiased sample passes", func(t *testing.T) {
+		if err := CheckUnbiased(sample(2.0, 400), 2.0, 4, 1e-9); err != nil {
+			t.Fatalf("unbiased sample flagged: %v", err)
+		}
+	})
+	t.Run("biased estimator must fail", func(t *testing.T) {
+		// Mean shifted by ~7 standard errors (std≈0.29, n=400 → se≈0.0145).
+		err := CheckUnbiased(sample(2.1, 400), 2.0, 4, 1e-9)
+		if err == nil {
+			t.Fatal("a mean 0.1 off over 400 reps slipped past the z-test: the checker has no teeth")
+		}
+		if !strings.Contains(err.Error(), "biased estimator") {
+			t.Fatalf("want a biased-estimator verdict, got %v", err)
+		}
+	})
+	t.Run("degenerate exact pass", func(t *testing.T) {
+		var w Welford
+		w.Add(5)
+		w.Add(5)
+		if err := CheckUnbiased(&w, 5, 4, 1e-12); err != nil {
+			t.Fatalf("exact degenerate sample flagged: %v", err)
+		}
+	})
+	t.Run("degenerate off-target fails", func(t *testing.T) {
+		var w Welford
+		w.Add(5)
+		w.Add(5)
+		if err := CheckUnbiased(&w, 6, 4, 1e-12); err == nil {
+			t.Fatal("constant sample away from target must fail")
+		}
+	})
+	t.Run("too few observations", func(t *testing.T) {
+		var w Welford
+		w.Add(1)
+		if err := CheckUnbiased(&w, 1, 4, 0); err == nil {
+			t.Fatal("one observation is not evidence")
+		}
+	})
+}
+
+// TestZScore pins the statistic itself.
+func TestZScore(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{9, 10, 11} { // mean 10, std 1, se 1/sqrt(3)
+		w.Add(x)
+	}
+	if got, want := ZScore(&w, 10, 0), 0.0; got != want {
+		t.Fatalf("z at target = %v, want %v", got, want)
+	}
+	want := (10.0 - 9.0) / (1 / math.Sqrt(3))
+	if got := ZScore(&w, 9, 0); !AlmostEqual(got, want, 1e-12) {
+		t.Fatalf("z = %v, want %v", got, want)
+	}
+}
+
+// TestAlmostEqual covers the relative-tolerance helper's corners.
+func TestAlmostEqual(t *testing.T) {
+	cases := []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{1, 1 + 1e-12, 1e-9, true},
+		{1e12, 1e12 * (1 + 1e-10), 1e-9, true},
+		{1, 2, 1e-9, false},
+		{0, 1e-12, 1e-9, true},
+		{math.NaN(), 1, 1, false},
+		{1, math.NaN(), 1, false},
+	}
+	for _, tc := range cases {
+		if got := AlmostEqual(tc.a, tc.b, tc.tol); got != tc.want {
+			t.Errorf("AlmostEqual(%v, %v, %v) = %v, want %v", tc.a, tc.b, tc.tol, got, tc.want)
+		}
+	}
+}

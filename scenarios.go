@@ -19,7 +19,9 @@ type (
 	Scenario = scenario.Scenario
 	// ClientFault is one entry of a scenario's fault schedule.
 	ClientFault = scenario.ClientFault
-	// FaultKind discriminates straggler, dropout, and flaky faults.
+	// FaultKind discriminates the fault behaviours: exogenous (straggler,
+	// dropout, flaky), membership (join, leave), and adversarial (misreport,
+	// deviate, poison).
 	FaultKind = scenario.FaultKind
 	// Trace is the canonical, byte-reproducible record of a scenario run.
 	// It is identical whichever execution backend produced it.
@@ -31,6 +33,16 @@ type (
 	// TraceEpoch is one membership epoch of an elastic trace: who joined or
 	// left at the boundary and the re-priced sub-game's economics.
 	TraceEpoch = scenario.TraceEpoch
+	// TraceAdversary records a scenario's adversarial roster and the
+	// equilibrium/accuracy degradation against truthful counterfactuals.
+	TraceAdversary = scenario.TraceAdversary
+	// GenOptions bounds the worlds GenerateScenario draws.
+	GenOptions = scenario.GenOptions
+	// Replay is the evidence ReplayScenarioAggregate collects for the
+	// metamorphic unbiasedness check.
+	Replay = scenario.Replay
+	// ReplayConfig tunes the metamorphic unbiasedness replay.
+	ReplayConfig = scenario.ReplayConfig
 	// MembershipPlan schedules mid-run membership churn for a session: an
 	// initial roster plus join/leave events at round boundaries. Pass it to
 	// WithMembership. Scenario runs express churn as FaultJoin/FaultLeave
@@ -65,6 +77,15 @@ const (
 	// FaultLeave retires a client permanently and gracefully at the Round
 	// epoch boundary.
 	FaultLeave = scenario.FaultLeave
+	// FaultMisreport makes a client report Factor× its true cost at Stage-I,
+	// so the market is priced against a lie.
+	FaultMisreport = scenario.FaultMisreport
+	// FaultDeviate makes a client participate with Factor·q instead of its
+	// priced q at Stage-II.
+	FaultDeviate = scenario.FaultDeviate
+	// FaultPoison scales a client's model delta by Factor from round Round
+	// onward.
+	FaultPoison = scenario.FaultPoison
 )
 
 // RunScenario compiles and executes the scenario through the full data →
@@ -101,3 +122,21 @@ func Scenarios() []Scenario { return scenario.All() }
 // ScenarioByName fetches a library scenario, e.g. "baseline" or
 // "straggler-heavy".
 func ScenarioByName(name string) (Scenario, error) { return scenario.ByName(name) }
+
+// GenerateScenario derives a valid scenario from an arbitrary byte seed with
+// the default bounds — the property-based generation entry point. The same
+// seed always yields the same world; see GenerateScenarioWith for bounds.
+func GenerateScenario(seed []byte) Scenario { return scenario.Generate(seed) }
+
+// GenerateScenarioWith is GenerateScenario under explicit bounds.
+func GenerateScenarioWith(seed []byte, opts GenOptions) Scenario {
+	return scenario.GenerateWith(seed, opts)
+}
+
+// ReplayScenarioAggregate replays one round's participation sampling many
+// times on fresh coin streams and returns the evidence for the metamorphic
+// unbiasedness check: sampled aggregate projections next to Lemma 1's
+// analytic expectation.
+func ReplayScenarioAggregate(ctx context.Context, sc Scenario, cfg ReplayConfig) (*Replay, error) {
+	return scenario.ReplayAggregate(ctx, sc, cfg)
+}
