@@ -1,0 +1,88 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"unbiasedfl/internal/experiment"
+)
+
+// fleetReport is the JSON shape the fleet experiment persists (BENCH_PR10.json).
+type fleetReport struct {
+	Experiment string                         `json:"experiment"`
+	GroupSize  int                            `json:"group_size"`
+	Points     []*experiment.FleetBenchResult `json:"points"`
+}
+
+// fleet benchmarks priced rounds at synthesized fleet scale. Points run in
+// ascending fleet order inside one process, so each point's peak-RSS
+// high-water mark is dominated by its own fleet; the coordinator-memory claim
+// (O(model + fleet/K), not O(fleet·model)) is read off the largest point.
+func (h *harness) fleet(fleets string, group int, backends string, rounds int, seed uint64, out string) error {
+	sizes, err := parseFleetSizes(fleets)
+	if err != nil {
+		return err
+	}
+	var bks []experiment.Backend
+	for _, name := range strings.Split(backends, ",") {
+		b, err := experiment.ParseBackend(strings.TrimSpace(name))
+		if err != nil {
+			return err
+		}
+		bks = append(bks, b)
+	}
+
+	fmt.Fprintln(h.out, experiment.Banner("Fleet scale — priced rounds with hierarchical aggregation"))
+	fmt.Fprintln(h.out, "|   fleet | group | backend | participants | build (s) | price (s) | round (s) | sockets | peak RSS (MB) |")
+	fmt.Fprintln(h.out, "|--------:|------:|---------|-------------:|----------:|----------:|----------:|--------:|--------------:|")
+	report := &fleetReport{Experiment: "fleet", GroupSize: group}
+	for _, fleet := range sizes {
+		for _, bk := range bks {
+			res, err := experiment.FleetBench(h.ctx, experiment.FleetBenchConfig{
+				Fleet:     fleet,
+				GroupSize: group,
+				Backend:   bk,
+				Rounds:    rounds,
+				Seed:      seed,
+			})
+			if err != nil {
+				return fmt.Errorf("fleet %d on %v: %w", fleet, bk, err)
+			}
+			if res.Participants == 0 {
+				return fmt.Errorf("fleet %d on %v: priced round carried no participants", fleet, bk)
+			}
+			fmt.Fprintf(h.out, "| %7d | %5d | %-7s | %12d | %9.2f | %9.2f | %9.2f | %7d | %13.0f |\n",
+				res.Fleet, res.GroupSize, res.Backend, res.Participants,
+				res.BuildS, res.PriceS, res.RoundS, res.Sockets, res.PeakRSSMB)
+			report.Points = append(report.Points, res)
+		}
+	}
+	fmt.Fprintln(h.out)
+	if out == "" {
+		return nil
+	}
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(out, append(blob, '\n'), 0o644)
+}
+
+// parseFleetSizes parses the comma-separated -fleet list and sorts it
+// ascending so peak-RSS readings stay per-point meaningful.
+func parseFleetSizes(s string) ([]int, error) {
+	var sizes []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 2 {
+			return nil, fmt.Errorf("-fleet: %q is not a fleet size", part)
+		}
+		sizes = append(sizes, n)
+	}
+	sort.Ints(sizes)
+	return sizes, nil
+}

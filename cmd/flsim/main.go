@@ -79,7 +79,9 @@ func run(ctx context.Context) error {
 		scheme   = flag.String("scheme", "proposed", "pricing scheme (any registered name; built-ins: proposed, uniform, weighted)")
 		scenario = flag.String("scenario", "", "replay a named scenario instead of a plain run ('list' enumerates the library)")
 		generate = flag.String("generate", "", "run a generated scenario derived from this byte seed (literal bytes, 'hex:<digits>', or '@path' to a Go fuzz corpus file)")
-		clients  = flag.Int("clients", 12, "number of clients")
+		clients  = flag.Int("clients", 12, "number of clients (with -fleet: the number of distinct data shards)")
+		fleet    = flag.Int("fleet", 0, "synthesize a fleet of this many clients sharing the -clients distinct data shards by pointer (0 = every client gets its own shard); clients sharing a shard keep distinct minibatch trajectories and are priced individually")
+		group    = flag.Int("group", 0, "hierarchical aggregation group size K: clients fold in groups of K and only group partials reach the coordinator; on the cluster backend each group shares one socket (0 = flat); results are bit-identical at any K")
 		rounds   = flag.Int("rounds", 120, "training rounds R")
 		steps    = flag.Int("steps", 10, "local SGD steps E")
 		runs     = flag.Int("runs", 3, "independent runs to average")
@@ -127,13 +129,13 @@ func run(ctx context.Context) error {
 		var conflicting []string
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "generate", "json", "backend", "round-timeout":
+			case "generate", "json", "backend", "round-timeout", "group":
 			default:
 				conflicting = append(conflicting, "-"+f.Name)
 			}
 		})
 		if len(conflicting) > 0 {
-			return fmt.Errorf("-generate derives a self-contained world from its seed; %s do(es) not apply (only -json, -backend, and -round-timeout combine)",
+			return fmt.Errorf("-generate derives a self-contained world from its seed; %s do(es) not apply (only -json, -backend, -group, and -round-timeout combine)",
 				strings.Join(conflicting, ", "))
 		}
 		seedBytes, err := parseGenerateSeed(*generate)
@@ -142,8 +144,9 @@ func run(ctx context.Context) error {
 		}
 		sc := unbiasedfl.GenerateScenario(seedBytes)
 		cfg := unbiasedfl.ScenarioRunConfig{
-			Backend: exec,
-			Cluster: unbiasedfl.ClusterConfig{RoundTimeout: *roundTO},
+			Backend:   exec,
+			Cluster:   unbiasedfl.ClusterConfig{RoundTimeout: *roundTO},
+			GroupSize: *group,
 		}
 		trace, err := unbiasedfl.RunScenarioWith(ctx, sc, cfg)
 		if err != nil {
@@ -159,18 +162,19 @@ func run(ctx context.Context) error {
 		var conflicting []string
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "scenario", "json", "backend", "checkpoint", "resume", "round-timeout", "kill-after", "join", "leave":
+			case "scenario", "json", "backend", "checkpoint", "resume", "round-timeout", "kill-after", "join", "leave", "group":
 			default:
 				conflicting = append(conflicting, "-"+f.Name)
 			}
 		})
 		if len(conflicting) > 0 {
-			return fmt.Errorf("-scenario replays a self-contained world; %s do(es) not apply (only -json, -backend, and the durability flags combine)",
+			return fmt.Errorf("-scenario replays a self-contained world; %s do(es) not apply (only -json, -backend, -group, and the durability flags combine)",
 				strings.Join(conflicting, ", "))
 		}
 		cfg := unbiasedfl.ScenarioRunConfig{
-			Backend: exec,
-			Cluster: unbiasedfl.ClusterConfig{RoundTimeout: *roundTO},
+			Backend:   exec,
+			Cluster:   unbiasedfl.ClusterConfig{RoundTimeout: *roundTO},
+			GroupSize: *group,
 			Checkpoint: unbiasedfl.CheckpointConfig{
 				Path:        *ckpt,
 				Resume:      *resume,
@@ -196,8 +200,23 @@ func run(ctx context.Context) error {
 		unbiasedfl.WithSeed(*seed),
 		unbiasedfl.WithBackend(exec),
 		unbiasedfl.WithRoundTimeout(*roundTO),
+		unbiasedfl.WithGroupSize(*group),
 	}
-	if plan := churnPlan(*clients, joins, leaves); plan != nil {
+	if *fleet > 0 {
+		if *fleet < *clients {
+			return fmt.Errorf("-fleet %d is smaller than its -clients %d data shards", *fleet, *clients)
+		}
+		// The fleet is synthesized from -clients distinct shards; every one
+		// of the -fleet clients is still priced and sampled individually.
+		options = append(options,
+			unbiasedfl.WithClients(*fleet),
+			unbiasedfl.WithFleetShards(*clients))
+	}
+	numClients := *clients
+	if *fleet > 0 {
+		numClients = *fleet
+	}
+	if plan := churnPlan(numClients, joins, leaves); plan != nil {
 		options = append(options, unbiasedfl.WithMembership(plan))
 	}
 	if *ckpt != "" {

@@ -1,6 +1,7 @@
 package checkpoint
 
 import (
+	"io"
 	"path/filepath"
 	"testing"
 
@@ -42,6 +43,66 @@ func BenchmarkCommit(b *testing.B) {
 			Round: i, Participants: 3, ParticipantIDs: []int{0, 1, 2},
 		})
 		if err := mgr.Commit(st); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// millionCursorSnapshot builds the fleet-scale snapshot the streaming paths
+// exist for: 10^6 client cursors (~50MB of state).
+func millionCursorSnapshot() *Snapshot {
+	const clients = 1_000_000
+	cursors := make([]engine.ClientCursor, clients)
+	for i := range cursors {
+		cursors[i] = engine.ClientCursor{
+			RNG:     [4]uint64{uint64(i), 2, 3, 4},
+			SqCount: i % 11, SqMean: float64(i) * 0.5,
+		}
+	}
+	return &Snapshot{
+		Meta:      Meta{Label: "fleet", Seed: 7, Clients: clients, Rounds: 8},
+		NextRound: 2,
+		Model:     make([]float64, 512),
+		Sampler:   []uint64{1, 2, 3, 4},
+		Clients:   cursors,
+	}
+}
+
+// discardSeeker satisfies io.WriteSeeker without retaining anything, so the
+// benchmark measures the writer's own allocations, not the sink's.
+type discardSeeker struct{ pos int64 }
+
+func (d *discardSeeker) Write(p []byte) (int, error) { d.pos += int64(len(p)); return len(p), nil }
+func (d *discardSeeker) Seek(off int64, whence int) (int64, error) {
+	switch whence {
+	case io.SeekStart:
+		d.pos = off
+	case io.SeekCurrent:
+		d.pos += off
+	}
+	return d.pos, nil
+}
+
+// BenchmarkEncodeSnapshotMillion vs BenchmarkWriteSnapshotMillion: the
+// allocs/op gap is the whole-snapshot copies streaming eliminates at 10^6
+// client cursors.
+func BenchmarkEncodeSnapshotMillion(b *testing.B) {
+	snap := millionCursorSnapshot()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EncodeSnapshot(snap); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWriteSnapshotMillion(b *testing.B) {
+	snap := millionCursorSnapshot()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := WriteSnapshot(&discardSeeker{}, snap); err != nil {
 			b.Fatal(err)
 		}
 	}

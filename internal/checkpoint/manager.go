@@ -80,14 +80,17 @@ func Resume(path string, meta Meta, opts Options) (*Manager, *engine.RunState, e
 	if err := validateMeta(meta); err != nil {
 		return nil, nil, err
 	}
-	raw, err := os.ReadFile(path)
+	f, err := os.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, nil, fmt.Errorf("%w at %s", ErrNoCheckpoint, path)
 		}
 		return nil, nil, fmt.Errorf("checkpoint: read snapshot: %w", err)
 	}
-	snap, err := DecodeSnapshot(raw)
+	// Stream the decode: a large fleet's cursor table lands directly in the
+	// returned state, never alongside a whole-file buffer.
+	snap, err := ReadSnapshot(f)
+	_ = f.Close()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -190,28 +193,26 @@ func (m *Manager) Commit(st *engine.RunState) error {
 	return m.writeSnapshot(st)
 }
 
-// writeSnapshot atomically replaces the snapshot file: encode, write to a
-// temp file in the same directory, rename over the target.
+// writeSnapshot atomically replaces the snapshot file: stream-encode to a
+// temp file in the same directory, rename over the target. Streaming keeps
+// the commit's memory at one encoder buffer even when the client-cursor
+// table runs to millions of entries.
 func (m *Manager) writeSnapshot(st *engine.RunState) error {
-	raw, err := EncodeSnapshot(&Snapshot{
+	tmp := m.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("checkpoint: create snapshot temp: %w", err)
+	}
+	if err := WriteSnapshot(f, &Snapshot{
 		Meta:      m.meta,
 		NextRound: st.NextRound,
 		Epoch:     st.Epoch,
 		Model:     st.Model,
 		Sampler:   st.Sampler,
 		Clients:   st.Clients,
-	})
-	if err != nil {
-		return err
-	}
-	tmp := m.path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
-		return fmt.Errorf("checkpoint: create snapshot temp: %w", err)
-	}
-	if _, err := f.Write(raw); err != nil {
+	}); err != nil {
 		_ = f.Close()
-		return fmt.Errorf("checkpoint: write snapshot: %w", err)
+		return err
 	}
 	if m.opts.Sync {
 		if err := f.Sync(); err != nil {

@@ -1,0 +1,106 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"unbiasedfl/internal/engine"
+)
+
+// streamSnapshot builds a snapshot with n client cursors for the streaming
+// tests.
+func streamSnapshot(n int) *Snapshot {
+	cursors := make([]engine.ClientCursor, n)
+	for i := range cursors {
+		cursors[i] = engine.ClientCursor{
+			RNG:     [4]uint64{uint64(i + 1), 2, 3, 4},
+			SqCount: i % 7, SqMean: float64(i) * 0.25, SqM2: float64(i) * 0.125,
+		}
+	}
+	return &Snapshot{
+		Meta:      Meta{Label: "stream", Seed: 9, Clients: n, Rounds: 12},
+		NextRound: 3,
+		Model:     []float64{1.5, -2.25, 0.75},
+		Sampler:   []uint64{11, 22, 33, 44},
+		Clients:   cursors,
+	}
+}
+
+// TestWriteSnapshotByteIdentical pins the streaming writer's contract: the
+// bytes it lands on disk are exactly EncodeSnapshot's, at small and at
+// large cursor counts — no format change rode along with the streaming.
+func TestWriteSnapshotByteIdentical(t *testing.T) {
+	for _, n := range []int{1, 3, 10_000} {
+		snap := streamSnapshot(n)
+		want, err := EncodeSnapshot(snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), "snap")
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteSnapshot(f, snap); err != nil {
+			t.Fatalf("%d cursors: %v", n, err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want, got) {
+			t.Fatalf("%d cursors: streamed snapshot differs from EncodeSnapshot (%d vs %d bytes)",
+				n, len(got), len(want))
+		}
+	}
+}
+
+// TestReadSnapshotEquivalent: the streaming reader accepts exactly what
+// DecodeSnapshot accepts and rejects exactly what it rejects.
+func TestReadSnapshotEquivalent(t *testing.T) {
+	snap := streamSnapshot(5)
+	raw, err := EncodeSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := DecodeSnapshot(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("streamed decode differs from DecodeSnapshot")
+	}
+
+	damage := []struct {
+		name string
+		mut  func([]byte) []byte
+		want error
+	}{
+		{"empty", func(b []byte) []byte { return nil }, ErrBadMagic},
+		{"bad magic", func(b []byte) []byte { c := append([]byte(nil), b...); c[0] = 'X'; return c }, ErrBadMagic},
+		{"bad version", func(b []byte) []byte { c := append([]byte(nil), b...); c[4] = 99; return c }, ErrBadVersion},
+		{"truncated frame", func(b []byte) []byte { return b[:len(b)-6] }, ErrCorrupt},
+		{"flipped payload", func(b []byte) []byte { c := append([]byte(nil), b...); c[20] ^= 0x40; return c }, ErrCorrupt},
+		{"trailing byte", func(b []byte) []byte { return append(append([]byte(nil), b...), 0) }, ErrCorrupt},
+	}
+	for _, tc := range damage {
+		mutated := tc.mut(raw)
+		if _, err := ReadSnapshot(bytes.NewReader(mutated)); !errors.Is(err, tc.want) {
+			t.Errorf("%s: ReadSnapshot err %v, want %v", tc.name, err, tc.want)
+		}
+		if _, err := DecodeSnapshot(mutated); !errors.Is(err, tc.want) {
+			t.Errorf("%s: DecodeSnapshot err %v, want %v — the two paths disagree", tc.name, err, tc.want)
+		}
+	}
+}

@@ -112,6 +112,36 @@ func ComputeWeights(clients []*Dataset) ([]float64, error) {
 	return w, nil
 }
 
+// ReplicateClients synthesizes an n-client fleet from f's shards without
+// materializing per-client training sets: client i of the result shares shard
+// i mod S by pointer (S = f's client count), so the data footprint stays
+// O(shards) however large the fleet. Clients sharing a shard are still
+// distinct devices — the engine gives each its own RNG cursor, so their
+// minibatch trajectories differ. Train and Test stay f's de-duplicated pooled
+// sets (one copy of each shard), keeping evaluation O(samples), while the
+// per-client weights a_n are recomputed over the replicated fleet so they sum
+// to one.
+func ReplicateClients(f *Federated, n int) (*Federated, error) {
+	if f == nil || f.NumClients() == 0 {
+		return nil, errors.New("data: replicate of empty federation")
+	}
+	if n < f.NumClients() {
+		return nil, fmt.Errorf("data: cannot replicate %d shards down to %d clients", f.NumClients(), n)
+	}
+	if n == f.NumClients() {
+		return f, nil
+	}
+	clients := make([]*Dataset, n)
+	for i := range clients {
+		clients[i] = f.Clients[i%f.NumClients()]
+	}
+	weights, err := ComputeWeights(clients)
+	if err != nil {
+		return nil, err
+	}
+	return &Federated{Clients: clients, Train: f.Train, Test: f.Test, Weights: weights}, nil
+}
+
 // assemble builds a Federated from finished shards plus a test set.
 func assemble(clients []*Dataset, test *Dataset) (*Federated, error) {
 	weights, err := ComputeWeights(clients)

@@ -31,6 +31,11 @@ func checkUpdateShapes(global tensor.Vec, updates []ClientUpdate, weights, q []f
 // estimator of the full-participation aggregate for arbitrary independent
 // participation levels q. Clients with q_n = 0 can never appear in S_r, so
 // the division is always well defined for actual participants.
+//
+// The sum runs through the engine's canonical fixed-point accumulator (see
+// fixacc.go), so the result is independent of summation order and grouping —
+// the property that makes hierarchical group partials bit-identical to this
+// flat fold.
 type UnbiasedAggregator struct{}
 
 // Aggregate implements Aggregator.
@@ -38,16 +43,17 @@ func (UnbiasedAggregator) Aggregate(global tensor.Vec, updates []ClientUpdate, w
 	if err := checkUpdateShapes(global, updates, weights, q); err != nil {
 		return err
 	}
+	acc := NewFixAcc(len(global))
 	for _, u := range updates {
 		qn := q[u.Client]
 		if qn <= 0 {
 			return fmt.Errorf("fl: participant %d has non-positive q", u.Client)
 		}
-		if err := global.AddScaled(weights[u.Client]/qn, u.Delta); err != nil {
+		if err := acc.AddScaled(weights[u.Client]/qn, u.Delta); err != nil {
 			return err
 		}
 	}
-	return nil
+	return acc.AddTo(global)
 }
 
 // ProportionalAggregator is the biased baseline: participants' deltas are

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
 	"time"
 
@@ -111,12 +112,26 @@ type clusterSlot struct {
 // each MsgUpdate, and receives its position inside MsgWelcome — so a fresh
 // boot, a checkpoint resume, and a mid-run reconnect are the same protocol,
 // and whatever divergent state a crashed node held is discarded with it.
+//
+// With Spec.GroupSize > 1 the backend switches to multiplexed group mode
+// (protocol v5): one socket node hosts a whole sub-aggregator group of K
+// virtual clients, so a fleet of N clients needs only ⌈N/K⌉ processes and
+// sockets. Each round the coordinator ships one MsgBatchStart per non-empty
+// group — the tasked members with their Lemma-1 scales and authoritative
+// cursors — and receives one MsgPartial carrying the group's fixed-point
+// fold, so coordinator ingress is O(groups·model) instead of
+// O(participants·model). Group nodes keep no per-client state between
+// rounds: the cursor table round-trips through every batch, which makes
+// revival, resume, and membership churn pure coordinator-side bookkeeping.
 type ClusterBackend struct {
 	opts ClusterOptions
 
 	spec     *Spec
 	runCtx   context.Context
 	listener net.Listener
+	// groupSize > 1 switches the backend into multiplexed group mode: slots,
+	// node goroutines, and nodeErrs are then indexed by group, not client.
+	groupSize int
 
 	mu       sync.Mutex
 	slots    []clusterSlot
@@ -132,6 +147,9 @@ type ClusterBackend struct {
 	cond     *sync.Cond
 	misses   []int // rounds forfeited per client (healing mode)
 	respawns []int // revivals per client (healing mode)
+	// unitRespawns tracks the revival budget per group node in group mode
+	// (respawns above stays per client for Health, mirrored group-wide).
+	unitRespawns []int
 
 	nodeWG   sync.WaitGroup
 	acceptWG sync.WaitGroup
@@ -143,6 +161,15 @@ type ClusterBackend struct {
 	updates []ClientUpdate
 	errs    []error
 	staged  []transport.Cursor
+	// Group-mode per-round buffers: the group partition, one error and codec
+	// slot per group, and the batch-building scratch reused across sequential
+	// sends.
+	groups   []taskGroup
+	gerrs    []error
+	gcodecs  []*transport.Codec
+	bClients []int
+	bScales  []float64
+	bCursors []transport.Cursor
 }
 
 // NewClusterBackend constructs an unopened cluster backend.
@@ -233,8 +260,15 @@ func (b *ClusterBackend) Open(ctx context.Context, spec *Spec) error {
 	b.spec = spec
 	b.runCtx = ctx
 	b.listener = ln
-	b.slots = make([]clusterSlot, nClients)
-	b.nodeErrs = make([]error, nClients)
+	b.groupSize = 0
+	units := nClients
+	if spec.GroupSize > 1 {
+		b.groupSize = spec.GroupSize
+		units = (nClients + b.groupSize - 1) / b.groupSize
+	}
+	b.slots = make([]clusterSlot, units)
+	b.nodeErrs = make([]error, units)
+	b.unitRespawns = make([]int, units)
 	b.misses = make([]int, nClients)
 	b.respawns = make([]int, nClients)
 	b.closed = false
@@ -275,6 +309,12 @@ func (b *ClusterBackend) Open(ctx context.Context, spec *Spec) error {
 			activeCount++
 		}
 	}
+	if b.groupSize > 1 {
+		// Group mode: every group node boots regardless of the roster — a
+		// socket hosts active and inactive members alike, and membership is
+		// pure coordinator-side task filtering (see ApplyEpoch).
+		activeCount = units
+	}
 
 	// On cancellation, close the listener and every connection: reads fail
 	// immediately and stay failed, which the dispatch path, the accept loop,
@@ -296,13 +336,19 @@ func (b *ClusterBackend) Open(ctx context.Context, spec *Spec) error {
 
 	b.acceptWG.Add(1)
 	go b.acceptLoop()
-	for n := 0; n < nClients; n++ {
-		if b.active[n] {
-			b.spawnNode(n, false)
+	if b.groupSize > 1 {
+		for g := 0; g < units; g++ {
+			b.spawnNode(g, false)
 		}
-	}
-	for _, n := range spec.Membership.joinsAfter(startRound) {
-		b.spawnNode(n, true)
+	} else {
+		for n := 0; n < nClients; n++ {
+			if b.active[n] {
+				b.spawnNode(n, false)
+			}
+		}
+		for _, n := range spec.Membership.joinsAfter(startRound) {
+			b.spawnNode(n, true)
+		}
 	}
 
 	// Wait until the starting roster has registered (parked joiners are not
@@ -429,6 +475,39 @@ func (b *ClusterBackend) register(conn net.Conn) error {
 
 	b.mu.Lock()
 	id := hello.ClientID
+	if b.groupSize > 1 {
+		// Group mode: a multiplexed node announces the group it hosts. The
+		// welcome carries only the run configuration — never a cursor — because
+		// group nodes are stateless between rounds: every batch delivers the
+		// authoritative cursors of exactly the members it tasks.
+		valid := hello.Type == transport.MsgGroupHello && id >= 0 && id < len(b.slots) && !b.slots[id].ready
+		b.mu.Unlock()
+		if !valid {
+			return fmt.Errorf("engine: cluster got invalid group hello (type %v, id %d)", hello.Type, hello.ClientID)
+		}
+		spec := b.spec
+		if err := codec.Send(&transport.Message{
+			Type:        transport.MsgWelcome,
+			ClientID:    id,
+			Q:           1,
+			Coordinated: true,
+			LocalSteps:  spec.LocalSteps,
+			BatchSize:   spec.BatchSize,
+			Rounds:      spec.Rounds,
+		}); err != nil {
+			return err
+		}
+		b.mu.Lock()
+		slot := &b.slots[id]
+		slot.codec = codec
+		slot.conn = conn
+		slot.ready = true
+		slot.pending = false
+		b.ready++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return nil
+	}
 	valid := (hello.Type == transport.MsgHello || hello.Type == transport.MsgJoin) &&
 		id >= 0 && id < len(b.slots) && !b.slots[id].ready && !b.retired[id]
 	if valid && hello.Type == transport.MsgHello && !b.active[id] {
@@ -496,6 +575,9 @@ func (b *ClusterBackend) Dispatch(
 ) ([]ClientUpdate, error) {
 	if b.spec == nil {
 		return nil, errors.New("engine: cluster backend not open")
+	}
+	if b.groupSize > 1 {
+		return nil, errors.New("engine: cluster backend is in group mode; rounds dispatch through DispatchPartials")
 	}
 	if cap(b.updates) < len(tasks) {
 		b.updates = make([]ClientUpdate, len(tasks))
@@ -642,6 +724,245 @@ func (b *ClusterBackend) failClient(client int, cause error) {
 	}
 }
 
+// DispatchPartials implements PartialBackend (group mode, protocol v5): one
+// MsgBatchStart per non-empty group ships the tasked members with their
+// Lemma-1 scales and authoritative cursors, then a worker pool sized to
+// GOMAXPROCS drains the MsgPartial replies — so a 10^5-client round runs
+// over ⌈fleet/K⌉ sockets with coordinator ingress of O(groups·model) and at
+// most O(workers·model) reply buffers in flight.
+//
+// Failure semantics mirror flat dispatch, at group granularity: in strict
+// mode any group failure fails the round; in self-healing mode a group that
+// crashes, disconnects, or misses the deadline forfeits the round for every
+// member it was tasked with, and its node is revived in the background
+// within the respawn budget.
+func (b *ClusterBackend) DispatchPartials(
+	ctx context.Context, round int, global tensor.Vec, tasks []ClientTask,
+	groupSize int, sink func(Partial) error,
+) error {
+	if b.spec == nil {
+		return errors.New("engine: cluster backend not open")
+	}
+	if b.groupSize <= 1 {
+		return errors.New("engine: cluster backend was opened flat; hierarchical dispatch needs Spec.GroupSize > 1 at Open")
+	}
+	if groupSize != b.groupSize {
+		return fmt.Errorf("engine: dispatch group size %d does not match the fleet's %d", groupSize, b.groupSize)
+	}
+	b.groups = splitGroups(b.groups[:0], tasks, groupSize)
+	if cap(b.gerrs) < len(b.groups) {
+		b.gerrs = make([]error, len(b.groups))
+		b.gcodecs = make([]*transport.Codec, len(b.groups))
+	}
+	gerrs := b.gerrs[:len(b.groups)]
+	gcodecs := b.gcodecs[:len(b.groups)]
+	healing := b.opts.healing()
+	var deadline time.Time
+	if healing {
+		deadline = time.Now().Add(b.opts.RoundTimeout)
+	}
+
+	// Phase 1 — sequential sends. One scratch set builds each batch in turn;
+	// the codec is captured per group so a mid-round revival can never hand a
+	// fresh connection to a round already in flight.
+	for gi := range b.groups {
+		g := b.groups[gi]
+		gerrs[gi] = nil
+		gcodecs[gi] = nil
+		b.mu.Lock()
+		codec, up := b.slots[g.id].codec, b.slots[g.id].ready
+		b.bClients = b.bClients[:0]
+		b.bScales = b.bScales[:0]
+		b.bCursors = b.bCursors[:0]
+		for _, t := range tasks[g.lo:g.hi] {
+			c := b.cursors[t.Client]
+			b.bClients = append(b.bClients, t.Client)
+			b.bScales = append(b.bScales, t.Scale)
+			b.bCursors = append(b.bCursors, transport.Cursor{
+				RNG: c.RNG, SqCount: c.SqCount, SqMean: c.SqMean, SqM2: c.SqM2,
+			})
+		}
+		b.mu.Unlock()
+		if !up {
+			gerrs[gi] = fmt.Errorf("group node %d: %w", g.id, errNodeDown)
+			continue
+		}
+		if err := codec.Send(&transport.Message{
+			Type: transport.MsgBatchStart, ClientID: g.id, Round: round,
+			Model: global, LR: tasks[g.lo].LR,
+			Clients: b.bClients, Scales: b.bScales, Cursors: b.bCursors,
+		}); err != nil {
+			gerrs[gi] = fmt.Errorf("group node %d: %w", g.id, err)
+			continue
+		}
+		gcodecs[gi] = codec
+	}
+
+	// Phase 2 — bounded reply drain. Workers own disjoint static stripes of
+	// the group list, so each codec's receive direction has exactly one user.
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(b.groups) {
+		workers = len(b.groups)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	nClients := len(b.cursors)
+	var sinkMu sync.Mutex
+	var sinkErr error
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for gi := w; gi < len(b.groups); gi += workers {
+				if gerrs[gi] != nil {
+					continue
+				}
+				g := b.groups[gi]
+				codec := gcodecs[gi]
+				var reply *transport.Message
+				var err error
+				if healing {
+					reply, err = codec.RecvDeadline(deadline)
+				} else {
+					reply, err = codec.Recv()
+				}
+				if err != nil {
+					// A socket error here usually means the node process died;
+					// its own exit error is the diagnosable one, so fold it in
+					// when it has already been recorded.
+					b.mu.Lock()
+					nodeErr := b.nodeErrs[g.id]
+					b.mu.Unlock()
+					if nodeErr != nil {
+						err = fmt.Errorf("%w (node exit: %v)", err, nodeErr)
+					}
+					gerrs[gi] = fmt.Errorf("group node %d: %w", g.id, err)
+					continue
+				}
+				if err := checkPartial(reply, g, len(global), nClients, round); err != nil {
+					gerrs[gi] = err
+					continue
+				}
+				// Commit the batch members' post-update cursors, keyed by the
+				// dispatched tasks: tampering may relabel an update's client,
+				// never its executor.
+				b.mu.Lock()
+				for i, t := range tasks[g.lo:g.hi] {
+					c := reply.Cursors[i]
+					b.cursors[t.Client] = ClientCursor{
+						RNG: c.RNG, SqCount: c.SqCount, SqMean: c.SqMean, SqM2: c.SqM2,
+					}
+				}
+				b.mu.Unlock()
+				sinkMu.Lock()
+				if sinkErr == nil {
+					sinkErr = sink(Partial{
+						Group: g.id, Clients: reply.Clients,
+						Lo: reply.Lo, Hi: reply.Hi, Sat: reply.Sat, GradSq: reply.GradSqs,
+					})
+				}
+				sinkMu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if !healing {
+		for _, err := range gerrs {
+			if err != nil {
+				return ctxErrOr(ctx, err)
+			}
+		}
+		return sinkErr
+	}
+	for gi, err := range gerrs {
+		if err != nil {
+			g := b.groups[gi]
+			b.failGroup(g.id, tasks[g.lo:g.hi], err)
+		}
+	}
+	return sinkErr
+}
+
+// checkPartial validates one group's reply against the batch it was sent.
+func checkPartial(reply *transport.Message, g taskGroup, p, nClients, round int) error {
+	batch := g.hi - g.lo
+	switch {
+	case reply.Type != transport.MsgPartial || reply.ClientID != g.id || reply.Round != round:
+		return fmt.Errorf("group node %d: unexpected reply (type %v, id %d, round %d)",
+			g.id, reply.Type, reply.ClientID, reply.Round)
+	case len(reply.Lo) != p || len(reply.Hi) != p:
+		return fmt.Errorf("group node %d: partial limbs %d/%d, want %d", g.id, len(reply.Lo), len(reply.Hi), p)
+	case len(reply.Clients) != batch || len(reply.GradSqs) != batch || len(reply.Cursors) != batch:
+		return fmt.Errorf("group node %d: partial covers %d/%d/%d entries, batch had %d",
+			g.id, len(reply.Clients), len(reply.GradSqs), len(reply.Cursors), batch)
+	}
+	for _, n := range reply.Clients {
+		if n < 0 || n >= nClients {
+			return fmt.Errorf("group node %d: partial names unknown client %d", g.id, n)
+		}
+	}
+	return nil
+}
+
+// failGroup is failClient at group granularity: every tasked member is
+// ledgered as a miss, the group node's connection is severed, and — within
+// the group's respawn budget — a background revival dialer starts. The
+// per-client Respawns counters mirror the group's count for every member,
+// since one process hosts them all.
+func (b *ClusterBackend) failGroup(gid int, tasked []ClientTask, cause error) {
+	b.mu.Lock()
+	for _, t := range tasked {
+		b.misses[t.Client]++
+	}
+	slot := &b.slots[gid]
+	if slot.ready && !errors.Is(cause, errNodeDown) {
+		slot.ready = false
+		b.ready--
+		if slot.cancel != nil {
+			slot.cancel()
+		}
+		if slot.conn != nil {
+			_ = slot.conn.Close()
+		}
+		slot.codec = nil
+		slot.conn = nil
+	}
+	respawn := !b.closed && !slot.ready && !slot.pending &&
+		b.runCtx.Err() == nil && b.unitRespawns[gid] < b.opts.MaxRespawns
+	if respawn {
+		slot.pending = true
+		b.unitRespawns[gid]++
+		lo := gid * b.groupSize
+		hi := lo + b.groupSize
+		if n := len(b.respawns); hi > n {
+			hi = n
+		}
+		for n := lo; n < hi; n++ {
+			b.respawns[n]++
+		}
+	}
+	b.mu.Unlock()
+	if respawn {
+		b.spawnNode(gid, false)
+	}
+}
+
+// Sockets reports how many node connections are currently registered — in
+// group mode at most ⌈fleet/GroupSize⌉, the multiplexing bound the fleet
+// benchmarks assert.
+func (b *ClusterBackend) Sockets() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.ready
+}
+
 // ApplyEpoch implements EpochBackend: at a membership boundary the
 // coordinator admits the epoch's joiners — welcoming their parked MsgJoin
 // handshakes with the authoritative cursor, or waiting out a dial still in
@@ -651,6 +972,21 @@ func (b *ClusterBackend) failClient(client int, cause error) {
 func (b *ClusterBackend) ApplyEpoch(ctx context.Context, r Roster) error {
 	if b.spec == nil {
 		return errors.New("engine: cluster backend not open")
+	}
+	if b.groupSize > 1 {
+		// Group mode: a socket hosts its whole group, active members or not,
+		// so roster churn is pure coordinator-side bookkeeping — joiners start
+		// being tasked, leavers stop, and no connection moves.
+		b.mu.Lock()
+		for _, n := range r.Joined {
+			b.active[n] = true
+		}
+		for _, n := range r.Left {
+			b.active[n] = false
+			b.retired[n] = true
+		}
+		b.mu.Unlock()
+		return nil
 	}
 	for _, n := range r.Joined {
 		if err := b.admit(ctx, n); err != nil {
@@ -802,10 +1138,14 @@ func (b *ClusterBackend) Close() error {
 	if b.opts.healing() {
 		return nil
 	}
+	label := "cluster node"
+	if b.groupSize > 1 {
+		label = "cluster group node"
+	}
 	var errs []error
 	for n, err := range b.nodeErrs {
 		if err != nil {
-			errs = append(errs, fmt.Errorf("engine: cluster node %d: %w", n, err))
+			errs = append(errs, fmt.Errorf("engine: %s %d: %w", label, n, err))
 		}
 	}
 	return errors.Join(errs...)
@@ -859,6 +1199,9 @@ func (b *ClusterBackend) closeConns() {
 // opens with MsgJoin and waits — unbounded, its epoch may be rounds away —
 // for the coordinator to admit it with a welcome.
 func (b *ClusterBackend) runNode(ctx context.Context, n int, join bool) error {
+	if b.groupSize > 1 {
+		return b.runGroupNode(ctx, n)
+	}
 	spec := b.spec
 	// Deterministic backoff jitter, salted per client and decoupled from
 	// every model-visible stream.
@@ -909,6 +1252,10 @@ func (b *ClusterBackend) runNode(ctx context.Context, n int, join bool) error {
 		return err
 	}
 
+	var (
+		arena execArena
+		delta tensor.Vec
+	)
 	var delay time.Duration
 	if b.opts.NodeDelay != nil {
 		delay = b.opts.NodeDelay(n)
@@ -949,11 +1296,14 @@ func (b *ClusterBackend) runNode(ctx context.Context, n int, join bool) error {
 					return ctx.Err()
 				}
 			}
-			delta, err := st.localUpdate(
+			if len(delta) != len(msg.Model) {
+				delta = tensor.NewVec(len(msg.Model))
+			}
+			if err := st.localUpdate(
 				ctx, spec.Model, spec.Fed.Clients[n], n,
 				tensor.Vec(msg.Model), spec.LocalSteps, spec.BatchSize, msg.LR,
-			)
-			if err != nil {
+				&arena, delta,
+			); err != nil {
 				return err
 			}
 			cursor := st.cursor()
@@ -964,6 +1314,149 @@ func (b *ClusterBackend) runNode(ctx context.Context, n int, join bool) error {
 					RNG: cursor.RNG, SqCount: cursor.SqCount,
 					SqMean: cursor.SqMean, SqM2: cursor.SqM2,
 				},
+			}); err != nil {
+				return ctxErrOr(ctx, err)
+			}
+		default:
+			return fmt.Errorf("unexpected message %v", msg.Type)
+		}
+	}
+}
+
+// runGroupNode is one multiplexed device of the cluster: a single process
+// and socket hosting a whole sub-aggregator group of virtual clients. It
+// announces its group with MsgGroupHello, and then serves MsgBatchStart
+// messages: for each tasked member it restores an executor from the cursor
+// the batch carries, runs the local update in the node's one scratch arena,
+// folds the weighted delta into the node's fixed-point accumulator, and
+// ships back a single MsgPartial — O(model) per node, no per-client state
+// retained between rounds. Fault injection is consulted per member: any
+// member's crash kills the node (the whole group forfeits the round — the
+// multiplexing trade-off), and stalls take the slowest member's delay.
+func (b *ClusterBackend) runGroupNode(ctx context.Context, g int) error {
+	spec := b.spec
+	jitter := stats.NewRNG(spec.Seed ^ (0x9E3779B97F4A7C15 * uint64(g+1)))
+	conn, err := transport.DialRetry(ctx, b.listener.Addr().String(), b.opts.Retry, jitter)
+	if err != nil {
+		return ctxErrOr(ctx, err)
+	}
+	defer func() { _ = conn.Close() }()
+	stop := transportWatch(ctx, conn)
+	defer stop()
+	codec, err := transport.NewCodec(conn, 0)
+	if err != nil {
+		return err
+	}
+	hsDeadline := time.Now().Add(b.opts.HandshakeTimeout)
+	if err := codec.Send(&transport.Message{Type: transport.MsgGroupHello, ClientID: g}); err != nil {
+		return ctxErrOr(ctx, err)
+	}
+	welcome, err := codec.RecvDeadline(hsDeadline)
+	if err != nil {
+		return ctxErrOr(ctx, err)
+	}
+	if welcome.Type != transport.MsgWelcome || !welcome.Coordinated {
+		return fmt.Errorf("expected coordinated welcome, got %v", welcome.Type)
+	}
+
+	var (
+		arena   execArena
+		acc     *FixAcc
+		delta   tensor.Vec
+		clients []int
+		gradSqs []float64
+		cursors []transport.Cursor
+	)
+	for {
+		msg, err := codec.Recv()
+		if err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return ctxErr
+			}
+			return err
+		}
+		switch msg.Type {
+		case transport.MsgDone:
+			return nil
+		case transport.MsgBatchStart:
+			if msg.ClientID != g ||
+				len(msg.Scales) != len(msg.Clients) || len(msg.Cursors) != len(msg.Clients) {
+				return fmt.Errorf("malformed batch (id %d, %d clients, %d scales, %d cursors)",
+					msg.ClientID, len(msg.Clients), len(msg.Scales), len(msg.Cursors))
+			}
+			var stall time.Duration
+			crash := false
+			for _, n := range msg.Clients {
+				var d time.Duration
+				if b.opts.NodeFault != nil {
+					f := b.opts.NodeFault(n, msg.Round)
+					crash = crash || f.Crash
+					d += f.Delay
+				}
+				if b.opts.NodeDelay != nil {
+					d += b.opts.NodeDelay(n)
+				}
+				if d > stall {
+					stall = d
+				}
+			}
+			if crash {
+				return transport.ErrInjectedCrash
+			}
+			if stall > 0 {
+				timer := time.NewTimer(stall)
+				select {
+				case <-timer.C:
+				case <-ctx.Done():
+					timer.Stop()
+					return ctx.Err()
+				}
+			}
+			p := len(msg.Model)
+			if acc == nil || acc.Len() != p {
+				acc = NewFixAcc(p)
+				delta = tensor.NewVec(p)
+			} else {
+				acc.Reset()
+			}
+			clients = clients[:0]
+			gradSqs = gradSqs[:0]
+			cursors = cursors[:0]
+			global := tensor.Vec(msg.Model)
+			for i, n := range msg.Clients {
+				wc := msg.Cursors[i]
+				st, err := newClientExecAt(ClientCursor{
+					RNG: wc.RNG, SqCount: wc.SqCount, SqMean: wc.SqMean, SqM2: wc.SqM2,
+				})
+				if err != nil {
+					return fmt.Errorf("client %d cursor: %w", n, err)
+				}
+				if err := st.localUpdate(
+					ctx, spec.Model, spec.Fed.Clients[n], n,
+					global, spec.LocalSteps, spec.BatchSize, msg.LR,
+					&arena, delta,
+				); err != nil {
+					return err
+				}
+				u := ClientUpdate{Client: n, Delta: delta, GradSqNorm: st.sqNorms.Mean()}
+				if spec.Tamper != nil {
+					spec.Tamper(msg.Round, &u)
+				}
+				if err := acc.AddScaled(msg.Scales[i], u.Delta); err != nil {
+					return err
+				}
+				c := st.cursor()
+				clients = append(clients, u.Client)
+				gradSqs = append(gradSqs, u.GradSqNorm)
+				cursors = append(cursors, transport.Cursor{
+					RNG: c.RNG, SqCount: c.SqCount, SqMean: c.SqMean, SqM2: c.SqM2,
+				})
+			}
+			lo, hi, sat := acc.Limbs()
+			if err := codec.Send(&transport.Message{
+				Type: transport.MsgPartial, ClientID: g, Round: msg.Round,
+				Clients: clients, GradSqs: gradSqs, Cursors: cursors,
+				Lo: lo, Hi: hi, Sat: sat,
 			}); err != nil {
 				return ctxErrOr(ctx, err)
 			}
@@ -1003,6 +1496,7 @@ func ctxErrOr(ctx context.Context, err error) error {
 
 var (
 	_ ExecutionBackend = (*ClusterBackend)(nil)
+	_ PartialBackend   = (*ClusterBackend)(nil)
 	_ StatefulBackend  = (*ClusterBackend)(nil)
 	_ EpochBackend     = (*ClusterBackend)(nil)
 )

@@ -68,6 +68,11 @@ type LevelsSampler interface {
 type ClientTask struct {
 	Client int
 	LR     float64
+	// Scale is the Lemma-1 coefficient a_n/q_n the executor folds its delta
+	// with in hierarchical (grouped) dispatch, where the weighted sum is
+	// computed where the update runs. Zero in flat dispatch, where the
+	// coordinator-side aggregator applies the coefficient itself.
+	Scale float64
 }
 
 // ClientUpdate is one participant's contribution to a round.
@@ -102,6 +107,40 @@ type ExecutionBackend interface {
 	Open(ctx context.Context, spec *Spec) error
 	Dispatch(ctx context.Context, round int, global tensor.Vec, tasks []ClientTask) ([]ClientUpdate, error)
 	Close() error
+}
+
+// Partial is one sub-aggregator group's folded contribution to a round: the
+// fixed-point limbs of Σ_{n∈group∩S_r} (a_n/q_n)·delta_n together with the
+// members that actually contributed. Shipping partials instead of K full
+// updates is what cuts coordinator ingress from O(fleet·model) to
+// O(groups·model).
+type Partial struct {
+	// Group is the group index (clients [Group·K, (Group+1)·K)).
+	Group int
+	// Clients lists the members whose updates landed, in ascending order.
+	Clients []int
+	// Lo and Hi are the 128-bit fixed-point limbs of the group sum, one pair
+	// per model parameter (see FixAcc).
+	Lo, Hi []uint64
+	// Sat reports fixed-point saturation anywhere in the group fold.
+	Sat bool
+	// GradSq holds each contributing member's running mean squared gradient
+	// norm, aligned with Clients.
+	GradSq []float64
+}
+
+// PartialBackend is the hierarchical-dispatch seam: backends that can fold
+// group partials where the updates run implement it alongside
+// ExecutionBackend. DispatchPartials executes every task, folds each group's
+// weighted deltas (applying Spec.Tamper per update before folding, exactly
+// as the flat path does), and delivers one Partial per non-empty group via
+// sink. The backend must serialize sink calls; the sink must not retain a
+// partial's slices after returning (they may alias backend buffers). Partial
+// delivery order is unspecified — the fixed-point merge is commutative, so
+// order cannot affect the result.
+type PartialBackend interface {
+	DispatchPartials(ctx context.Context, round int, global tensor.Vec,
+		tasks []ClientTask, groupSize int, sink func(Partial) error) error
 }
 
 // RoundMetrics records the state of one training round. Loss and accuracy
@@ -145,6 +184,18 @@ type Spec struct {
 
 	Sampler    Sampler
 	Aggregator Aggregator
+
+	// GroupSize, when > 1, turns on hierarchical aggregation: participants
+	// are partitioned into sub-aggregator groups of this many consecutive
+	// clients (group g owns clients [g·K, (g+1)·K)), each group folds its
+	// members' weighted deltas where they execute, and the coordinator merges
+	// only the group partials. Requires a backend implementing
+	// PartialBackend and the UnbiasedAggregator's Lemma-1 weighting (the
+	// Scale each task carries). The result is bit-identical to the flat path
+	// for every group size — the fixed-point accumulator makes the sum
+	// independent of grouping — so GroupSize is purely an execution/memory
+	// knob. 0 or 1 keeps classic flat dispatch.
+	GroupSize int
 
 	// Tamper, when non-nil, is applied to every participant update as soon
 	// as the backend returns it and before aggregation — the
@@ -219,6 +270,8 @@ func (s Spec) Validate() error {
 		return errors.New("engine: nil schedule")
 	case s.EvalEvery <= 0:
 		return errors.New("engine: eval interval must be positive")
+	case s.GroupSize < 0:
+		return errors.New("engine: group size must be non-negative")
 	}
 	if s.Membership != nil {
 		if err := s.Membership.Validate(s.Fed.NumClients(), s.Rounds); err != nil {

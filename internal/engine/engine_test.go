@@ -239,14 +239,16 @@ func BenchmarkLocalUpdate(b *testing.B) {
 	m := testModel(b, fed)
 	st := newClientExecs(7, 1)[0]
 	global := m.ZeroParams()
+	delta := tensor.NewVec(len(global))
+	var arena execArena
 	ctx := context.Background()
-	if _, err := st.localUpdate(ctx, m, fed.Clients[0], 0, global, 10, 16, 0.01); err != nil {
+	if err := st.localUpdate(ctx, m, fed.Clients[0], 0, global, 10, 16, 0.01, &arena, delta); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := st.localUpdate(ctx, m, fed.Clients[0], 0, global, 10, 16, 0.01); err != nil {
+		if err := st.localUpdate(ctx, m, fed.Clients[0], 0, global, 10, 16, 0.01, &arena, delta); err != nil {
 			b.Fatal(err)
 		}
 	}

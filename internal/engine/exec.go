@@ -10,10 +10,11 @@ import (
 	"unbiasedfl/internal/tensor"
 )
 
-// clientExec holds one client's per-run mutable state: the private RNG, the
-// gradient-norm statistics, and the scratch arena (parameter clone,
-// gradient, delta, and the model's batch buffers) that makes the local-SGD
-// hot path allocation-free in steady state.
+// clientExec holds one client's per-run mutable state: the private RNG and
+// the gradient-norm statistics. It deliberately owns no model-sized buffers —
+// those live in an execArena owned by whichever worker (or socket node) runs
+// the update — so a fleet of 10^6 virtual clients costs O(fleet) scalars,
+// not O(fleet·model) vectors.
 //
 // Both backends execute local updates through this type — LocalBackend in
 // its worker pool, ClusterBackend inside each socket node — which is what
@@ -21,37 +22,43 @@ import (
 type clientExec struct {
 	rng     *stats.RNG
 	sqNorms stats.Welford
+}
+
+// execArena is the reusable model-sized scratch a worker lends to whichever
+// client it is currently running: the parameter clone, the gradient buffer,
+// and the model's batch buffers. One arena serves any number of clients
+// sequentially; the hot path stays allocation-free once the arena is warm.
+type execArena struct {
 	w       tensor.Vec // working copy of the global model
 	grad    tensor.Vec // gradient buffer
-	delta   tensor.Vec // w − global, handed to the aggregator
 	scratch model.Scratch
 }
 
-// ensure sizes the state's vectors for a model with p parameters.
-func (st *clientExec) ensure(p int) {
-	if len(st.w) != p {
-		st.w = tensor.NewVec(p)
-		st.grad = tensor.NewVec(p)
-		st.delta = tensor.NewVec(p)
+// ensure sizes the arena for a model with p parameters.
+func (ar *execArena) ensure(p int) {
+	if len(ar.w) != p {
+		ar.w = tensor.NewVec(p)
+		ar.grad = tensor.NewVec(p)
 	}
 }
 
-// localUpdate copies the global model into the client's scratch arena and
-// performs steps mini-batch SGD steps on the client's shard, recording
-// squared gradient norms for G_n estimation. Models implementing
-// model.LocalStepper run the fused step; otherwise the generic
-// StochasticGradient + axpy path applies. In steady state (buffers warm) the
-// update performs no heap allocations. The returned delta aliases the
-// client's buffer and is valid until its next localUpdate.
+// localUpdate copies the global model into the arena and performs steps
+// mini-batch SGD steps on the client's shard, recording squared gradient
+// norms for G_n estimation. Models implementing model.LocalStepper run the
+// fused step; otherwise the generic StochasticGradient + axpy path applies.
+// The delta w − global is written into the caller-provided buffer (sized
+// like global). In steady state (arena warm) the update performs no heap
+// allocations.
 func (st *clientExec) localUpdate(
 	ctx context.Context, m model.Model, shard *data.Dataset, n int,
 	global tensor.Vec, steps, batch int, lr float64,
-) (tensor.Vec, error) {
+	ar *execArena, delta tensor.Vec,
+) error {
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return err
 	}
-	st.ensure(len(global))
-	w := st.w
+	ar.ensure(len(global))
+	w := ar.w
 	copy(w, global)
 	stepper, hasStep := m.(model.LocalStepper)
 	for e := 0; e < steps; e++ {
@@ -60,31 +67,33 @@ func (st *clientExec) localUpdate(
 		// every step of the hot path.
 		if e&7 == 7 {
 			if err := ctx.Err(); err != nil {
-				return nil, err
+				return err
 			}
 		}
 		if hasStep {
-			sq, err := stepper.SGDStep(w, shard, batch, lr, st.rng, &st.scratch)
+			sq, err := stepper.SGDStep(w, shard, batch, lr, st.rng, &ar.scratch)
 			if err != nil {
-				return nil, fmt.Errorf("client %d: %w", n, err)
+				return fmt.Errorf("client %d: %w", n, err)
 			}
 			st.sqNorms.Add(sq)
 			continue
 		}
-		grad := st.grad
+		grad := ar.grad
 		if err := m.StochasticGradient(w, shard, batch, st.rng, grad); err != nil {
-			return nil, fmt.Errorf("client %d: %w", n, err)
+			return fmt.Errorf("client %d: %w", n, err)
 		}
 		st.sqNorms.Add(grad.SqNorm())
 		if err := w.AddScaled(-lr, grad); err != nil {
-			return nil, err
+			return err
 		}
 	}
-	delta := st.delta
+	if len(delta) != len(global) {
+		return fmt.Errorf("client %d: delta buffer length %d, want %d", n, len(delta), len(global))
+	}
 	for j := range delta {
 		delta[j] = w[j] - global[j]
 	}
-	return delta, nil
+	return nil
 }
 
 // newClientExecs derives one executor per client from the spec seed,
@@ -125,9 +134,7 @@ func (st *clientExec) cursor() ClientCursor {
 	return ClientCursor{RNG: st.rng.State(), SqCount: count, SqMean: mean, SqM2: m2}
 }
 
-// newClientExecAt builds an executor positioned at a captured cursor. The
-// scratch arena is rebuilt lazily on first use; only the streams matter for
-// bit-identity.
+// newClientExecAt builds an executor positioned at a captured cursor.
 func newClientExecAt(c ClientCursor) (*clientExec, error) {
 	rng, err := stats.RestoreRNG(c.RNG)
 	if err != nil {

@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"sort"
 
 	"unbiasedfl/internal/tensor"
 )
@@ -17,6 +18,11 @@ type Orchestrator struct {
 	// not allocate.
 	tasks []ClientTask
 	seen  []bool
+	// Hierarchical-mode buffers: the top-level fixed-point accumulator that
+	// merges streamed group partials — the only model-sized aggregation
+	// state the coordinator holds — and the participant-id scratch.
+	acc *FixAcc
+	ids []int
 	// Commit-hook buffers, reused across OnRoundCommit calls.
 	commit  RunState
 	cursors []ClientCursor
@@ -129,6 +135,22 @@ func (o *Orchestrator) Run(ctx context.Context) (*RunResult, error) {
 		weights = renormWeights(wbuf, s.Fed.Weights, active)
 	}
 
+	// Hierarchical mode: participants fold into sub-aggregator group
+	// partials where they execute, and the coordinator merges only the
+	// partials. Resolved once — the backend either supports it or the spec
+	// is rejected before any work runs.
+	useHier := s.GroupSize > 1
+	var hb PartialBackend
+	if useHier {
+		var ok bool
+		if hb, ok = o.Backend.(PartialBackend); !ok {
+			return nil, fmt.Errorf("engine: GroupSize %d needs a hierarchical backend, %T is not one", s.GroupSize, o.Backend)
+		}
+		if _, ok := s.Aggregator.(UnbiasedAggregator); !ok {
+			return nil, fmt.Errorf("engine: hierarchical aggregation supports only the unbiased (Lemma-1) aggregator, got %T", s.Aggregator)
+		}
+	}
+
 	if err := o.Backend.Open(ctx, s); err != nil {
 		return nil, fmt.Errorf("engine: open backend: %w", err)
 	}
@@ -189,43 +211,64 @@ func (o *Orchestrator) Run(ctx context.Context) (*RunResult, error) {
 		tasks := o.tasks[:len(participants)]
 		for i, n := range participants {
 			tasks[i] = ClientTask{Client: n, LR: lr}
+			if useHier {
+				qn := q[n]
+				if qn <= 0 {
+					return nil, fmt.Errorf("fl: participant %d has non-positive q", n)
+				}
+				tasks[i].Scale = weights[n] / qn
+			}
 		}
 
-		updates, err := o.Backend.Dispatch(ctx, round, global, tasks)
-		if err != nil {
-			if ctxErr := ctx.Err(); ctxErr != nil {
-				return nil, ctxErr
+		// The round's record lists the clients whose updates actually landed.
+		// Strict backends execute every task, so this is exactly the sampled
+		// set; a self-healing backend may deliver fewer (a crashed or
+		// deadline-missing node — in hierarchical mode a whole missed group),
+		// and the shortfall is recorded here — the client is simply
+		// unavailable this round, which is the regime the unbiased
+		// aggregation rule already prices in.
+		var ids []int
+		if useHier {
+			hids, err := o.hierRound(ctx, hb, round, global, tasks, gradSq)
+			if err != nil {
+				if ctxErr := ctx.Err(); ctxErr != nil {
+					return nil, ctxErr
+				}
+				return nil, fmt.Errorf("round %d: %w", round, err)
 			}
-			return nil, fmt.Errorf("round %d: %w", round, err)
-		}
-		if s.Tamper != nil {
-			for i := range updates {
-				s.Tamper(round, &updates[i])
+			ids = make([]int, len(hids))
+			copy(ids, hids)
+		} else {
+			updates, err := o.Backend.Dispatch(ctx, round, global, tasks)
+			if err != nil {
+				if ctxErr := ctx.Err(); ctxErr != nil {
+					return nil, ctxErr
+				}
+				return nil, fmt.Errorf("round %d: %w", round, err)
 			}
-		}
-		for _, u := range updates {
-			gradSq[u.Client] = u.GradSqNorm
-		}
-		if err := s.Aggregator.Aggregate(global, updates, weights, q); err != nil {
-			return nil, fmt.Errorf("round %d aggregate: %w", round, err)
+			if s.Tamper != nil {
+				for i := range updates {
+					s.Tamper(round, &updates[i])
+				}
+			}
+			for _, u := range updates {
+				gradSq[u.Client] = u.GradSqNorm
+			}
+			if err := s.Aggregator.Aggregate(global, updates, weights, q); err != nil {
+				return nil, fmt.Errorf("round %d aggregate: %w", round, err)
+			}
+			ids = make([]int, len(updates))
+			for i, u := range updates {
+				ids[i] = u.Client
+			}
 		}
 		if !global.IsFinite() {
 			return nil, fmt.Errorf("round %d: model diverged", round)
 		}
 
-		// The round's record lists the clients whose updates actually landed.
-		// Strict backends return one update per task, so this is exactly the
-		// sampled set; a self-healing backend may return fewer (a crashed or
-		// deadline-missing node), and the shortfall is recorded here — the
-		// client is simply unavailable this round, which is the regime the
-		// unbiased aggregation rule already prices in.
-		ids := make([]int, len(updates))
-		for i, u := range updates {
-			ids[i] = u.Client
-		}
 		m := RoundMetrics{
 			Round:          round,
-			Participants:   len(updates),
+			Participants:   len(ids),
 			ParticipantIDs: ids,
 		}
 		if (round+1)%s.EvalEvery == 0 || round == s.Rounds-1 {
@@ -270,6 +313,49 @@ func (o *Orchestrator) Run(ctx context.Context) (*RunResult, error) {
 		res.FinalAcc = last.TestAccuracy
 	}
 	return res, nil
+}
+
+// hierRound dispatches one hierarchical round: the backend folds each
+// sub-aggregator group's weighted deltas where they execute and streams the
+// partials here, where they merge into a single fixed-point accumulator —
+// the only model-sized aggregation state the coordinator holds, O(model)
+// regardless of fleet size. The returned ids (ascending) alias o.ids.
+func (o *Orchestrator) hierRound(
+	ctx context.Context, hb PartialBackend, round int,
+	global tensor.Vec, tasks []ClientTask, gradSq []float64,
+) ([]int, error) {
+	s := &o.Spec
+	if o.acc == nil || o.acc.Len() != len(global) {
+		o.acc = NewFixAcc(len(global))
+	} else {
+		o.acc.Reset()
+	}
+	o.ids = o.ids[:0]
+	err := hb.DispatchPartials(ctx, round, global, tasks, s.GroupSize, func(p Partial) error {
+		if len(p.Clients) != len(p.GradSq) {
+			return fmt.Errorf("engine: group %d partial carries %d clients but %d gradient stats",
+				p.Group, len(p.Clients), len(p.GradSq))
+		}
+		if err := o.acc.MergeLimbs(p.Lo, p.Hi, p.Sat); err != nil {
+			return err
+		}
+		for i, n := range p.Clients {
+			gradSq[n] = p.GradSq[i]
+		}
+		o.ids = append(o.ids, p.Clients...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Partial arrival order is backend-scheduling dependent; the integer
+	// merge is commutative so the model is not, but the participant record
+	// must match the flat path's ascending order.
+	sort.Ints(o.ids)
+	if err := o.acc.AddTo(global); err != nil {
+		return nil, err
+	}
+	return o.ids, nil
 }
 
 // commitRound assembles the resumable state at the new round boundary and

@@ -1,0 +1,193 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+
+	"unbiasedfl/internal/engine"
+	"unbiasedfl/internal/fl"
+	"unbiasedfl/internal/stats"
+)
+
+// FleetBenchConfig sizes one priced fleet-scale benchmark: a full
+// data → calibration → pricing → training-round pipeline at a synthesized
+// fleet size, the measurement behind BENCH_PR10.json and the CI bench job.
+type FleetBenchConfig struct {
+	// Setup selects the paper setup (Setup1 by default — the synthetic data
+	// keeps generation O(shards) at any fleet size).
+	Setup SetupID
+	// Fleet is the total number of synthesized clients.
+	Fleet int
+	// Shards is the number of distinct data shards shared across the fleet
+	// (Options.FleetShards; default 40 — the paper's device count).
+	Shards int
+	// GroupSize is the hierarchical aggregation group size K: clients fold
+	// in groups of K and only ⌈Fleet/K⌉ partials reach the coordinator. On
+	// the cluster backend the fleet multiplexes onto ⌈Fleet/K⌉ sockets.
+	// 0/1 aggregates flat.
+	GroupSize int
+	// Backend selects the execution substrate.
+	Backend Backend
+	// Rounds, LocalSteps, and BatchSize size the training work per client
+	// (defaults 1, 1, 8 — the benchmark measures orchestration and
+	// aggregation scale, not SGD throughput).
+	Rounds     int
+	LocalSteps int
+	BatchSize  int
+	Seed       uint64
+}
+
+func (c *FleetBenchConfig) defaults() error {
+	if c.Setup == 0 {
+		c.Setup = Setup1
+	}
+	if c.Shards == 0 {
+		c.Shards = 40
+	}
+	if c.Rounds == 0 {
+		c.Rounds = 1
+	}
+	if c.LocalSteps == 0 {
+		c.LocalSteps = 1
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 8
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Fleet < 2 {
+		return errors.New("experiment: fleet bench needs at least two clients")
+	}
+	if c.Shards > c.Fleet {
+		c.Shards = c.Fleet
+	}
+	return nil
+}
+
+// FleetBenchResult is one measured point: where the wall-clock went
+// (environment build, pricing, training), how much of the fleet a priced
+// round actually carried, and the process-level scale signals — peak RSS and,
+// on the cluster backend, the peak concurrent socket count, which hierarchical
+// multiplexing must hold at ⌈Fleet/GroupSize⌉ instead of Fleet.
+type FleetBenchResult struct {
+	Setup        int     `json:"setup"`
+	Fleet        int     `json:"fleet"`
+	Shards       int     `json:"shards"`
+	GroupSize    int     `json:"group_size"`
+	Backend      string  `json:"backend"`
+	Rounds       int     `json:"rounds"`
+	Participants int     `json:"participants"` // summed over rounds
+	BuildS       float64 `json:"build_s"`
+	PriceS       float64 `json:"price_s"`
+	TrainS       float64 `json:"train_s"`
+	RoundS       float64 `json:"round_s"` // TrainS / Rounds
+	Sockets      int     `json:"sockets"` // peak concurrent sockets (0 on local)
+	PeakRSSMB    float64 `json:"peak_rss_mb"`
+	GOMAXPROCS   int     `json:"gomaxprocs"`
+}
+
+// FleetBench runs one priced round benchmark at fleet scale: it builds the
+// environment with FleetShards sharing, solves the Stackelberg equilibrium
+// over the full fleet, trains cfg.Rounds rounds on the selected backend with
+// hierarchical aggregation, and reports the timing split. Peak RSS is the
+// process high-water mark, so when several benchmarks share a process, run
+// them in ascending fleet order for per-point numbers to be meaningful.
+func FleetBench(ctx context.Context, cfg FleetBenchConfig) (*FleetBenchResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	opts := Options{
+		NumClients:  cfg.Fleet,
+		Rounds:      cfg.Rounds,
+		LocalSteps:  cfg.LocalSteps,
+		BatchSize:   cfg.BatchSize,
+		EvalEvery:   cfg.Rounds,
+		Calibration: 1,
+		Seed:        cfg.Seed,
+		Runs:        1,
+	}
+	if cfg.Shards < cfg.Fleet {
+		opts.FleetShards = cfg.Shards
+	}
+
+	start := time.Now()
+	env, err := BuildSetup(ctx, cfg.Setup, opts)
+	if err != nil {
+		return nil, fmt.Errorf("fleet bench build: %w", err)
+	}
+	buildS := time.Since(start).Seconds()
+
+	start = time.Now()
+	eq, err := env.Equilibrium()
+	if err != nil {
+		return nil, fmt.Errorf("fleet bench pricing: %w", err)
+	}
+	priceS := time.Since(start).Seconds()
+
+	q := env.Params.ClampQ(eq.Q)
+	sampler, err := fl.NewBernoulliSampler(q, stats.NewRNG(cfg.Seed^0xF1EE7))
+	if err != nil {
+		return nil, err
+	}
+	runner := &fl.Runner{
+		Model: env.Model,
+		Fed:   env.Fed,
+		Config: fl.Config{
+			Rounds:     cfg.Rounds,
+			LocalSteps: cfg.LocalSteps,
+			BatchSize:  cfg.BatchSize,
+			Schedule:   fl.ExpDecay{Eta0: 0.1, Decay: 0.996},
+			EvalEvery:  cfg.Rounds,
+			Seed:       cfg.Seed ^ 0xDEADBEEF,
+		},
+		Sampler:    sampler,
+		Aggregator: fl.UnbiasedAggregator{},
+	}
+	spec := runner.Spec()
+	spec.GroupSize = cfg.GroupSize
+
+	var backend engine.ExecutionBackend
+	if cfg.Backend == BackendCluster {
+		backend = engine.NewClusterBackend(engine.ClusterOptions{})
+	} else {
+		backend = engine.NewLocalBackend(engine.LocalOptions{Parallel: true})
+	}
+	participants, sockets := 0, 0
+	spec.OnRound = func(m engine.RoundMetrics) {
+		participants += m.Participants
+		if counter, ok := backend.(interface{ Sockets() int }); ok {
+			if s := counter.Sockets(); s > sockets {
+				sockets = s
+			}
+		}
+	}
+	start = time.Now()
+	if _, err := engine.Run(ctx, spec, backend); err != nil {
+		return nil, fmt.Errorf("fleet bench train: %w", err)
+	}
+	trainS := time.Since(start).Seconds()
+
+	return &FleetBenchResult{
+		Setup:        int(cfg.Setup),
+		Fleet:        cfg.Fleet,
+		Shards:       cfg.Shards,
+		GroupSize:    cfg.GroupSize,
+		Backend:      cfg.Backend.String(),
+		Rounds:       cfg.Rounds,
+		Participants: participants,
+		BuildS:       buildS,
+		PriceS:       priceS,
+		TrainS:       trainS,
+		RoundS:       trainS / float64(cfg.Rounds),
+		Sockets:      sockets,
+		PeakRSSMB:    peakRSSMB(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+	}, nil
+}

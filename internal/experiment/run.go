@@ -145,6 +145,7 @@ func runPricedParallel(
 			}
 		}
 		spec := runner.Spec()
+		spec.GroupSize = env.GroupSize
 		if env.Membership != nil {
 			rp, err := game.NewRepricer(env.Params, epochScheme)
 			if err != nil {

@@ -1,0 +1,6 @@
+//go:build !unix
+
+package experiment
+
+// peakRSSMB is unavailable off unix; the fleet benchmark records 0.
+func peakRSSMB() float64 { return 0 }

@@ -1,0 +1,23 @@
+//go:build unix
+
+package experiment
+
+import (
+	"runtime"
+	"syscall"
+)
+
+// peakRSSMB reports the process's peak resident set size in MiB — the
+// coordinator-memory signal the fleet benchmark records. Maxrss is KiB on
+// Linux and bytes on Darwin.
+func peakRSSMB() float64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	kib := float64(ru.Maxrss)
+	if runtime.GOOS == "darwin" {
+		kib /= 1024
+	}
+	return kib / 1024
+}

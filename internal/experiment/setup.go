@@ -83,6 +83,17 @@ type Options struct {
 	// Setup 1's synthetic generator has its own structural skew and ignores
 	// the cap.
 	MaxClientClasses int
+	// FleetShards, when positive, is the fleet-scale knob: data generation
+	// and bound calibration run at this many distinct client shards, and the
+	// fleet is then synthesized to NumClients by sharing each shard across
+	// NumClients/FleetShards devices by pointer (data.ReplicateClients).
+	// Clients sharing a shard keep distinct minibatch trajectories — each
+	// owns a private RNG cursor in the engine — and the economics (costs,
+	// valuations, budget, pricing) are still drawn and solved per client, so
+	// a 10^6-client market prices 10^6 individual devices while the data
+	// footprint stays O(FleetShards·samples). 0 materializes every client's
+	// shard individually (the historical behaviour).
+	FleetShards int
 }
 
 // DefaultOptions is the laptop-scale configuration used by tests, examples,
@@ -129,6 +140,12 @@ func (o Options) validate() error {
 		return errors.New("experiment: need at least one run")
 	case o.MaxClientClasses < 0:
 		return errors.New("experiment: negative class cap")
+	case o.FleetShards < 0:
+		return errors.New("experiment: negative fleet shard count")
+	case o.FleetShards == 1:
+		return errors.New("experiment: need at least two fleet shards")
+	case o.FleetShards > o.NumClients:
+		return errors.New("experiment: more fleet shards than clients")
 	}
 	return nil
 }
@@ -155,6 +172,14 @@ type Environment struct {
 	// from this environment (BackendLocal by default). Results are
 	// bit-identical across backends; see internal/engine.
 	Exec Backend
+	// GroupSize, when above one, makes every training run launched from
+	// this environment aggregate hierarchically: clients fold in groups of
+	// this size and only group partials reach the coordinator, whose memory
+	// stays O(model + fleet/GroupSize). On the cluster backend each group
+	// additionally multiplexes onto a single socket node. Purely an
+	// execution knob — results are bit-identical to flat aggregation (see
+	// internal/fixpoint).
+	GroupSize int
 	// Checkpoint, when non-empty, is a path prefix under which every
 	// training run launched from this environment persists a per-run
 	// checkpoint ("<prefix>-<scheme>-run<i>.ckpt" plus its trace WAL); a
@@ -218,7 +243,13 @@ func BuildSetup(ctx context.Context, id SetupID, opts Options) (*Environment, er
 	budget *= float64(opts.NumClients) / 40
 	root := stats.NewRNG(opts.Seed ^ (uint64(id) << 32))
 
-	fed, err := generateData(id, opts, root.Split())
+	// With FleetShards set, the data- and calibration-heavy phases run at
+	// shard scale; the fleet is synthesized afterwards by pointer sharing.
+	dataOpts := opts
+	if opts.FleetShards > 0 {
+		dataOpts.NumClients = opts.FleetShards
+	}
+	fed, err := generateData(id, dataOpts, root.Split())
 	if err != nil {
 		return nil, fmt.Errorf("%v data: %w", id, err)
 	}
@@ -241,6 +272,21 @@ func BuildSetup(ctx context.Context, id SetupID, opts Options) (*Environment, er
 			return nil, ctxErr
 		}
 		return nil, fmt.Errorf("%v calibration: %w", id, err)
+	}
+	if dataOpts.NumClients != opts.NumClients {
+		// Expand shard-scale data and calibration to the full fleet: clients
+		// sharing a shard share its gradient-norm bound estimate G_n, exactly
+		// as they share the shard the estimate was calibrated on.
+		if fed, err = data.ReplicateClients(fed, opts.NumClients); err != nil {
+			return nil, fmt.Errorf("%v fleet: %w", id, err)
+		}
+		g := make([]float64, opts.NumClients)
+		for n := range g {
+			g[n] = cal.G[n%dataOpts.NumClients]
+		}
+		expanded := *cal
+		expanded.G = g
+		cal = &expanded
 	}
 
 	params, err := buildGame(fed, cal, root.Split(), budget, meanC, meanV, float64(opts.Rounds))

@@ -1,0 +1,138 @@
+package fixpoint
+
+import (
+	"math"
+	"testing"
+
+	"unbiasedfl/internal/stats"
+	"unbiasedfl/internal/tensor"
+)
+
+// TestFixQuantizeRoundTrips: quantize → dequantize is exact for values on
+// the grid and within half a grid step otherwise.
+func TestFixQuantizeRoundTrips(t *testing.T) {
+	cases := []float64{
+		0, 1, -1, 0.5, -0.5, 1e-10, -1e-10, 3.141592653589793,
+		-2.718281828459045, 1 << 22, -(1 << 22), 5e-25, -5e-25,
+		math.Ldexp(1, -80), -math.Ldexp(1, -80),
+	}
+	step := math.Ldexp(1, -fixShift)
+	for _, x := range cases {
+		lo, hi, ok := fixQuantize(x)
+		if !ok {
+			t.Fatalf("fixQuantize(%v) saturated", x)
+		}
+		got := fixToFloat(lo, hi)
+		if math.Abs(got-x) > step {
+			t.Fatalf("fixQuantize(%v) round-trips to %v (off by %v > grid step)", x, got, got-x)
+		}
+	}
+}
+
+// TestFixQuantizeSaturates: non-finite and over-cap addends must saturate,
+// never wrap.
+func TestFixQuantizeSaturates(t *testing.T) {
+	for _, x := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), 2 * fixMaxAddend, -2 * fixMaxAddend} {
+		if _, _, ok := fixQuantize(x); ok {
+			t.Fatalf("fixQuantize(%v) did not saturate", x)
+		}
+	}
+	a := New(2)
+	if err := a.AddScaled(1, tensor.Vec{1, math.Inf(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Saturated() {
+		t.Fatal("accumulator did not latch saturation")
+	}
+	v := tensor.Vec{0, 0}
+	if err := a.AddTo(v); err != nil {
+		t.Fatal(err)
+	}
+	if v.IsFinite() {
+		t.Fatalf("saturated accumulator folded to finite %v", v)
+	}
+}
+
+// TestAccGroupingInvariance is the heart of the hierarchical-aggregation
+// guarantee: summing N random addends flat, in contiguous groups of every
+// size, and in reversed order must produce bit-identical limbs and a
+// bit-identical float fold.
+func TestAccGroupingInvariance(t *testing.T) {
+	const n, p = 137, 9
+	rng := stats.NewRNG(42)
+	scales := make([]float64, n)
+	deltas := make([]tensor.Vec, n)
+	for i := range deltas {
+		scales[i] = math.Exp(4 * (rng.Float64() - 0.5))
+		deltas[i] = tensor.NewVec(p)
+		for j := range deltas[i] {
+			deltas[i][j] = (rng.Float64() - 0.5) * math.Ldexp(1, rng.Intn(40)-30)
+		}
+	}
+
+	flat := New(p)
+	for i := range deltas {
+		if err := flat.AddScaled(scales[i], deltas[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	flatLo, flatHi, _ := flat.Limbs()
+
+	for _, k := range []int{1, 2, 3, 7, 16, n} {
+		top := New(p)
+		part := New(p)
+		for g := 0; g < n; g += k {
+			part.Reset()
+			hi := g + k
+			if hi > n {
+				hi = n
+			}
+			for i := g; i < hi; i++ {
+				if err := part.AddScaled(scales[i], deltas[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := top.Merge(part); err != nil {
+				t.Fatal(err)
+			}
+		}
+		lo, hi2, _ := top.Limbs()
+		for j := 0; j < p; j++ {
+			if lo[j] != flatLo[j] || hi2[j] != flatHi[j] {
+				t.Fatalf("group size %d: limb %d differs from flat fold", k, j)
+			}
+		}
+	}
+
+	rev := New(p)
+	for i := n - 1; i >= 0; i-- {
+		if err := rev.AddScaled(scales[i], deltas[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	revLo, revHi, _ := rev.Limbs()
+	for j := 0; j < p; j++ {
+		if revLo[j] != flatLo[j] || revHi[j] != flatHi[j] {
+			t.Fatalf("reversed fold: limb %d differs from flat fold", j)
+		}
+	}
+}
+
+// TestAccNegativeSums: mixed-sign accumulation stays exact through the
+// two's-complement representation.
+func TestAccNegativeSums(t *testing.T) {
+	a := New(1)
+	if err := a.AddScaled(1, tensor.Vec{2.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddScaled(1, tensor.Vec{-4.25}); err != nil {
+		t.Fatal(err)
+	}
+	v := tensor.Vec{10}
+	if err := a.AddTo(v); err != nil {
+		t.Fatal(err)
+	}
+	if v[0] != 10+(2.5-4.25) {
+		t.Fatalf("mixed-sign sum = %v, want %v", v[0], 10+(2.5-4.25))
+	}
+}

@@ -14,12 +14,13 @@ import (
 // TestBackendEquivalenceMatrix is the payoff of the unified engine: every
 // golden-library scenario replays through BOTH execution backends — the
 // in-process LocalBackend and the real-TCP ClusterBackend — at GOMAXPROCS 1
-// and 4, and all four traces must be byte-for-byte identical (and, via the
-// golden files, identical to the committed record). The 8 golden traces are
-// one backend-equivalence matrix, not two disjoint suites.
+// and 4, flat and hierarchical (GroupSize 3), and every trace must be
+// byte-for-byte identical (and, via the golden files, identical to the
+// committed record). The golden traces are one backend-equivalence matrix,
+// not disjoint suites.
 func TestBackendEquivalenceMatrix(t *testing.T) {
 	if testing.Short() {
-		t.Skip("16 TCP cluster boots; skipped with -short")
+		t.Skip("TCP cluster boots; skipped with -short")
 	}
 	for _, sc := range All() {
 		sc := sc
@@ -29,13 +30,15 @@ func TestBackendEquivalenceMatrix(t *testing.T) {
 			for _, procs := range []int{1, 4} {
 				for _, cfg := range []RunConfig{
 					{Backend: BackendLocal},
+					{Backend: BackendLocal, GroupSize: 3},
 					{Backend: BackendCluster, Cluster: ClusterConfig{Timeout: 30 * time.Second}},
+					{Backend: BackendCluster, GroupSize: 3, Cluster: ClusterConfig{Timeout: 30 * time.Second}},
 				} {
 					prev := runtime.GOMAXPROCS(procs)
 					trace, err := RunWith(context.Background(), sc, cfg)
 					runtime.GOMAXPROCS(prev)
 					if err != nil {
-						t.Fatalf("%v GOMAXPROCS=%d: %v", cfg.Backend, procs, err)
+						t.Fatalf("%v K=%d GOMAXPROCS=%d: %v", cfg.Backend, cfg.GroupSize, procs, err)
 					}
 					b, err := trace.Canonical()
 					if err != nil {
@@ -46,8 +49,8 @@ func TestBackendEquivalenceMatrix(t *testing.T) {
 						continue
 					}
 					if !bytes.Equal(reference, b) {
-						t.Fatalf("%v GOMAXPROCS=%d trace diverges from the local GOMAXPROCS=1 reference: the backends are not equivalent",
-							cfg.Backend, procs)
+						t.Fatalf("%v K=%d GOMAXPROCS=%d trace diverges from the flat local GOMAXPROCS=1 reference: the backends are not equivalent",
+							cfg.Backend, cfg.GroupSize, procs)
 					}
 				}
 			}

@@ -34,6 +34,14 @@ type RunConfig struct {
 	Backend    Backend
 	Cluster    ClusterConfig
 	Checkpoint CheckpointConfig
+	// GroupSize, when above one, aggregates hierarchically: clients fold
+	// their weighted deltas in groups of this size and only group partials
+	// reach the coordinator (on the cluster backend each group also
+	// multiplexes onto one socket node). Purely an execution knob: the
+	// produced Trace is byte-identical to a flat run — the fixed-point fold
+	// (internal/fixpoint) is grouping-invariant — which the hierarchical
+	// axis of the backend-equivalence matrix pins.
+	GroupSize int
 	// Events, when non-nil, receives the run's typed progress stream:
 	// SchemeSolved once the market is priced, then RoundStart/RoundEnd per
 	// training round (Run is always 0 — a scenario is a single repetition).
@@ -123,6 +131,7 @@ func RunWith(ctx context.Context, sc Scenario, cfg RunConfig) (*Trace, error) {
 		Seed:       root.Uint64(),
 		Sampler:    sampler,
 		Aggregator: engine.UnbiasedAggregator{},
+		GroupSize:  cfg.GroupSize,
 	}
 	// Gradient poisoning rides the orchestrator's tamper seam, so it is
 	// byte-identical on every execution backend and replays exactly on

@@ -183,7 +183,13 @@ type Scenario struct {
 	// Fleet and training scale.
 	Clients      int
 	TotalSamples int // 0 = setup default scaled by fleet size
-	Rounds       int
+	// FleetShards, when positive, synthesizes the Clients-strong fleet from
+	// this many distinct data shards shared by pointer (each client keeps a
+	// private RNG cursor, so trajectories differ): the knob that scales a
+	// scenario to 10^5–10^6 clients without materializing per-client
+	// training sets. 0 materializes every client's shard individually.
+	FleetShards int
+	Rounds      int
 	LocalSteps   int
 	BatchSize    int
 	EvalEvery    int
@@ -242,6 +248,12 @@ func (s Scenario) Validate() error {
 		return errors.New("scenario: empty name")
 	case s.Clients <= 1:
 		return errors.New("scenario: need at least two clients")
+	case s.FleetShards < 0:
+		return errors.New("scenario: negative fleet shard count")
+	case s.FleetShards == 1:
+		return errors.New("scenario: need at least two fleet shards")
+	case s.FleetShards > s.Clients:
+		return errors.New("scenario: more fleet shards than clients")
 	case s.Rounds <= 0 || s.LocalSteps <= 0 || s.BatchSize <= 0:
 		return errors.New("scenario: invalid training scale")
 	case s.CostScale <= 0 || s.ValueScale < 0 || s.BudgetScale <= 0:
@@ -288,6 +300,7 @@ func (s Scenario) options() experiment.Options {
 	return experiment.Options{
 		NumClients:       s.Clients,
 		TotalSamples:     s.TotalSamples,
+		FleetShards:      s.FleetShards,
 		Rounds:           s.Rounds,
 		LocalSteps:       s.LocalSteps,
 		BatchSize:        s.BatchSize,

@@ -38,8 +38,11 @@ const (
 	// incompatible change (version 1: unframed gob; version 2: handshake +
 	// length-framed gob; version 3: resumable executor cursors on
 	// MsgWelcome/MsgUpdate; version 4: membership churn — MsgJoin handshake
-	// for prospective members, MsgLeave/MsgBye graceful retirement).
-	ProtocolVersion byte = 4
+	// for prospective members, MsgLeave/MsgBye graceful retirement;
+	// version 5: multiplexed virtual clients — MsgGroupHello/MsgBatchStart/
+	// MsgPartial batch a whole sub-aggregator group's tasks onto one socket
+	// and ship back a single fixed-point group partial).
+	ProtocolVersion byte = 5
 	// MaxFrameSize bounds a single frame's payload. The largest legitimate
 	// frame is a MsgRoundStart carrying the flattened global model; 64 MiB
 	// covers ~8M float64 parameters with gob overhead to spare.
@@ -57,6 +60,13 @@ var ErrVersionMismatch = errors.New("transport: protocol version mismatch")
 
 // ErrBadMagic reports a peer that is not speaking this protocol at all.
 var ErrBadMagic = errors.New("transport: bad handshake magic")
+
+// ErrFrameTooLarge reports a message whose encoded frame exceeds
+// MaxFrameSize. Both Send (before any bytes move) and DecodeFrame (before
+// any allocation) return it; use errors.Is to detect it. For batched
+// messages the error names the offending batch size, so an oversized
+// MsgBatchStart points straight at the group-size knob that caused it.
+var ErrFrameTooLarge = errors.New("transport: frame exceeds size limit")
 
 // Handshake exchanges and validates the protocol preamble on a fresh
 // connection: each side writes the 4-byte magic plus its version byte, then
@@ -91,7 +101,7 @@ func Handshake(conn net.Conn) error {
 // WriteFrame writes one length-prefixed frame.
 func WriteFrame(w io.Writer, payload []byte) error {
 	if len(payload) > MaxFrameSize {
-		return fmt.Errorf("transport: frame of %d bytes exceeds limit %d", len(payload), MaxFrameSize)
+		return fmt.Errorf("%w: frame of %d bytes exceeds limit %d", ErrFrameTooLarge, len(payload), MaxFrameSize)
 	}
 	var hdr [frameHeaderSize]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
@@ -113,7 +123,7 @@ func DecodeFrame(r io.Reader, buf []byte) ([]byte, error) {
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > MaxFrameSize {
-		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit %d", n, MaxFrameSize)
+		return nil, fmt.Errorf("%w: frame of %d bytes exceeds limit %d", ErrFrameTooLarge, n, MaxFrameSize)
 	}
 	if uint32(cap(buf)) < n {
 		buf = make([]byte, n)
@@ -152,6 +162,18 @@ const (
 	MsgLeave
 	// MsgBye acknowledges a MsgLeave; the connection closes after it.
 	MsgBye
+	// MsgGroupHello is a multiplexed node's hello (protocol v5): the peer
+	// announces it hosts a whole sub-aggregator group of virtual clients,
+	// identified by ClientID = group index.
+	MsgGroupHello
+	// MsgBatchStart carries one round's work for an entire group over a
+	// single socket (protocol v5): the global model plus parallel Clients/
+	// Scales/Cursors slices, one entry per tasked member.
+	MsgBatchStart
+	// MsgPartial carries a group's folded contribution back (protocol v5):
+	// the 128-bit fixed-point limbs of Σ (a_n/q_n)·delta_n over the batch,
+	// plus per-member gradient statistics and post-update cursors.
+	MsgPartial
 )
 
 // Message is the single wire envelope. Unused fields stay at their zero
@@ -185,6 +207,21 @@ type Message struct {
 	// its post-update cursor so the coordinator's table stays authoritative
 	// even if the node later dies.
 	Cursor *Cursor
+
+	// Multiplexed-group fields (protocol v5). On MsgBatchStart, Clients lists
+	// the tasked members of the group, Scales their Lemma-1 a_n/q_n fold
+	// coefficients, and Cursors their authoritative executor positions — the
+	// node keeps no per-client state between rounds. On MsgPartial, Clients
+	// echoes the batch, Lo/Hi carry the fixed-point limbs of the group sum
+	// (one pair per model parameter), Sat reports fixed-point saturation,
+	// and GradSqs/Cursors report per-member statistics and post-update
+	// positions aligned with Clients.
+	Clients []int
+	Scales  []float64
+	Cursors []Cursor
+	Lo, Hi  []uint64
+	Sat     bool
+	GradSqs []float64
 }
 
 // Cursor is the wire form of one client executor's resumable state: the
@@ -233,6 +270,18 @@ func (c *Codec) Send(m *Message) error {
 	if err := c.enc.Encode(m); err != nil {
 		return fmt.Errorf("transport: encode: %w", err)
 	}
+	if c.wbuf.Len() > MaxFrameSize {
+		// Check the budget before a single byte moves, so an oversized batch
+		// fails cleanly instead of desynchronizing the stream — and name the
+		// batch size, because for MsgBatchStart/MsgPartial the fix is a
+		// smaller group, not a bigger frame limit.
+		if n := len(m.Clients); n > 0 {
+			return fmt.Errorf("%w: message type %d with batch of %d clients encodes to %d bytes (limit %d)",
+				ErrFrameTooLarge, m.Type, n, c.wbuf.Len(), MaxFrameSize)
+		}
+		return fmt.Errorf("%w: message type %d encodes to %d bytes (limit %d)",
+			ErrFrameTooLarge, m.Type, c.wbuf.Len(), MaxFrameSize)
+	}
 	if err := WriteFrame(c.conn, c.wbuf.Bytes()); err != nil {
 		return fmt.Errorf("transport: write frame: %w", err)
 	}
@@ -257,7 +306,16 @@ func (c *Codec) RecvDeadline(deadline time.Time) (*Message, error) {
 	if err := c.conn.SetReadDeadline(deadline); err != nil {
 		return nil, fmt.Errorf("transport: set read deadline: %w", err)
 	}
-	return c.recv()
+	m, err := c.recv()
+	if c.timeout == 0 {
+		// The deadline is a one-off override. A codec with no per-operation
+		// timeout must not inherit it for every later Recv: a group node's
+		// first batch can legitimately arrive long after the handshake
+		// window closes, once the coordinator has serialized hundreds of
+		// batches ahead of it.
+		_ = c.conn.SetReadDeadline(time.Time{})
+	}
+	return m, err
 }
 
 func (c *Codec) recv() (*Message, error) {

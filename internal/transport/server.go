@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"unbiasedfl/internal/fixpoint"
 	"unbiasedfl/internal/model"
 	"unbiasedfl/internal/tensor"
 )
@@ -253,6 +254,7 @@ func (s *Server) Run(ctx context.Context) (*ServerResult, error) {
 	}
 
 	global := s.model.ZeroParams()
+	acc := fixpoint.New(len(global))
 	result := &ServerResult{
 		GradSqNorm:          make([]float64, s.cfg.NumClients),
 		ParticipationCounts: make([]int, s.cfg.NumClients),
@@ -304,8 +306,11 @@ func (s *Server) Run(ctx context.Context) (*ServerResult, error) {
 			_ = codecs[id].Close()
 		}
 
-		// Unbiased aggregation (Lemma 1), in client-id order — the same
-		// arithmetic as engine.UnbiasedAggregator: w += (a_n/q_n) Δ_n.
+		// Unbiased aggregation (Lemma 1) — the same arithmetic as
+		// engine.UnbiasedAggregator: w += Σ (a_n/q_n) Δ_n, folded through the
+		// canonical fixed-point accumulator so the prototype's sum is
+		// bit-identical to the engine's regardless of fold order.
+		acc.Reset()
 		for id, reply := range replies {
 			if reply == nil {
 				continue // dropped this round or earlier
@@ -315,7 +320,7 @@ func (s *Server) Run(ctx context.Context) (*ServerResult, error) {
 				if len(reply.Model) != len(global) {
 					return nil, fmt.Errorf("transport: client %d delta length %d", id, len(reply.Model))
 				}
-				if err := global.AddScaled(s.cfg.Weights[id]/s.cfg.Q[id], tensor.Vec(reply.Model)); err != nil {
+				if err := acc.AddScaled(s.cfg.Weights[id]/s.cfg.Q[id], tensor.Vec(reply.Model)); err != nil {
 					return nil, fmt.Errorf("transport: round %d aggregate: %w", round, err)
 				}
 				result.ParticipationCounts[id]++
@@ -331,6 +336,9 @@ func (s *Server) Run(ctx context.Context) (*ServerResult, error) {
 			default:
 				return nil, fmt.Errorf("transport: unexpected reply %v from client %d", reply.Type, id)
 			}
+		}
+		if err := acc.AddTo(global); err != nil {
+			return nil, fmt.Errorf("transport: round %d aggregate: %w", round, err)
 		}
 	}
 

@@ -55,6 +55,7 @@ type sessionConfig struct {
 	checkpointResume bool
 	roundTimeout     time.Duration
 	membership       *engine.MembershipPlan
+	groupSize        int
 }
 
 // Option configures a Session at construction time.
@@ -75,6 +76,21 @@ func WithClients(n int) Option { return func(c *sessionConfig) { c.opts.NumClien
 // WithTotalSamples sets the total training-sample count (0 = the setup's
 // default scaled by the fleet size).
 func WithTotalSamples(n int) Option { return func(c *sessionConfig) { c.opts.TotalSamples = n } }
+
+// WithFleetShards synthesizes the fleet from n distinct data shards shared
+// across clients by pointer — the scale knob that makes 10^5–10^6-client
+// fleets fit in memory. Clients sharing a shard keep distinct minibatch
+// trajectories (each owns a private RNG cursor) and are priced individually.
+// 0 (the default) materializes every client's shard.
+func WithFleetShards(n int) Option { return func(c *sessionConfig) { c.opts.FleetShards = n } }
+
+// WithGroupSize makes every training run launched from the session aggregate
+// hierarchically: clients fold their weighted deltas in groups of k and only
+// group partials reach the coordinator, whose memory stays
+// O(model + fleet/k); on the cluster backend each group multiplexes onto a
+// single socket node. Purely an execution knob — results are bit-identical
+// to flat aggregation at any k. 0 or 1 aggregates flat.
+func WithGroupSize(k int) Option { return func(c *sessionConfig) { c.groupSize = k } }
 
 // WithRounds sets the training horizon R.
 func WithRounds(n int) Option { return func(c *sessionConfig) { c.opts.Rounds = n } }
@@ -179,6 +195,7 @@ func NewSession(ctx context.Context, id SetupID, options ...Option) (*Session, e
 		return nil, err
 	}
 	env.Exec = cfg.backend
+	env.GroupSize = cfg.groupSize
 	env.Checkpoint = cfg.checkpoint
 	env.CheckpointResume = cfg.checkpointResume
 	env.RoundTimeout = cfg.roundTimeout
